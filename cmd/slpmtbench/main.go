@@ -1,0 +1,46 @@
+// Command slpmtbench regenerates the paper's evaluation figures on the
+// simulated platform.
+//
+// Usage:
+//
+//	slpmtbench -experiment fig8      # kernel speedups + traffic (Fig. 8)
+//	slpmtbench -experiment fig9      # line-granularity SLPMT (Fig. 9)
+//	slpmtbench -experiment fig10     # value-size speedup sweep (Fig. 10)
+//	slpmtbench -experiment fig11     # value-size traffic sweep (Fig. 11)
+//	slpmtbench -experiment fig12     # write-latency sweep (Fig. 12)
+//	slpmtbench -experiment fig13     # compiler vs manual annotations (Fig. 13)
+//	slpmtbench -experiment fig14     # PMKV speedups (Fig. 14)
+//	slpmtbench -experiment headline  # §VI summary numbers
+//	slpmtbench -experiment ablation  # design-choice ablations (DESIGN.md §5)
+//	slpmtbench -experiment model     # timing-model knob sensitivity
+//	slpmtbench -experiment mixes     # YCSB A/B/C/E blends (extension)
+//	slpmtbench -experiment all       # everything
+//
+// Flags -n, -value and -seed override the workload parameters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/persistmem/slpmt/internal/bench"
+	"github.com/persistmem/slpmt/internal/experiments"
+	_ "github.com/persistmem/slpmt/internal/workloads/all"
+)
+
+func main() {
+	var (
+		exp   = flag.String("experiment", "all", "experiment to run (fig8..fig14, headline, ablation, model, mixes, all)")
+		n     = flag.Int("n", 1000, "insert operations per run")
+		value = flag.Int("value", 256, "value size in bytes")
+		seed  = flag.Uint64("seed", 0, "key-stream seed (0 = default)")
+	)
+	flag.Parse()
+
+	base := bench.RunConfig{N: *n, ValueSize: *value, Seed: *seed, Verify: true}
+	if err := experiments.Run(os.Stdout, *exp, base); err != nil {
+		fmt.Fprintf(os.Stderr, "slpmtbench: %v\n", err)
+		os.Exit(1)
+	}
+}

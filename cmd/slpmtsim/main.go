@@ -1,0 +1,52 @@
+// Command slpmtsim runs one workload under one scheme and prints the
+// full simulation counter set — the tool for inspecting a single
+// configuration in depth.
+//
+// Usage:
+//
+//	slpmtsim -workload hashtable -scheme SLPMT -n 1000 -value 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/persistmem/slpmt/internal/bench"
+	"github.com/persistmem/slpmt/internal/schemes"
+	"github.com/persistmem/slpmt/internal/workloads"
+	_ "github.com/persistmem/slpmt/internal/workloads/all"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "hashtable", fmt.Sprintf("workload %v", workloads.Names()))
+		scheme   = flag.String("scheme", schemes.SLPMT, fmt.Sprintf("scheme %v", schemes.Names()))
+		n        = flag.Int("n", 1000, "insert operations")
+		value    = flag.Int("value", 256, "value size in bytes")
+		lat      = flag.Uint64("writelat", 0, "PM write latency override (ns)")
+		seed     = flag.Uint64("seed", 0, "key-stream seed")
+		verify   = flag.Bool("verify", true, "check structure invariants after the run")
+	)
+	flag.Parse()
+
+	res := bench.Run(bench.RunConfig{
+		Scheme:       *scheme,
+		Workload:     *workload,
+		N:            *n,
+		ValueSize:    *value,
+		PMWriteNanos: *lat,
+		Seed:         *seed,
+		Verify:       *verify,
+	})
+	fmt.Printf("workload=%s scheme=%s n=%d value=%dB\n", *workload, *scheme, *n, *value)
+	fmt.Printf("cycles=%d (%.1f us simulated)  pm-writes=%d bytes (%.1f per op)\n",
+		res.Cycles, float64(res.Cycles)/2000,
+		res.PMWriteBytes(), float64(res.PMWriteBytes())/float64(*n))
+	fmt.Printf("cycles/op=%.0f\n\n", float64(res.Cycles)/float64(*n))
+	fmt.Print(res.Counters.String())
+	if res.VerifyErr != nil {
+		fmt.Fprintf(os.Stderr, "VERIFY FAILED: %v\n", res.VerifyErr)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,130 @@
+// Command slpmttrace inspects the durable state of a (optionally
+// crash-interrupted) workload run: the hardware log header, the
+// parseable record stream, the root directory, and a recovery dry run.
+// It is the debugging companion to slpmtcrash.
+//
+// Usage:
+//
+//	slpmttrace -workload rbtree -n 20                # clean run
+//	slpmttrace -workload rbtree -n 20 -crash 150     # crash at event 150
+//	slpmttrace -workload hashtable -crash 90 -recover
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/persistmem/slpmt"
+	"github.com/persistmem/slpmt/internal/logfmt"
+	"github.com/persistmem/slpmt/internal/machine"
+	"github.com/persistmem/slpmt/internal/mem"
+	"github.com/persistmem/slpmt/internal/pmem"
+	"github.com/persistmem/slpmt/internal/recovery"
+	"github.com/persistmem/slpmt/internal/schemes"
+	"github.com/persistmem/slpmt/internal/workloads"
+	_ "github.com/persistmem/slpmt/internal/workloads/all"
+	"github.com/persistmem/slpmt/internal/ycsb"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "hashtable", fmt.Sprintf("workload %v", workloads.Names()))
+		scheme   = flag.String("scheme", schemes.SLPMT, fmt.Sprintf("scheme %v", schemes.Names()))
+		n        = flag.Int("n", 20, "insert operations")
+		value    = flag.Int("value", 32, "value size in bytes")
+		crash    = flag.Uint64("crash", 0, "crash after this persist event (0 = run to completion)")
+		doRec    = flag.Bool("recover", false, "run recovery on the image and report")
+		maxRecs  = flag.Int("records", 16, "max log records to print")
+	)
+	flag.Parse()
+
+	img, crashed, events := execute(*workload, *scheme, *n, *value, *crash)
+	fmt.Printf("run: %s under %s, %d ops, %d persist events, crashed=%v\n\n",
+		*workload, *scheme, *n, events, crashed)
+
+	layout := mem.DefaultLayout(uint64(len(img.Data)))
+
+	// Root directory.
+	fmt.Println("root directory:")
+	names := []string{"main", "meta", "count", "movesrc", "aux"}
+	for i, nm := range names {
+		v := img.ReadU64(layout.RootBase + mem.Addr(i*8))
+		fmt.Printf("  slot %d (%-7s) = %#x (%d)\n", i, nm, v, v)
+	}
+
+	// Log header + records.
+	raw := img.Data[layout.LogBase : layout.LogBase+layout.LogSize]
+	hdr := logfmt.DecodeHeader(raw)
+	state := map[uint64]string{0: "idle", 1: "ACTIVE", 2: "committed"}[hdr.State]
+	mode := map[uint64]string{1: "undo", 2: "redo"}[hdr.Mode]
+	fmt.Printf("\nhardware log: txn seq=%d state=%s mode=%s watermark=%d\n",
+		hdr.Seq, state, mode, hdr.Watermark)
+	recs, err := logfmt.ParseRecords(raw, hdr.Seq)
+	if err != nil {
+		fmt.Printf("  record stream: %v\n", err)
+	}
+	fmt.Printf("  %d parseable records:\n", len(recs))
+	for i, r := range recs {
+		if i >= *maxRecs {
+			fmt.Printf("  ... %d more\n", len(recs)-i)
+			break
+		}
+		fmt.Printf("  [%3d] addr=%#08x len=%-2d old=% x\n", i, r.Addr, len(r.Data), head(r.Data, 16))
+	}
+
+	if !*doRec {
+		return
+	}
+	fmt.Println("\nrecovery dry run:")
+	w := workloads.MustNew(*workload)
+	rec, ok := w.(workloads.Recoverable)
+	if !ok {
+		fmt.Println("  workload is not Recoverable")
+		os.Exit(1)
+	}
+	rep, heap, err := recovery.Recover(img, rec)
+	if err != nil {
+		fmt.Printf("  FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  %s\n", rep)
+	_, _, _, live := heap.Stats()
+	fmt.Printf("  rebuilt heap: %d live bytes\n", live)
+}
+
+func head(p []byte, n int) []byte {
+	if len(p) > n {
+		return p[:n]
+	}
+	return p
+}
+
+func execute(workload, scheme string, n, value int, crash uint64) (img *pmem.Image, crashed bool, events uint64) {
+	w := workloads.MustNew(workload)
+	sys := slpmt.New(slpmt.Options{Scheme: scheme, ComputeCyclesPerOp: w.ComputeCost()})
+	sys.Mach.CrashAfter = crash
+	defer func() {
+		events = sys.Mach.PersistCount
+	}()
+	run := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(machine.CrashSignal); !ok {
+					panic(r)
+				}
+				crashed = true
+			}
+		}()
+		if err := w.Setup(sys); err != nil {
+			return err
+		}
+		load := ycsb.Load{N: n, ValueSize: value}
+		return load.Each(func(k uint64, v []byte) error { return w.Insert(sys, k, v) })
+	}
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "slpmttrace: %v\n", err)
+		os.Exit(1)
+	}
+	return sys.Mach.Crash(), crashed, sys.Mach.PersistCount
+}

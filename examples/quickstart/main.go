@@ -1,0 +1,46 @@
+// Quickstart: a minimal durable transaction on the simulated SLPMT
+// hardware — allocate a persistent record, fill it with log-free stores
+// (it is fresh memory, Pattern 1 of the paper), publish it with one
+// logged store, and inspect what the run cost and what became durable.
+//
+// Run:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/persistmem/slpmt"
+)
+
+func main() {
+	sys := slpmt.New(slpmt.Options{Scheme: "SLPMT"})
+
+	var rec slpmt.Addr
+	err := sys.Update(func(tx *slpmt.Tx) error {
+		// A fresh 3-word record: id, value, checksum.
+		rec = tx.Alloc(24)
+		tx.StoreTU64(rec+0, 1001, slpmt.LogFree) // fresh memory: no undo log
+		tx.StoreTU64(rec+8, 42, slpmt.LogFree)
+		tx.StoreTU64(rec+16, 1001^42, slpmt.LogFree)
+		// The publishing store is the transaction's only logged write.
+		tx.SetRoot(0, uint64(rec))
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Everything committed is durable: a simulated power failure right
+	// now loses nothing.
+	img := sys.Mach.Crash()
+	fmt.Printf("durable record @%#x: id=%d value=%d checksum=%d\n",
+		rec, img.ReadU64(rec), img.ReadU64(rec+8), img.ReadU64(rec+16))
+
+	c := sys.Stats()
+	fmt.Printf("simulated cycles: %d (%.2f us at 2 GHz)\n", sys.Cycles(), float64(sys.Cycles())/2000)
+	fmt.Printf("PM write traffic: %d B data + %d B log\n", c.PMWriteBytesData, c.PMWriteBytesLog)
+	fmt.Printf("undo records created: %d (the three log-free stores created none)\n", c.LogRecordsCreated)
+}

@@ -1,0 +1,3 @@
+module github.com/persistmem/slpmt
+
+go 1.22

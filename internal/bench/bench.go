@@ -1,0 +1,212 @@
+// Package bench is the experiment harness: it runs (scheme × workload ×
+// parameter) grids of ycsb-load and renders the paper's figures as text
+// tables (speedups over the FG baseline, persistent-memory write-traffic
+// reductions, and sensitivity sweeps).
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/persistmem/slpmt"
+	"github.com/persistmem/slpmt/internal/machine"
+	"github.com/persistmem/slpmt/internal/stats"
+	"github.com/persistmem/slpmt/internal/workloads"
+	"github.com/persistmem/slpmt/internal/ycsb"
+)
+
+// RunConfig parameterizes one benchmark execution.
+type RunConfig struct {
+	// Scheme is the hardware design name (schemes package).
+	Scheme string
+	// Workload is the benchmark name (workloads package).
+	Workload string
+	// N is the number of insert operations (0 = 1000).
+	N int
+	// ValueSize is the value payload in bytes (0 = 256).
+	ValueSize int
+	// PMWriteNanos overrides the PM write latency (0 = 500 ns).
+	PMWriteNanos uint64
+	// Banks overrides the device write parallelism (0 = default 2).
+	Banks int
+	// WPQBytes overrides the write-pending-queue capacity (0 = 512).
+	WPQBytes int
+	// Seed selects the deterministic key stream (0 = default).
+	Seed uint64
+	// Verify runs the structure's invariant check after the measured
+	// region (errors are reported in the result).
+	Verify bool
+}
+
+// Result is the outcome of one benchmark execution.
+type Result struct {
+	RunConfig
+	// Cycles is the simulated time of the measured region (the N
+	// inserts plus the final lazy drain).
+	Cycles uint64
+	// Counters is the counter delta over the measured region.
+	Counters stats.Counters
+	// VerifyErr is non-nil if the post-run invariant check failed.
+	VerifyErr error
+}
+
+// PMWriteBytes is the persistent-memory write traffic of the run.
+func (r Result) PMWriteBytes() uint64 { return r.Counters.PMWriteBytes() }
+
+// Run executes one benchmark under one scheme and returns the measured
+// region's statistics.
+func Run(cfg RunConfig) Result {
+	w := workloads.MustNew(cfg.Workload)
+	var mc machine.Config
+	mc.PM.Banks = cfg.Banks
+	mc.PM.WPQBytes = cfg.WPQBytes
+	sys := slpmt.New(slpmt.Options{
+		Scheme:             cfg.Scheme,
+		Machine:            mc,
+		PMWriteNanos:       cfg.PMWriteNanos,
+		ComputeCyclesPerOp: w.ComputeCost(),
+	})
+	if err := w.Setup(sys); err != nil {
+		panic(fmt.Sprintf("bench: setup %s: %v", cfg.Workload, err))
+	}
+
+	load := ycsb.Load{N: cfg.N, ValueSize: cfg.ValueSize, Seed: cfg.Seed}
+	start := sys.Stats().Snapshot()
+	startCycles := sys.Cycles()
+	err := load.Each(func(key uint64, value []byte) error {
+		return w.Insert(sys, key, value)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %s/%s insert: %v", cfg.Scheme, cfg.Workload, err))
+	}
+	// Account deferred lazy persists inside the measured region so lazy
+	// schemes are not credited with traffic that merely moved past the
+	// measurement boundary.
+	sys.DrainLazy()
+	res := Result{
+		RunConfig: cfg,
+		Cycles:    sys.Cycles() - startCycles,
+		Counters:  sys.Stats().Delta(start),
+	}
+	if cfg.Verify {
+		res.VerifyErr = w.Check(sys, load.Oracle())
+	}
+	return res
+}
+
+// Grid runs the cartesian product of schemes × workloads with shared
+// parameters, returning results keyed [scheme][workload].
+func Grid(schemeNames, workloadNames []string, base RunConfig) map[string]map[string]Result {
+	out := make(map[string]map[string]Result, len(schemeNames))
+	for _, s := range schemeNames {
+		out[s] = make(map[string]Result, len(workloadNames))
+		for _, w := range workloadNames {
+			cfg := base
+			cfg.Scheme = s
+			cfg.Workload = w
+			out[s][w] = Run(cfg)
+		}
+	}
+	return out
+}
+
+// Speedup returns base.Cycles / r.Cycles.
+func Speedup(baseline, r Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(baseline.Cycles) / float64(r.Cycles)
+}
+
+// TrafficReduction returns the write-traffic reduction of r relative to
+// the baseline, as a fraction (0.35 = 35% less traffic).
+func TrafficReduction(baseline, r Result) float64 {
+	b := float64(baseline.PMWriteBytes())
+	if b == 0 {
+		return 0
+	}
+	return 1 - float64(r.PMWriteBytes())/b
+}
+
+// GeoMean returns the geometric mean of xs (0 for empty input).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, x := range xs {
+		prod *= x
+	}
+	return math.Pow(prod, 1/float64(len(xs)))
+}
+
+// Table renders a column-aligned text table.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row of cells.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// F formats a float with 2 decimals; Fx appends an "x" (speedup), Pct
+// renders a percentage.
+func F(x float64) string   { return fmt.Sprintf("%.2f", x) }
+func Fx(x float64) string  { return fmt.Sprintf("%.2fx", x) }
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// SortedKeys returns the sorted keys of a result map.
+func SortedKeys(m map[string]Result) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

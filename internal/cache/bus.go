@@ -1,0 +1,144 @@
+package cache
+
+import "github.com/persistmem/slpmt/internal/mem"
+
+// Bus is a snooping MESI coherence bus connecting the private caches of
+// several cores. The single-core timing evaluation does not exercise it,
+// but SLPMT's lazy persistency and abort paths are specified in terms of
+// coherence requests (§III-C, §V-B), so the protocol is implemented and
+// tested functionally.
+//
+// The bus model is atomic: each request completes before the next one is
+// issued. Each core's private cache is represented by one Cache (the
+// protocol is agnostic to whether that models an L1 or an L1+L2 pair).
+type Bus struct {
+	caches []*Cache
+
+	// OnRemoteStore is invoked when core src gains write ownership of a
+	// line that another cache held — the coherence event on which SLPMT
+	// checks the lazy-persistency signatures of remote cores (§III-C3).
+	OnRemoteStore func(src int, addr mem.Addr)
+	// OnInvalidate is invoked when a cache must drop a line due to a
+	// remote write. SLPMT uses this to detect loss of lazily persistent
+	// data that must first be persisted.
+	OnInvalidate func(core int, line *Line)
+	// OnDowngrade is invoked when a Modified line is downgraded to
+	// Shared by a remote read; the owner must supply (write back) data.
+	OnDowngrade func(core int, line *Line)
+}
+
+// NewBus creates a bus over the given private caches; the slice index is
+// the core ID.
+func NewBus(caches []*Cache) *Bus {
+	return &Bus{caches: caches}
+}
+
+// Cache returns core's private cache.
+func (b *Bus) Cache(core int) *Cache { return b.caches[core] }
+
+// Read performs a coherent read by core on addr's line, returning the
+// core-local line. Remote Modified copies are downgraded to Shared;
+// remote Exclusive copies become Shared. The returned line is Shared if
+// any other cache holds the line, Exclusive otherwise.
+func (b *Bus) Read(core int, addr mem.Addr) (*Line, Line, bool) {
+	la := mem.LineAddr(addr)
+	if l := b.caches[core].Lookup(la); l != nil {
+		return l, Line{}, false
+	}
+	shared := false
+	for i, c := range b.caches {
+		if i == core {
+			continue
+		}
+		if rl := c.Peek(la); rl != nil {
+			if rl.State == Modified {
+				if b.OnDowngrade != nil {
+					b.OnDowngrade(i, rl)
+				}
+			}
+			rl.State = Shared
+			shared = true
+		}
+	}
+	st := Exclusive
+	if shared {
+		st = Shared
+	}
+	return b.caches[core].Insert(Line{Addr: la, State: st})
+}
+
+// Write performs a coherent write (read-for-ownership) by core on addr's
+// line: all remote copies are invalidated and the local line becomes
+// Modified.
+func (b *Bus) Write(core int, addr mem.Addr) (*Line, Line, bool) {
+	la := mem.LineAddr(addr)
+	hadRemote := false
+	for i, c := range b.caches {
+		if i == core {
+			continue
+		}
+		if rl := c.Peek(la); rl != nil {
+			if b.OnInvalidate != nil {
+				b.OnInvalidate(i, rl)
+			}
+			c.Remove(la)
+			hadRemote = true
+		}
+	}
+	if hadRemote && b.OnRemoteStore != nil {
+		b.OnRemoteStore(core, la)
+	}
+	if l := b.caches[core].Lookup(la); l != nil {
+		l.State = Modified
+		return l, Line{}, false
+	}
+	ins, victim, evicted := b.caches[core].Insert(Line{Addr: la, State: Modified})
+	return ins, victim, evicted
+}
+
+// InvalidateLocal drops every line of core's cache for which keep
+// returns false, invoking fn on each dropped line. It models the
+// abort-time coherence request that invalidates the cache lines a
+// transaction updated (§V-B).
+func (b *Bus) InvalidateLocal(core int, keep func(*Line) bool, fn func(*Line)) {
+	c := b.caches[core]
+	var drop []mem.Addr
+	c.ForEach(func(l *Line) {
+		if !keep(l) {
+			if fn != nil {
+				fn(l)
+			}
+			drop = append(drop, l.Addr)
+		}
+	})
+	for _, a := range drop {
+		c.Remove(a)
+	}
+}
+
+// CheckSWMR verifies the single-writer/multiple-reader invariant across
+// all caches for every resident line, returning the first violating
+// address or (0, true) if the invariant holds.
+func (b *Bus) CheckSWMR() (mem.Addr, bool) {
+	type occ struct{ m, any int }
+	seen := map[mem.Addr]*occ{}
+	for _, c := range b.caches {
+		c.ForEach(func(l *Line) {
+			o := seen[l.Addr]
+			if o == nil {
+				o = &occ{}
+				seen[l.Addr] = o
+			}
+			o.any++
+			if l.State == Modified || l.State == Exclusive {
+				o.m++
+			}
+		})
+	}
+	for a, o := range seen {
+		if o.m > 1 || (o.m == 1 && o.any > 1) {
+			return a, false
+		}
+	}
+	return 0, true
+}

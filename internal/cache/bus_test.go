@@ -1,0 +1,108 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/persistmem/slpmt/internal/mem"
+)
+
+func newBus(n int) *Bus {
+	caches := make([]*Cache, n)
+	for i := range caches {
+		caches[i] = New(Config{Name: "P", SizeBytes: 8 << 10, Ways: 4, LatencyCycles: 1})
+	}
+	return NewBus(caches)
+}
+
+func TestBusReadSharing(t *testing.T) {
+	b := newBus(2)
+	l0, _, _ := b.Read(0, 0x100)
+	if l0.State != Exclusive {
+		t.Errorf("sole reader state = %v, want E", l0.State)
+	}
+	l1, _, _ := b.Read(1, 0x100)
+	if l1.State != Shared {
+		t.Errorf("second reader state = %v, want S", l1.State)
+	}
+	if b.Cache(0).Peek(0x100).State != Shared {
+		t.Error("first copy not downgraded to S")
+	}
+}
+
+func TestBusWriteInvalidates(t *testing.T) {
+	b := newBus(3)
+	b.Read(0, 0x200)
+	b.Read(1, 0x200)
+	invalidated := 0
+	b.OnInvalidate = func(core int, l *Line) { invalidated++ }
+	remote := false
+	b.OnRemoteStore = func(src int, addr mem.Addr) { remote = addr == 0x200 && src == 2 }
+	l, _, _ := b.Write(2, 0x200)
+	if l.State != Modified {
+		t.Errorf("writer state = %v, want M", l.State)
+	}
+	if invalidated != 2 || !remote {
+		t.Errorf("invalidations=%d remote=%v", invalidated, remote)
+	}
+	if b.Cache(0).Peek(0x200) != nil || b.Cache(1).Peek(0x200) != nil {
+		t.Error("remote copies survived a write")
+	}
+}
+
+func TestBusDowngradeOnRemoteRead(t *testing.T) {
+	b := newBus(2)
+	b.Write(0, 0x300)
+	downgraded := false
+	b.OnDowngrade = func(core int, l *Line) { downgraded = core == 0 }
+	l, _, _ := b.Read(1, 0x300)
+	if !downgraded {
+		t.Error("owner not asked to supply data")
+	}
+	if l.State != Shared || b.Cache(0).Peek(0x300).State != Shared {
+		t.Error("states after remote read not S/S")
+	}
+}
+
+// TestBusSWMRRandom: the single-writer/multiple-reader invariant holds
+// under a random access workload across four cores.
+func TestBusSWMRRandom(t *testing.T) {
+	b := newBus(4)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		core := rng.Intn(4)
+		addr := mem.Addr(rng.Intn(256)) * mem.LineSize
+		if rng.Intn(2) == 0 {
+			b.Read(core, addr)
+		} else {
+			b.Write(core, addr)
+		}
+		if i%1000 == 0 {
+			if a, ok := b.CheckSWMR(); !ok {
+				t.Fatalf("SWMR violated at line %#x after %d ops", a, i)
+			}
+		}
+	}
+	if a, ok := b.CheckSWMR(); !ok {
+		t.Fatalf("SWMR violated at line %#x", a)
+	}
+}
+
+func TestInvalidateLocal(t *testing.T) {
+	b := newBus(1)
+	b.Write(0, 0x100)
+	b.Write(0, 0x140)
+	l, _, _ := b.Write(0, 0x180)
+	l.TxID = 2
+	dropped := 0
+	b.InvalidateLocal(0, func(l *Line) bool { return l.TxID != 2 }, func(l *Line) { dropped++ })
+	if dropped != 1 {
+		t.Errorf("dropped %d lines, want 1", dropped)
+	}
+	if b.Cache(0).Peek(0x180) != nil {
+		t.Error("targeted line survived invalidation")
+	}
+	if b.Cache(0).Peek(0x100) == nil || b.Cache(0).Peek(0x140) == nil {
+		t.Error("unrelated lines were invalidated")
+	}
+}

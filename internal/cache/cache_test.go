@@ -1,0 +1,142 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/persistmem/slpmt/internal/mem"
+)
+
+func newL1() *Cache {
+	return New(Config{Name: "L1", SizeBytes: 32 << 10, Ways: 8, LatencyCycles: 4})
+}
+
+func TestLookupMissThenInsert(t *testing.T) {
+	c := newL1()
+	if c.Lookup(0x1000) != nil {
+		t.Fatal("hit on empty cache")
+	}
+	c.Insert(Line{Addr: 0x1000, State: Exclusive})
+	l := c.Lookup(0x1000 + 63) // any byte of the line
+	if l == nil || l.Addr != 0x1000 {
+		t.Fatal("line not found after insert")
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way cache with 2 sets: lines 0, 128 map to set 0; 64, 192 to set 1.
+	c := New(Config{Name: "t", SizeBytes: 4 * mem.LineSize, Ways: 2, LatencyCycles: 1})
+	c.Insert(Line{Addr: 0, State: Exclusive})
+	c.Insert(Line{Addr: 128, State: Exclusive})
+	c.Lookup(0) // make 0 most recent
+	_, victim, evicted := c.Insert(Line{Addr: 256, State: Exclusive})
+	if !evicted || victim.Addr != 128 {
+		t.Errorf("expected LRU victim 128, got %v evicted=%v", victim.Addr, evicted)
+	}
+	if c.Peek(0) == nil || c.Peek(256) == nil {
+		t.Error("resident lines wrong after eviction")
+	}
+}
+
+func TestInsertOverwritesInPlace(t *testing.T) {
+	c := newL1()
+	c.Insert(Line{Addr: 0x40, State: Modified, LogBits: 0x0F})
+	_, _, evicted := c.Insert(Line{Addr: 0x40, State: Exclusive, LogBits: 0xF0})
+	if evicted {
+		t.Error("overwrite should not evict")
+	}
+	l := c.Peek(0x40)
+	if l.LogBits != 0xF0 || l.State != Exclusive {
+		t.Errorf("overwrite did not take: %+v", l)
+	}
+	if c.Count() != 1 {
+		t.Errorf("count = %d, want 1", c.Count())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := newL1()
+	c.Insert(Line{Addr: 0x80, State: Modified, TxID: 3})
+	l, ok := c.Remove(0x80)
+	if !ok || l.TxID != 3 {
+		t.Fatal("remove lost line state")
+	}
+	if _, ok := c.Remove(0x80); ok {
+		t.Error("double remove succeeded")
+	}
+}
+
+func TestFoldReplicateLogBits(t *testing.T) {
+	cases := []struct{ l1, l2 uint8 }{
+		{0xFF, 0x03},
+		{0x0F, 0x01},
+		{0xF0, 0x02},
+		{0x0E, 0x00}, // partial low group folds away
+		{0x7F, 0x01},
+		{0x00, 0x00},
+	}
+	for _, c := range cases {
+		if got := FoldLogBits(c.l1); got != c.l2 {
+			t.Errorf("Fold(%#x) = %#x, want %#x", c.l1, got, c.l2)
+		}
+	}
+	// Replication is exact for folded values.
+	if ReplicateLogBits(0x03) != 0xFF || ReplicateLogBits(0x01) != 0x0F || ReplicateLogBits(0x02) != 0xF0 {
+		t.Error("replicate broken")
+	}
+}
+
+// TestFoldConservative: folding then replicating never invents log bits
+// (false positives would lose undo records); it may only drop them.
+func TestFoldConservative(t *testing.T) {
+	f := func(bits uint8) bool {
+		round := ReplicateLogBits(FoldLogBits(bits))
+		return round&^bits == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForEachAndFlush(t *testing.T) {
+	c := newL1()
+	for i := 0; i < 10; i++ {
+		c.Insert(Line{Addr: mem.Addr(i * 64), State: Modified})
+	}
+	n := 0
+	c.ForEach(func(l *Line) { n++ })
+	if n != 10 {
+		t.Errorf("ForEach visited %d, want 10", n)
+	}
+	c.Flush()
+	if c.Count() != 0 {
+		t.Error("flush left lines")
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{Name: "bad", SizeBytes: 0, Ways: 4},
+		{Name: "bad", SizeBytes: 192, Ways: 4},        // not divisible
+		{Name: "bad", SizeBytes: 3 * 64 * 4, Ways: 4}, // sets not power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Exclusive.String() != "E" || Modified.String() != "M" {
+		t.Error("state strings broken")
+	}
+}

@@ -1,0 +1,216 @@
+// Package compiler implements the annotation-inference pass of §IV: the
+// software-side counterpart of the storeT ISA extension that decides,
+// per store, whether it can be log-free (Pattern 1) or lazily
+// persistent (Pattern 2), mirroring the paper's clang/LLVM pass built
+// on MemorySSA.
+//
+// The pass operates on a recorded transaction IR rather than LLVM IR,
+// but the analyses are structurally the same:
+//
+//   - Pattern 1 (log-free): a store whose target lies entirely inside
+//     memory allocated by the same transaction needs no log — if the
+//     transaction is undone, the (logged) linking stores vanish and the
+//     leaked block is collected. A store into memory freed by the same
+//     transaction needs neither log nor persistence.
+//   - Pattern 2 (lazy): a data movement (a store whose value provenance
+//     is an explicit source address) is lazily persistent if its source
+//     has not been written earlier in the transaction — the destination
+//     can then be rebuilt from the intact source during recovery.
+//     Because this reproduction does not generate per-transaction
+//     re-execution code (the paper's compiler records dependent
+//     addresses and emits a recovery routine, §IV-B), the pass only
+//     trusts Pattern 2 in transactions that publish the move-recovery
+//     protocol themselves: a store to the RootMoveSrc recovery slot in
+//     the same transaction is the marker that a rebuild path exists.
+//
+// Like the paper's compiler, the pass cannot infer annotations that
+// depend on deeper program semantics: stores of computed values (node
+// colors, counters, shifted heap slots) have no source provenance and
+// stay plain — the coverage comparison of Figure 13 quantifies exactly
+// this gap against the manual annotations.
+package compiler
+
+import (
+	"time"
+
+	"github.com/persistmem/slpmt/internal/isa"
+	"github.com/persistmem/slpmt/internal/mem"
+	"github.com/persistmem/slpmt/internal/txir"
+)
+
+// Annotations is the inference result: per-op attributes plus coverage
+// statistics against the manual annotations recorded in the trace.
+type Annotations struct {
+	// Attrs maps trace op index -> inferred attribute for store/copy
+	// ops (absent means plain).
+	Attrs map[int]isa.Attr
+	// Coverage compares inferred and manual annotation sites.
+	Coverage Coverage
+	// AnalyzeTime is the wall time of the inference pass (the Figure 13
+	// "compile time with optimization" component).
+	AnalyzeTime time.Duration
+	// ScanTime is the wall time of a plain trace scan (the "without
+	// optimization" baseline compilation).
+	ScanTime time.Duration
+}
+
+// Coverage counts source-level annotation sites (distinct store call
+// sites, the paper's "variables").
+type Coverage struct {
+	// ManualSites is the number of distinct sites the workload
+	// annotated by hand (non-plain manual attribute).
+	ManualSites int
+	// InferredSites is the number of distinct sites the pass annotated.
+	InferredSites int
+	// FoundSites is the number of manually annotated sites the pass
+	// also annotated (the paper: 16 of 26).
+	FoundSites int
+	// ManualOps and InferredOps count dynamic store operations.
+	ManualOps, InferredOps int
+}
+
+// extent is a [lo,hi) byte range.
+type extent struct{ lo, hi mem.Addr }
+
+func (e extent) contains(lo, hi mem.Addr) bool { return lo >= e.lo && hi <= e.hi }
+
+func (e extent) overlaps(lo, hi mem.Addr) bool { return lo < e.hi && hi > e.lo }
+
+// extentSet is a small sorted interval set.
+type extentSet struct{ xs []extent }
+
+func (s *extentSet) add(lo, hi mem.Addr) {
+	s.xs = append(s.xs, extent{lo, hi})
+}
+
+func (s *extentSet) containsRange(lo, hi mem.Addr) bool {
+	for _, e := range s.xs {
+		if e.contains(lo, hi) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *extentSet) overlapsRange(lo, hi mem.Addr) bool {
+	for _, e := range s.xs {
+		if e.overlaps(lo, hi) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *extentSet) reset() { s.xs = s.xs[:0] }
+
+// Infer runs the annotation-inference pass over the trace. moveGuard
+// is the address of the RootMoveSrc recovery slot; transactions that
+// store to it are eligible for Pattern 2 lazy inference (0 disables
+// Pattern 2).
+func Infer(t *txir.Trace, moveGuard mem.Addr) *Annotations {
+	// Baseline "compilation" scan (no optimization): walk the IR once.
+	scanStart := time.Now()
+	stores := 0
+	for _, op := range t.Ops {
+		if op.Kind == txir.OpStore || op.Kind == txir.OpCopy {
+			stores++
+		}
+	}
+	scanTime := time.Since(scanStart)
+
+	start := time.Now()
+	out := &Annotations{Attrs: make(map[int]isa.Attr)}
+	var allocs, written extentSet
+
+	manualSites := map[uintptr]bool{}
+	inferredSites := map[uintptr]bool{}
+
+	base := 0
+	for base < len(t.Ops) {
+		if t.Ops[base].Kind != txir.OpBegin {
+			base++
+			continue
+		}
+		// Analyze one transaction window. Pre-scan: does this
+		// transaction publish a move-recovery source (Pattern 2 guard)?
+		hasMoveProtocol := false
+		for j := base + 1; j < len(t.Ops); j++ {
+			op := t.Ops[j]
+			if op.Kind == txir.OpCommit || op.Kind == txir.OpAbort {
+				break
+			}
+			if op.Kind == txir.OpStore && moveGuard != 0 && op.Addr == moveGuard && op.Size == 8 && !allZero(op.Data) {
+				hasMoveProtocol = true
+				break
+			}
+		}
+		allocs.reset()
+		written.reset()
+		i := base + 1
+		for ; i < len(t.Ops); i++ {
+			op := t.Ops[i]
+			if op.Kind == txir.OpCommit || op.Kind == txir.OpAbort {
+				break
+			}
+			switch op.Kind {
+			case txir.OpAlloc:
+				allocs.add(op.Addr, op.Addr+mem.Addr(op.Size))
+			case txir.OpFree:
+				// Stores into to-be-freed regions could also be
+				// annotated (§IV-B: "any update in that transaction on
+				// the memory region needs no persistence"), but the
+				// soundness depends on store/unlink ordering within the
+				// transaction; none of the workloads write to freed
+				// regions, so this inference is left out.
+			case txir.OpStore, txir.OpCopy:
+				lo, hi := op.Addr, op.Addr+mem.Addr(op.Size)
+				var attr isa.Attr
+				// Pattern 1: transaction-local destination.
+				if allocs.containsRange(lo, hi) {
+					attr.LogFree = true
+				}
+				// Pattern 2: data movement from an unmodified source,
+				// in a transaction with a declared rebuild path.
+				if hasMoveProtocol && op.Kind == txir.OpCopy && op.Src != 0 {
+					slo, shi := op.Src, op.Src+mem.Addr(op.Size)
+					if !written.overlapsRange(slo, shi) {
+						attr.Lazy = true
+					}
+				}
+				if op.Manual != isa.Plain {
+					manualSites[op.Site] = true
+					out.Coverage.ManualOps++
+				}
+				if attr != isa.Plain {
+					out.Attrs[i] = attr
+					inferredSites[op.Site] = true
+					out.Coverage.InferredOps++
+				}
+				written.add(lo, hi)
+			}
+		}
+		base = i + 1
+	}
+
+	out.Coverage.ManualSites = len(manualSites)
+	out.Coverage.InferredSites = len(inferredSites)
+	found := 0
+	for s := range manualSites {
+		if inferredSites[s] {
+			found++
+		}
+	}
+	out.Coverage.FoundSites = found
+	out.AnalyzeTime = time.Since(start)
+	out.ScanTime = scanTime
+	return out
+}
+
+func allZero(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,162 @@
+package compiler_test
+
+import (
+	"testing"
+
+	"github.com/persistmem/slpmt"
+	"github.com/persistmem/slpmt/internal/compiler"
+	"github.com/persistmem/slpmt/internal/isa"
+	"github.com/persistmem/slpmt/internal/mem"
+	"github.com/persistmem/slpmt/internal/txir"
+	"github.com/persistmem/slpmt/internal/ycsb"
+
+	"github.com/persistmem/slpmt/internal/workloads"
+	_ "github.com/persistmem/slpmt/internal/workloads/all"
+)
+
+func op(k txir.OpKind, addr mem.Addr, size int) txir.Op {
+	return txir.Op{Kind: k, Addr: addr, Size: size}
+}
+
+func moveGuard() mem.Addr {
+	return mem.DefaultLayout(16<<20).RootBase + 8*workloads.RootMoveSrc
+}
+
+// TestPattern1FreshAllocation: stores into transaction-local memory are
+// inferred log-free; stores elsewhere are not.
+func TestPattern1(t *testing.T) {
+	tr := &txir.Trace{Ops: []txir.Op{
+		op(txir.OpBegin, 0, 0),
+		op(txir.OpAlloc, 0x1000, 64),
+		op(txir.OpStore, 0x1008, 8),    // inside fresh block
+		op(txir.OpStore, 0x5000, 8),    // elsewhere
+		op(txir.OpStore, 0x1000+60, 8), // crosses block end
+		op(txir.OpCommit, 0, 0),
+	}}
+	ann := compiler.Infer(tr, moveGuard())
+	if a := ann.Attrs[2]; !a.LogFree {
+		t.Error("fresh-block store not inferred log-free")
+	}
+	if _, ok := ann.Attrs[3]; ok {
+		t.Error("unrelated store annotated")
+	}
+	if _, ok := ann.Attrs[4]; ok {
+		t.Error("block-crossing store annotated")
+	}
+}
+
+// TestPattern1OrderMatters: a store before the allocation is not fresh.
+func TestPattern1OrderMatters(t *testing.T) {
+	tr := &txir.Trace{Ops: []txir.Op{
+		op(txir.OpBegin, 0, 0),
+		op(txir.OpStore, 0x1000, 8),
+		op(txir.OpAlloc, 0x1000, 64),
+		op(txir.OpCommit, 0, 0),
+	}}
+	ann := compiler.Infer(tr, moveGuard())
+	if _, ok := ann.Attrs[1]; ok {
+		t.Error("pre-allocation store annotated")
+	}
+}
+
+// TestPattern2RequiresGuardAndIntactSource.
+func TestPattern2(t *testing.T) {
+	guard := moveGuard()
+	mk := func(withGuard bool, dirtySrc bool) *txir.Trace {
+		ops := []txir.Op{op(txir.OpBegin, 0, 0)}
+		if withGuard {
+			g := op(txir.OpStore, guard, 8)
+			g.Data = []byte{1, 0, 0, 0, 0, 0, 0, 0}
+			ops = append(ops, g)
+		}
+		if dirtySrc {
+			ops = append(ops, op(txir.OpStore, 0x2000, 8))
+		}
+		cp := op(txir.OpCopy, 0x3000, 8)
+		cp.Src = 0x2000
+		ops = append(ops, cp, op(txir.OpCommit, 0, 0))
+		return &txir.Trace{Ops: ops}
+	}
+	find := func(tr *txir.Trace) (isa.Attr, bool) {
+		ann := compiler.Infer(tr, guard)
+		for i, o := range tr.Ops {
+			if o.Kind == txir.OpCopy {
+				a, ok := ann.Attrs[i]
+				return a, ok
+			}
+		}
+		return isa.Attr{}, false
+	}
+	if a, ok := find(mk(true, false)); !ok || !a.Lazy {
+		t.Error("guarded intact-source move not inferred lazy")
+	}
+	if a, _ := find(mk(false, false)); a.Lazy {
+		t.Error("unguarded move inferred lazy")
+	}
+	if a, _ := find(mk(true, true)); a.Lazy {
+		t.Error("move from dirty source inferred lazy")
+	}
+}
+
+// TestTransactionBoundariesResetState: allocations do not leak into the
+// next transaction.
+func TestTransactionBoundariesResetState(t *testing.T) {
+	tr := &txir.Trace{Ops: []txir.Op{
+		op(txir.OpBegin, 0, 0),
+		op(txir.OpAlloc, 0x1000, 64),
+		op(txir.OpCommit, 0, 0),
+		op(txir.OpBegin, 0, 0),
+		op(txir.OpStore, 0x1008, 8),
+		op(txir.OpCommit, 0, 0),
+	}}
+	ann := compiler.Infer(tr, moveGuard())
+	if _, ok := ann.Attrs[4]; ok {
+		t.Error("allocation leaked across transactions")
+	}
+}
+
+// TestRecordInferReplayRoundTrip: the full compiler pipeline on a real
+// workload yields a valid, verifiable durable state.
+func TestRecordInferReplayRoundTrip(t *testing.T) {
+	w := workloads.MustNew("hashtable")
+	recSys := slpmt.New(slpmt.Options{Scheme: "SLPMT"})
+	rec := &txir.Recorder{}
+	recSys.AttachRecorder(rec)
+	recSys.SetStrip(true)
+	if err := w.Setup(recSys); err != nil {
+		t.Fatal(err)
+	}
+	load := ycsb.Load{N: 120, ValueSize: 32}
+	if err := load.Each(func(k uint64, v []byte) error { return w.Insert(recSys, k, v) }); err != nil {
+		t.Fatal(err)
+	}
+	guard := recSys.Layout().RootBase + 8*workloads.RootMoveSrc
+	ann := compiler.Infer(&rec.Trace, guard)
+	if ann.Coverage.InferredOps == 0 {
+		t.Fatal("no annotations inferred")
+	}
+
+	sys := slpmt.New(slpmt.Options{Scheme: "SLPMT"})
+	if err := compiler.Replay(&rec.Trace, ann, sys); err != nil {
+		t.Fatal(err)
+	}
+	sys.DrainLazy()
+	img := sys.Mach.Crash()
+	chk := workloads.MustNew("hashtable").(workloads.Recoverable)
+	if err := chk.Recover(img); err != nil {
+		t.Fatal(err)
+	}
+	if err := chk.CheckDurable(img, load.Oracle()); err != nil {
+		t.Fatal(err)
+	}
+	// The inferred annotations must actually reduce logging versus a
+	// plain replay.
+	plain := slpmt.New(slpmt.Options{Scheme: "SLPMT"})
+	if err := compiler.Replay(&rec.Trace, nil, plain); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Stats().LogRecordsCreated >= plain.Stats().LogRecordsCreated {
+		t.Errorf("inferred annotations did not reduce logging: %d vs %d",
+			sys.Stats().LogRecordsCreated, plain.Stats().LogRecordsCreated)
+	}
+}

@@ -1,0 +1,92 @@
+package compiler
+
+import (
+	"fmt"
+
+	"github.com/persistmem/slpmt"
+	"github.com/persistmem/slpmt/internal/isa"
+	"github.com/persistmem/slpmt/internal/txir"
+)
+
+// Replay executes a recorded trace against sys, substituting the
+// inferred annotations (nil Annotations replays with plain stores).
+// The trace must have been recorded from a deterministic run: replayed
+// allocations are asserted to land at the recorded addresses.
+func Replay(t *txir.Trace, ann *Annotations, sys *slpmt.System) error {
+	attrOf := func(i int) (isa.Attr, bool) {
+		if ann == nil {
+			return isa.Plain, false
+		}
+		a, ok := ann.Attrs[i]
+		return a, ok
+	}
+	i := 0
+	for i < len(t.Ops) {
+		if t.Ops[i].Kind == txir.OpLoad {
+			// Out-of-transaction read (e.g. a workload's pre-check).
+			op := t.Ops[i]
+			sys.View(func(tx *slpmt.Tx) {
+				buf := make([]byte, op.Size)
+				tx.Load(op.Addr, buf)
+			})
+			i++
+			continue
+		}
+		if t.Ops[i].Kind != txir.OpBegin {
+			return fmt.Errorf("compiler: replay desync: expected begin at op %d, have %s", i, t.Ops[i].Kind)
+		}
+		end := i + 1
+		for end < len(t.Ops) && t.Ops[end].Kind != txir.OpCommit && t.Ops[end].Kind != txir.OpAbort {
+			end++
+		}
+		if end == len(t.Ops) {
+			return fmt.Errorf("compiler: replay: unterminated transaction at op %d", i)
+		}
+		window := t.Ops[i+1 : end]
+		windowBase := i + 1
+		aborted := t.Ops[end].Kind == txir.OpAbort
+		err := sys.Update(func(tx *slpmt.Tx) error {
+			for j, op := range window {
+				idx := windowBase + j
+				switch op.Kind {
+				case txir.OpAlloc:
+					got := tx.Alloc(uint64(op.Size))
+					if got != op.Addr {
+						return fmt.Errorf("compiler: replay nondeterminism: alloc %d bytes at %#x, recorded %#x",
+							op.Size, got, op.Addr)
+					}
+				case txir.OpFree:
+					tx.Free(op.Addr)
+				case txir.OpLoad:
+					buf := make([]byte, op.Size)
+					tx.Load(op.Addr, buf)
+				case txir.OpStore:
+					if a, ok := attrOf(idx); ok {
+						tx.StoreT(op.Addr, op.Data, a)
+					} else {
+						tx.Store(op.Addr, op.Data)
+					}
+				case txir.OpCopy:
+					a, _ := attrOf(idx)
+					tx.Copy(op.Addr, op.Src, op.Size, a)
+				default:
+					return fmt.Errorf("compiler: replay: unexpected op %s inside transaction", op.Kind)
+				}
+			}
+			if aborted {
+				return errReplayAbort
+			}
+			return nil
+		})
+		if aborted && err == errReplayAbort {
+			err = nil
+		}
+		if err != nil {
+			return err
+		}
+		i = end + 1
+	}
+	return nil
+}
+
+var errReplayAbort = fmt.Errorf("compiler: replayed abort")

@@ -1,0 +1,708 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/persistmem/slpmt/internal/cache"
+	"github.com/persistmem/slpmt/internal/isa"
+	"github.com/persistmem/slpmt/internal/logbuf"
+	"github.com/persistmem/slpmt/internal/logfmt"
+	"github.com/persistmem/slpmt/internal/machine"
+	"github.com/persistmem/slpmt/internal/mem"
+	"github.com/persistmem/slpmt/internal/signature"
+)
+
+// Write-set line classes (per-line, a line with any logged word is a
+// logged line; Figure 4 orders persists by these classes).
+const (
+	wsLogged  uint8 = 1 << 0
+	wsLogFree uint8 = 1 << 1
+)
+
+// retainedTx is a committed transaction whose lazily persistent data is
+// still volatile: its working-set signature stays live until every lazy
+// line has reached PM (§III-C).
+type retainedTx struct {
+	id   uint8 // transaction ID (0..NumTxIDs-1)
+	seq  uint64
+	sig  *signature.Signature
+	lazy map[mem.Addr]struct{} // line addresses still to persist
+}
+
+// txState is the engine's view of the currently executing transaction.
+type txState struct {
+	active      bool
+	id          uint8
+	seq         uint64
+	sig         *signature.Signature
+	lazyLines   map[mem.Addr]struct{} // lines with persist bit clear
+	writeLines  map[mem.Addr]uint8    // line -> ws class bits
+	loggedWords map[mem.Addr]struct{} // words logged this transaction
+}
+
+// lineID encodes a transaction ID into the cache-line TxID field;
+// 0 means "no owner" (freshly fetched lines), so IDs are stored +1.
+func lineID(id uint8) uint8 { return id + 1 }
+
+// Engine models the SLPMT hardware of one core (or, under other
+// Configs, the FG/ATOM/EDE designs of §VI-C). Not safe for concurrent
+// use.
+type Engine struct {
+	cfg  Config
+	m    *machine.Machine
+	w    *logWriter
+	sink logSink
+
+	sigs     [NumSignatures]signature.Signature
+	cur      txState
+	retained []retainedTx // FIFO, oldest first
+	nextID   uint8
+	seq      uint64
+
+	// suppressed records lines whose L3 writeback was blocked by the
+	// redo-mode filter; they must be force-persisted at commit.
+	suppressed map[mem.Addr]struct{}
+}
+
+// New wires an engine to a machine. The machine's eviction hooks are
+// claimed by the engine.
+func New(m *machine.Machine, cfg Config) *Engine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	e := &Engine{
+		cfg:        cfg,
+		m:          m,
+		suppressed: make(map[mem.Addr]struct{}),
+	}
+	e.w = newLogWriter(m)
+	refresh := e.refreshRecord
+	if cfg.Buffer == BufferTiered {
+		e.sink = newTieredSink(e.w, refresh)
+	} else {
+		e.sink = newDirectSink(e.w, refresh)
+	}
+	m.OnL2Evict = e.onL2Evict
+	m.OnL1Demote = e.onL1Demote
+	m.OnL3Writeback = e.onL3Writeback
+	if cfg.Mode == Redo {
+		m.WritebackFilter = e.writebackFilter
+	}
+	return e
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Machine returns the underlying machine.
+func (e *Engine) Machine() *machine.Machine { return e.m }
+
+// InTx reports whether a transaction is active.
+func (e *Engine) InTx() bool { return e.cur.active }
+
+// Seq returns the current transaction sequence number.
+func (e *Engine) Seq() uint64 { return e.seq }
+
+// refreshRecord gives a record its final payload at spill time: undo
+// records keep the old value captured at store time; redo records are
+// refreshed to the latest volatile value so replay installs the newest
+// data.
+func (e *Engine) refreshRecord(r logbuf.Record) logbuf.Record {
+	if e.cfg.Mode == Undo {
+		return r
+	}
+	data := make([]byte, len(r.Data))
+	e.m.ReadMem(r.Addr, data)
+	return logbuf.Record{Addr: r.Addr, Data: data, Speculative: r.Speculative}
+}
+
+// Begin starts a durable transaction: allocates a transaction ID (forcing
+// lazy persists of a recycled ID's owner, §III-C2) and initializes the
+// durable log header so recovery can identify an in-flight transaction.
+func (e *Engine) Begin() {
+	if e.cur.active {
+		panic("engine: nested transactions are not supported")
+	}
+	e.seq++
+	id := e.nextID
+	e.nextID = (e.nextID + 1) % NumTxIDs
+	// Circular ID reuse: if a retained transaction still owns this ID,
+	// persist its lazy data (and that of every earlier transaction).
+	for i := range e.retained {
+		if e.retained[i].id == id {
+			e.m.Stats.TxIDRecycles++
+			e.persistRetainedThrough(i)
+			break
+		}
+	}
+	e.cur = txState{
+		active:      true,
+		id:          id,
+		seq:         e.seq,
+		sig:         &e.sigs[id],
+		lazyLines:   make(map[mem.Addr]struct{}),
+		writeLines:  make(map[mem.Addr]uint8),
+		loggedWords: make(map[mem.Addr]struct{}),
+	}
+	e.cur.sig.Clear()
+	mode := uint64(logfmt.ModeUndo)
+	if e.cfg.Mode == Redo {
+		mode = logfmt.ModeRedo
+	}
+	// The fresh header resets the watermark to the empty stream, so
+	// recovery can never attribute a previous transaction's records to
+	// this one. Posted: durable at enqueue under ADR.
+	e.m.PushAsync()
+	e.w.reset(e.seq)
+	e.w.writeHeader(logfmt.Header{
+		Magic:     logfmt.Magic,
+		Seq:       e.seq,
+		State:     logfmt.StateActive,
+		Mode:      mode,
+		Watermark: logfmt.RecordsStart,
+	})
+	e.m.PopAsync()
+	e.m.Stats.TxBegins++
+}
+
+// Load performs a transactional (or, outside a transaction, plain) read
+// of len(p) bytes at addr.
+func (e *Engine) Load(addr mem.Addr, p []byte) {
+	e.m.Stats.Loads++
+	e.m.Tick(e.cfg.ComputeCyclesPerOp)
+	mem.LineRange(addr, len(p), func(line mem.Addr, off, n int) {
+		l := e.m.AccessLine(line, false)
+		e.checkLineOwner(l)
+		if e.cur.active {
+			e.cur.sig.Add(line)
+		}
+	})
+	e.m.ReadMem(addr, p)
+}
+
+// LoadU64 reads one little-endian word.
+func (e *Engine) LoadU64(addr mem.Addr) uint64 {
+	var b [8]byte
+	e.Load(addr, b[:])
+	v := uint64(0)
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// Store performs a store or storeT of p at addr within the current
+// transaction (Table I semantics, subject to the scheme's capabilities).
+// Outside a transaction the data is written volatile without logging.
+func (e *Engine) Store(addr mem.Addr, p []byte, kind isa.Kind, attr isa.Attr) {
+	if kind == isa.StoreT {
+		e.m.Stats.StoreTs++
+	} else {
+		e.m.Stats.Stores++
+	}
+	e.m.Tick(e.cfg.ComputeCyclesPerOp)
+	bits := e.cfg.Caps.ResolveFor(kind, attr)
+	off := 0
+	mem.LineRange(addr, len(p), func(line mem.Addr, lineOff, n int) {
+		a := line + mem.Addr(lineOff)
+		e.storeOne(a, p[off:off+n], bits)
+		off += n
+	})
+}
+
+// StoreU64 writes one little-endian word.
+func (e *Engine) StoreU64(addr mem.Addr, v uint64, kind isa.Kind, attr isa.Attr) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * uint(i)))
+	}
+	e.Store(addr, b[:], kind, attr)
+}
+
+// storeOne handles the part of a store that lies within one cache line.
+func (e *Engine) storeOne(a mem.Addr, data []byte, bits isa.Bits) {
+	line := mem.LineAddr(a)
+	// Lazy-persistency conflict detection: before updating data in a
+	// retained transaction's working set, its lazy lines must persist
+	// (§III-C3).
+	e.checkStoreConflict(line)
+
+	l := e.m.AccessLine(a, true)
+	e.checkLineOwner(l)
+
+	if !e.cur.active {
+		// Non-transactional store: volatile write only (the line will
+		// reach PM by natural writeback or an explicit persist).
+		e.m.WriteMem(a, data)
+		return
+	}
+
+	if bits.Log {
+		if e.cfg.Buffer == BufferTiered {
+			// The log buffer decouples logging from execution: spills
+			// are posted by the buffer engine (§III-B2).
+			e.m.PushAsync()
+			e.logStore(l, a, len(data))
+			e.m.PopAsync()
+		} else {
+			// No buffer (EDE): log writes leave through the core's
+			// store path and feel queue backpressure in program order.
+			e.m.PushStream()
+			e.logStore(l, a, len(data))
+			e.m.PopStream()
+		}
+	}
+	if bits.Persist {
+		l.Persist = true
+		delete(e.cur.lazyLines, line)
+	} else if !l.Persist {
+		// storeT with lazy set and no earlier eager store to this line:
+		// the line is lazily persistent (§III-C1; a later store or
+		// eager storeT cancels this, handled above).
+		e.cur.lazyLines[line] = struct{}{}
+	}
+	l.TxID = lineID(e.cur.id)
+	e.cur.sig.Add(line)
+	cls := wsLogFree
+	if bits.Log {
+		cls = wsLogged
+	}
+	e.cur.writeLines[line] |= cls
+	e.m.WriteMem(a, data)
+}
+
+// logStore creates the undo/redo records a store requires: the unlogged
+// words it touches (word granularity) or the whole line (line
+// granularity). Old values are captured before the store's data is
+// written.
+func (e *Engine) logStore(l *cache.Line, a mem.Addr, size int) {
+	line := mem.LineAddr(a)
+	var mask uint8
+	if e.cfg.Granularity == Line {
+		mask = cache.L1LogMaskFull
+	} else {
+		mask = mem.WordMask(a, size)
+	}
+	missing := mask &^ l.LogBits
+	if missing == 0 {
+		return
+	}
+	if e.cfg.Granularity == Line {
+		data := make([]byte, mem.LineSize)
+		e.m.ReadMem(line, data)
+		e.sink.add(logbuf.Record{Addr: line, Data: data})
+		e.m.Stats.LogRecordsCreated++
+		if _, dup := e.cur.loggedWords[line]; dup {
+			e.m.Stats.LogDuplicates++
+		}
+		e.cur.loggedWords[line] = struct{}{}
+	} else {
+		for w := 0; w < mem.WordsPerLine; w++ {
+			if missing&(1<<uint(w)) == 0 {
+				continue
+			}
+			wa := line + mem.Addr(w*mem.WordSize)
+			data := make([]byte, mem.WordSize)
+			e.m.ReadMem(wa, data)
+			e.sink.add(logbuf.Record{Addr: wa, Data: data})
+			e.m.Stats.LogRecordsCreated++
+			if _, dup := e.cur.loggedWords[wa]; dup {
+				e.m.Stats.LogDuplicates++
+			}
+			e.cur.loggedWords[wa] = struct{}{}
+		}
+	}
+	l.LogBits |= mask
+}
+
+// checkLineOwner implements the per-access transaction-ID check
+// (§III-C3): touching a cache line owned by an earlier transaction that
+// still has volatile lazy data forces that data (and all older lazy
+// data) to persist.
+func (e *Engine) checkLineOwner(l *cache.Line) {
+	if l.TxID == 0 {
+		return
+	}
+	if e.cur.active && l.TxID == lineID(e.cur.id) {
+		return
+	}
+	owner := l.TxID - 1
+	for i := range e.retained {
+		if e.retained[i].id == owner {
+			e.m.Stats.TxIDCrossAccess++
+			e.persistRetainedThrough(i)
+			return
+		}
+	}
+}
+
+// checkStoreConflict implements the signature check (§III-C3): a store
+// whose address matches a retained transaction's working set forces that
+// transaction's lazy data to persist first.
+func (e *Engine) checkStoreConflict(line mem.Addr) {
+	last := -1
+	for i := range e.retained {
+		if e.retained[i].sig.MayContain(line) {
+			e.m.Stats.SignatureHits++
+			last = i
+		}
+	}
+	if last >= 0 {
+		e.persistRetainedThrough(last)
+	}
+}
+
+// persistRetainedThrough persists the lazy data of retained transactions
+// 0..idx (oldest first, as §III-C2 requires) and releases their IDs and
+// signatures.
+func (e *Engine) persistRetainedThrough(idx int) {
+	// Lazy drains are posted persists off the critical path (§III-C3).
+	e.m.PushAsync()
+	defer e.m.PopAsync()
+	for i := 0; i <= idx; i++ {
+		r := &e.retained[i]
+		for la := range r.lazy {
+			if e.m.PersistLine(la) {
+				e.m.Stats.LazyLinePersists++
+			} else {
+				e.m.Stats.LazyLinesElided++
+			}
+		}
+		r.sig.Clear()
+	}
+	e.retained = append(e.retained[:0], e.retained[idx+1:]...)
+}
+
+// DrainLazy persists every retained transaction's lazy data — the effect
+// the paper obtains by running NumTxIDs empty transactions. Harnesses
+// call it at the end of the measured region so deferred traffic is
+// accounted.
+func (e *Engine) DrainLazy() {
+	if len(e.retained) > 0 {
+		e.persistRetainedThrough(len(e.retained) - 1)
+	}
+}
+
+// RetainedLazyLines returns the number of lazy lines still volatile
+// (introspection for tests).
+func (e *Engine) RetainedLazyLines() int {
+	n := 0
+	for i := range e.retained {
+		n += len(e.retained[i].lazy)
+	}
+	return n
+}
+
+// onL1Demote implements the speculative-logging optimization (§III-B1):
+// before an L1 line's log bits fold to L2 granularity, partially logged
+// 32-byte groups are rounded up by logging their remaining words, so the
+// folded bit is preserved and re-fetch does not re-log.
+func (e *Engine) onL1Demote(l *cache.Line) {
+	if !e.cfg.Speculative || !e.cur.active || l.LogBits == 0 {
+		return
+	}
+	e.m.PushAsync()
+	defer e.m.PopAsync()
+	if l.TxID != lineID(e.cur.id) {
+		return
+	}
+	for g := 0; g < 2; g++ {
+		group := uint8(0x0F << uint(4*g))
+		got := l.LogBits & group
+		if got == 0 || got == group {
+			continue
+		}
+		for w := 4 * g; w < 4*(g+1); w++ {
+			bit := uint8(1) << uint(w)
+			if l.LogBits&bit != 0 {
+				continue
+			}
+			wa := l.Addr + mem.Addr(w*mem.WordSize)
+			data := make([]byte, mem.WordSize)
+			e.m.ReadMem(wa, data)
+			e.sink.add(logbuf.Record{Addr: wa, Data: data, Speculative: true})
+			e.m.Stats.SpeculativeRecords++
+			l.LogBits |= bit
+		}
+	}
+}
+
+// onL2Evict is the hardware action when a line leaves the private
+// caches: buffered log records for the line are made durable, and (undo
+// mode) a persist-bit line is persisted before the eviction (§III-A).
+func (e *Engine) onL2Evict(l *cache.Line) {
+	// Eviction handling is background hardware activity.
+	e.m.PushAsync()
+	defer e.m.PopAsync()
+	if l.LogBits != 0 || e.sink.hasLine(l.Addr) {
+		e.sink.flushLine(l.Addr)
+	}
+	if !l.Persist {
+		return
+	}
+	if e.cfg.Mode == Redo && e.cur.active {
+		if cls, ok := e.cur.writeLines[l.Addr]; ok && cls&wsLogged != 0 {
+			// Redo-logged data must not reach PM before the commit
+			// record; the line stays dirty and its L3 writeback is
+			// suppressed by the filter.
+			return
+		}
+	}
+	e.m.ForcePersistLine(l.Addr)
+	e.m.Stats.EvictLinePersists++
+	l.Persist = false
+	l.State = cache.Exclusive
+}
+
+// onL3Writeback retires lazy tracking for a line that reached PM by
+// natural cache overflow.
+func (e *Engine) onL3Writeback(addr mem.Addr) {
+	for i := range e.retained {
+		delete(e.retained[i].lazy, addr)
+	}
+}
+
+// writebackFilter suppresses L3 writebacks of the current redo
+// transaction's logged lines.
+func (e *Engine) writebackFilter(addr mem.Addr) bool {
+	if !e.cur.active {
+		return true
+	}
+	if cls, ok := e.cur.writeLines[addr]; ok && cls&wsLogged != 0 {
+		e.suppressed[addr] = struct{}{}
+		return false
+	}
+	return true
+}
+
+// Commit makes the transaction durable, enforcing the Figure 4 persist
+// ordering for the configured log mode, discarding log records of lazily
+// persistent lines, and retaining the working-set signature if lazy data
+// remains volatile.
+func (e *Engine) Commit() {
+	if !e.cur.active {
+		panic("engine: Commit outside a transaction")
+	}
+	// Discard buffered records belonging to lazily persistent lines
+	// (§III-B2): their data will not persist at commit, so an undo
+	// record for them is unnecessary — the data is recoverable anyway.
+	for la := range e.cur.lazyLines {
+		if n := e.sink.discardLine(la); n > 0 {
+			e.m.Stats.LogRecordsDiscarded += uint64(n)
+		}
+	}
+	if e.cfg.Mode == Undo {
+		e.commitUndo()
+	} else {
+		e.commitRedo()
+	}
+	// Retain the working set while lazy data is volatile (§III-C).
+	if len(e.cur.lazyLines) > 0 {
+		e.m.Stats.LazyLinesDeferred += uint64(len(e.cur.lazyLines))
+		e.retained = append(e.retained, retainedTx{
+			id:   e.cur.id,
+			seq:  e.cur.seq,
+			sig:  e.cur.sig,
+			lazy: e.cur.lazyLines,
+		})
+	} else {
+		e.cur.sig.Clear()
+	}
+	e.cur.active = false
+	e.m.Stats.TxCommits++
+	e.mirrorBufferStats()
+}
+
+// mirrorBufferStats copies the tiered buffer's activity deltas into the
+// machine counters so reports see coalescing behaviour.
+func (e *Engine) mirrorBufferStats() {
+	ts, ok := e.sink.(*tieredSink)
+	if !ok {
+		return
+	}
+	s := ts.stats()
+	e.m.Stats.LogRecordsCoalesced = s.Coalesced
+	e.m.Stats.LogBufferStalls = s.Stalls
+}
+
+// commitUndo: logs -> logged+log-free data lines -> commit record. The
+// log drain streams through the buffer's packing engine (no per-line
+// acknowledgement; one durability barrier at the end), then the data
+// lines are persisted with per-line coherence acknowledgements.
+func (e *Engine) commitUndo() {
+	// Stage 1: drain the log buffer; the ordering barrier (Figure 4:
+	// logs before logged data lines) waits for the streamed lines'
+	// completion once, not per line — the commit engine pipelines.
+	e.m.PushStream()
+	e.sink.drain()
+	e.m.PopStream()
+	e.m.AckBarrier()
+	// Stage 2: persist the marked data lines. The commit scan walks the
+	// private caches line by line, issuing one coherence-level persist
+	// request per line and waiting for its completion — the serialized
+	// critical path that lazy persistency takes transactions off of.
+	e.persistMarkedLines()
+	e.writeCommitMarker()
+}
+
+// commitRedo: log-free lines -> logs -> commit record -> logged lines.
+func (e *Engine) commitRedo() {
+	// 1. Log-free lines must reach PM before the logged data (Fig. 4).
+	for la, cls := range e.cur.writeLines {
+		if cls&wsLogged != 0 {
+			continue
+		}
+		if _, lazy := e.cur.lazyLines[la]; lazy {
+			continue
+		}
+		if e.m.PersistLine(la) {
+			e.m.Stats.EagerLinePersists++
+		}
+	}
+	// 2. Redo records (refreshed to final values) and commit marker.
+	e.m.PushStream()
+	e.sink.drain()
+	e.m.PopStream()
+	e.m.AckBarrier()
+	e.writeCommitMarker()
+	// 3. Logged data lines (in-place update is now safe).
+	for la, cls := range e.cur.writeLines {
+		if cls&wsLogged == 0 {
+			continue
+		}
+		if _, lazy := e.cur.lazyLines[la]; lazy {
+			continue
+		}
+		if _, wasSuppressed := e.suppressed[la]; wasSuppressed {
+			e.m.ForcePersistLine(la)
+			e.m.Stats.EagerLinePersists++
+		} else if e.m.PersistLine(la) {
+			e.m.Stats.EagerLinePersists++
+		}
+	}
+	e.suppressed = make(map[mem.Addr]struct{})
+	e.clearTxMeta()
+}
+
+// persistMarkedLines scans the private caches (the hardware's commit
+// scan, §II) persisting every line whose persist bit is set and clearing
+// the transaction's metadata.
+func (e *Engine) persistMarkedLines() {
+	id := lineID(e.cur.id)
+	e.m.ForEachPrivate(func(level int, l *cache.Line) {
+		if l.TxID != id {
+			return
+		}
+		if l.Persist {
+			if e.m.PersistLine(l.Addr) {
+				e.m.Stats.EagerLinePersists++
+			}
+			l.Persist = false
+		}
+		l.LogBits = 0
+	})
+}
+
+// clearTxMeta clears persist/log bits of the transaction's lines after a
+// redo commit.
+func (e *Engine) clearTxMeta() {
+	id := lineID(e.cur.id)
+	e.m.ForEachPrivate(func(level int, l *cache.Line) {
+		if l.TxID != id {
+			return
+		}
+		l.Persist = false
+		l.LogBits = 0
+	})
+}
+
+// writeCommitMarker persists the committed state in the log header.
+func (e *Engine) writeCommitMarker() {
+	mode := uint64(logfmt.ModeUndo)
+	if e.cfg.Mode == Redo {
+		mode = logfmt.ModeRedo
+	}
+	e.w.writeHeader(logfmt.Header{
+		Magic:     logfmt.Magic,
+		Seq:       e.cur.seq,
+		State:     logfmt.StateCommitted,
+		Mode:      mode,
+		Watermark: e.w.nextOff,
+	})
+}
+
+// Abort revokes the transaction (§V-B): buffered records and cached
+// updates of logged lines are dropped, undo records that already reached
+// PM are applied back to persistent data, and log-free lines are left
+// for the caller's recovery code to repair.
+func (e *Engine) Abort() {
+	if !e.cur.active {
+		panic("engine: Abort outside a transaction")
+	}
+	e.sink.clear()
+
+	if e.cfg.Mode == Undo {
+		// Apply durable undo records to persistent data (records for
+		// never-evicted lines never reached PM; their volatile updates
+		// are dropped below).
+		raw := make([]byte, e.m.Layout.LogSize)
+		e.m.PM.Read(e.m.Layout.LogBase, raw)
+		recs, err := logfmt.ParseRecords(raw, e.cur.seq)
+		if err != nil {
+			panic(fmt.Sprintf("engine: corrupt own log on abort: %v", err))
+		}
+		for i := len(recs) - 1; i >= 0; i-- {
+			e.m.PersistData(recs[i].Addr, recs[i].Data)
+		}
+	}
+
+	// Invalidate the transaction's logged lines and restore their
+	// volatile contents from (now reverted) PM. Log-free lines keep
+	// their updates; the caller's recovery reverts them structurally.
+	for la, cls := range e.cur.writeLines {
+		if cls&wsLogged == 0 {
+			continue
+		}
+		e.m.DropLine(la)
+		e.m.RestoreLineFromDurable(la)
+	}
+	e.suppressed = make(map[mem.Addr]struct{})
+
+	mode := uint64(logfmt.ModeUndo)
+	if e.cfg.Mode == Redo {
+		mode = logfmt.ModeRedo
+	}
+	e.w.writeHeader(logfmt.Header{
+		Magic:     logfmt.Magic,
+		Seq:       e.cur.seq,
+		State:     logfmt.StateIdle,
+		Mode:      mode,
+		Watermark: logfmt.RecordsStart,
+	})
+	e.cur.sig.Clear()
+	e.cur.active = false
+	e.m.Stats.TxAborts++
+}
+
+// WriteSetLines returns the current transaction's write-set line
+// addresses (tests and the compiler's trace replay use this).
+func (e *Engine) WriteSetLines() []mem.Addr {
+	out := make([]mem.Addr, 0, len(e.cur.writeLines))
+	for la := range e.cur.writeLines {
+		out = append(out, la)
+	}
+	return out
+}
+
+// ContextSwitch models the OS-visible part of a thread switch (§V-C):
+// the kernel drains the log buffer so the outgoing thread's records are
+// durable before another thread runs on the core. Lazy-persistency
+// state (signatures, transaction-ID allocation) is untouched — it is
+// not specific to a context — and an active transaction simply resumes
+// when the thread is switched back in.
+func (e *Engine) ContextSwitch() {
+	e.m.PushStream()
+	e.sink.drain()
+	e.m.PopStream()
+	e.m.AckBarrier()
+}

@@ -1,0 +1,82 @@
+package engine
+
+// Micro-benchmarks of the simulator substrates themselves — the
+// library's own performance, not paper figures. Run with
+// `go test -bench=Micro ./internal/engine`.
+
+import (
+	"testing"
+
+	"github.com/persistmem/slpmt/internal/isa"
+	"github.com/persistmem/slpmt/internal/logbuf"
+	"github.com/persistmem/slpmt/internal/mem"
+	"github.com/persistmem/slpmt/internal/signature"
+)
+
+func BenchmarkMicroTransactionRoundTrip(b *testing.B) {
+	e, m := newEng(slpmtCfg())
+	base := m.Layout.HeapBase
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Begin()
+		a := base + mem.Addr(i%4096)*mem.LineSize
+		e.StoreU64(a, uint64(i), isa.Store, isa.Plain)
+		e.StoreU64(a+8, uint64(i), isa.StoreT, isa.LogFree)
+		e.Commit()
+	}
+	b.ReportMetric(float64(m.Clk)/float64(b.N), "simcycles/txn")
+}
+
+func BenchmarkMicroStoreLogged(b *testing.B) {
+	e, m := newEng(slpmtCfg())
+	base := m.Layout.HeapBase
+	e.Begin()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.StoreU64(base+mem.Addr(i%(1<<15))*8, uint64(i), isa.Store, isa.Plain)
+		if i%4096 == 4095 {
+			// Bound the transaction size (the log area holds ~256k
+			// word records per transaction).
+			e.Commit()
+			e.Begin()
+		}
+	}
+	b.StopTimer()
+	e.Commit()
+	_ = m
+}
+
+func BenchmarkMicroLoadHit(b *testing.B) {
+	e, m := newEng(slpmtCfg())
+	base := m.Layout.HeapBase
+	e.Begin()
+	e.StoreU64(base, 1, isa.Store, isa.Plain)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.LoadU64(base)
+	}
+	b.StopTimer()
+	e.Commit()
+	_ = m
+}
+
+func BenchmarkMicroLogBufferInsert(b *testing.B) {
+	buf := logbuf.New(func([]logbuf.Record) {})
+	data := make([]byte, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Insert(logbuf.Record{Addr: mem.Addr(i%(1<<16)) * 8, Data: data})
+	}
+}
+
+func BenchmarkMicroSignature(b *testing.B) {
+	var s signature.Signature
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := mem.Addr(i) * mem.LineSize
+		s.Add(a)
+		if !s.MayContain(a) {
+			b.Fatal("false negative")
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/persistmem/slpmt/internal/bench"
+	_ "github.com/persistmem/slpmt/internal/workloads/all"
+)
+
+// small keeps the smoke tests quick while still exercising resizes and
+// splits.
+func small() bench.RunConfig { return bench.RunConfig{N: 80, ValueSize: 32, Verify: true} }
+
+func TestExperimentsSmoke(t *testing.T) {
+	for _, name := range []string{"fig8", "fig9", "fig12", "fig14", "headline"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := Run(&buf, name, small()); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Fatal("no output")
+			}
+		})
+	}
+}
+
+func TestFig13Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, "fig13", small()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "compiler identified") {
+		t.Errorf("missing coverage line:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := Run(&bytes.Buffer{}, "fig99", small()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,20 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/persistmem/slpmt/internal/bench"
+)
+
+// Fig13 reproduces Figure 13: compiler-inserted vs manually inserted
+// annotations. Implemented in terms of the txir/compiler packages; see
+// compiler.go in this package.
+func Fig13(out io.Writer, base bench.RunConfig) error {
+	return fig13Impl(out, base)
+}
+
+// fig13Impl is provided by compiler.go.
+var fig13Impl = func(out io.Writer, base bench.RunConfig) error {
+	return fmt.Errorf("fig13: compiler experiment not linked")
+}

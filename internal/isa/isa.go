@@ -1,0 +1,154 @@
+// Package isa defines the instruction-set extension at the heart of the
+// paper: the storeT instruction and its lazy / log-free operand bits, and
+// the Table I mapping from instruction form to the persist and log bits
+// that the hardware sets on the target cache line.
+//
+// Figure 2 of the paper gives the storeT syntax:
+//
+//	storeT <lazy:1> <log-free:1> <data> <address>
+//
+// The lazy flag defers the persistence of the updated line past the
+// transaction commit; the log-free flag suppresses undo/redo log creation
+// for the store. A plain store behaves like storeT with both flags clear,
+// except that it also unconditionally sets the log bit (Table I row 1).
+package isa
+
+import "fmt"
+
+// Kind distinguishes the plain store instruction from the storeT
+// extension.
+type Kind uint8
+
+const (
+	// Store is the conventional store instruction: the hardware logs and
+	// eagerly persists the target line.
+	Store Kind = iota
+	// StoreT is the ISA extension: the lazy and log-free operands select
+	// the persist/log behaviour per Table I.
+	StoreT
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Store:
+		return "store"
+	case StoreT:
+		return "storeT"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Attr carries the two 1-bit operands of storeT. For a plain Store the
+// attributes are ignored by hardware.
+type Attr struct {
+	// Lazy defers persisting the updated cache line past transaction
+	// commit; the line is guaranteed recoverable from other persistent
+	// data until the hardware forces it to PM (working-set conflict or
+	// transaction-ID reuse).
+	Lazy bool
+	// LogFree suppresses log-record creation for this store. The program
+	// (or its recovery code) must be able to cancel or rebuild the
+	// update's effect without a log.
+	LogFree bool
+}
+
+// String implements fmt.Stringer.
+func (a Attr) String() string {
+	switch {
+	case a.Lazy && a.LogFree:
+		return "lazy,log-free"
+	case a.Lazy:
+		return "lazy"
+	case a.LogFree:
+		return "log-free"
+	default:
+		return "eager,logged"
+	}
+}
+
+// Canonical attribute values used throughout the workloads.
+var (
+	// Plain requests conventional behaviour: persist at commit, logged.
+	Plain = Attr{}
+	// LogFree marks data recoverable by re-execution or garbage
+	// collection (Pattern 1 of §IV-B): persisted at commit, not logged.
+	LogFree = Attr{LogFree: true}
+	// LazyLogFree marks data both recoverable and rebuildable after
+	// commit (e.g. moved copies): neither logged nor persisted at commit.
+	LazyLogFree = Attr{Lazy: true, LogFree: true}
+	// LazyLogged keeps the undo record but defers the data persist; the
+	// record is discarded at commit if the line is still cached (§III-A).
+	LazyLogged = Attr{Lazy: true}
+)
+
+// Bits is the hardware decision Table I derives from an instruction: the
+// values the store sets on the target cache line's persist and log bits.
+type Bits struct {
+	// Persist indicates the line must reach PM at transaction commit
+	// (eager persistency).
+	Persist bool
+	// Log indicates a log record must exist for the stored words.
+	Log bool
+}
+
+// Resolve implements Table I of the paper: the persist and log bits a
+// store instruction sets, as a function of its kind and operands.
+//
+//	instruction  lazy  log-free  ->  persist  log
+//	store         -      -            1        1
+//	storeT        0      0            1        1
+//	storeT        0      1            1        0
+//	storeT        1      1            0        0
+//	storeT        1      0            0        1
+func Resolve(kind Kind, attr Attr) Bits {
+	if kind == Store {
+		return Bits{Persist: true, Log: true}
+	}
+	return Bits{Persist: !attr.Lazy, Log: !attr.LogFree}
+}
+
+// Caps describes which storeT semantics a hardware scheme honours. A
+// scheme with neither capability treats every storeT exactly like a plain
+// store — this is the paper's FG baseline, and also how the log-free
+// operand's "disable" encoding behaves (§II: the 1-bit log-free flag can
+// disable the semantics of storeT, treating it as a store).
+type Caps struct {
+	// HonorLogFree enables selective logging: the log-free operand is
+	// respected.
+	HonorLogFree bool
+	// HonorLazy enables lazy persistency: the lazy operand is respected.
+	HonorLazy bool
+}
+
+// String implements fmt.Stringer.
+func (c Caps) String() string {
+	switch {
+	case c.HonorLogFree && c.HonorLazy:
+		return "log-free+lazy"
+	case c.HonorLogFree:
+		return "log-free"
+	case c.HonorLazy:
+		return "lazy"
+	default:
+		return "none"
+	}
+}
+
+// Effective masks attr down to the capabilities the scheme honours.
+func (c Caps) Effective(attr Attr) Attr {
+	return Attr{
+		Lazy:    attr.Lazy && c.HonorLazy,
+		LogFree: attr.LogFree && c.HonorLogFree,
+	}
+}
+
+// ResolveFor combines Effective and Resolve: the bits a scheme with
+// capabilities c sets for the given instruction.
+func (c Caps) ResolveFor(kind Kind, attr Attr) Bits {
+	if kind == Store {
+		return Resolve(Store, attr)
+	}
+	return Resolve(StoreT, c.Effective(attr))
+}

@@ -1,0 +1,81 @@
+package isa
+
+import "testing"
+
+// TestTableI checks the full semantics table of the paper's Table I.
+func TestTableI(t *testing.T) {
+	cases := []struct {
+		kind    Kind
+		attr    Attr
+		persist bool
+		log     bool
+	}{
+		{Store, Attr{}, true, true},
+		{Store, Attr{Lazy: true, LogFree: true}, true, true}, // operands ignored
+		{StoreT, Attr{Lazy: false, LogFree: false}, true, true},
+		{StoreT, Attr{Lazy: false, LogFree: true}, true, false},
+		{StoreT, Attr{Lazy: true, LogFree: true}, false, false},
+		{StoreT, Attr{Lazy: true, LogFree: false}, false, true},
+	}
+	for _, c := range cases {
+		got := Resolve(c.kind, c.attr)
+		if got.Persist != c.persist || got.Log != c.log {
+			t.Errorf("Resolve(%v, %v) = %+v, want persist=%v log=%v",
+				c.kind, c.attr, got, c.persist, c.log)
+		}
+	}
+}
+
+func TestCapsEffective(t *testing.T) {
+	full := Attr{Lazy: true, LogFree: true}
+	cases := []struct {
+		caps Caps
+		want Attr
+	}{
+		{Caps{}, Attr{}},
+		{Caps{HonorLogFree: true}, Attr{LogFree: true}},
+		{Caps{HonorLazy: true}, Attr{Lazy: true}},
+		{Caps{HonorLogFree: true, HonorLazy: true}, full},
+	}
+	for _, c := range cases {
+		if got := c.caps.Effective(full); got != c.want {
+			t.Errorf("caps %v: Effective = %v, want %v", c.caps, got, c.want)
+		}
+	}
+}
+
+// TestCapsResolveForBaseline: a scheme honouring nothing treats storeT
+// exactly like store (the FG/ATOM/EDE behaviour).
+func TestCapsResolveForBaseline(t *testing.T) {
+	none := Caps{}
+	for _, attr := range []Attr{Plain, LogFree, LazyLogFree, LazyLogged} {
+		got := none.ResolveFor(StoreT, attr)
+		if !got.Persist || !got.Log {
+			t.Errorf("baseline ResolveFor(storeT, %v) = %+v, want store semantics", attr, got)
+		}
+	}
+}
+
+// TestPartialCaps: FG+LG honours only log-free; FG+LZ only lazy.
+func TestPartialCaps(t *testing.T) {
+	lg := Caps{HonorLogFree: true}
+	if got := lg.ResolveFor(StoreT, LazyLogFree); got.Persist != true || got.Log != false {
+		t.Errorf("FG+LG on lazy+log-free: %+v, want persist=1 log=0", got)
+	}
+	lz := Caps{HonorLazy: true}
+	if got := lz.ResolveFor(StoreT, LazyLogFree); got.Persist != false || got.Log != true {
+		t.Errorf("FG+LZ on lazy+log-free: %+v, want persist=0 log=1", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Store.String() != "store" || StoreT.String() != "storeT" {
+		t.Error("Kind.String broken")
+	}
+	if LazyLogFree.String() != "lazy,log-free" || Plain.String() != "eager,logged" {
+		t.Error("Attr.String broken")
+	}
+	if (Caps{HonorLogFree: true, HonorLazy: true}).String() != "log-free+lazy" {
+		t.Error("Caps.String broken")
+	}
+}

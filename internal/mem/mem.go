@@ -1,0 +1,137 @@
+// Package mem defines the primitive address arithmetic shared by every
+// layer of the SLPMT simulator: word and cache-line geometry, address
+// alignment helpers, and the simulated physical address space layout.
+//
+// The simulator models a flat byte-addressable persistent memory. All
+// higher-level components (caches, log buffer, transaction engine, heap
+// allocator) agree on the constants defined here; changing LineSize or
+// WordSize is not supported.
+package mem
+
+// Addr is a simulated physical byte address.
+type Addr = uint64
+
+// Geometry of the simulated memory system. These mirror the paper's
+// assumptions: 8-byte words, 64-byte cache lines, eight words per line.
+const (
+	// WordSize is the logging granularity of fine-grain schemes (bytes).
+	WordSize = 8
+	// LineSize is the cache-line size in bytes.
+	LineSize = 64
+	// WordsPerLine is the number of log-bit-tracked words in a line.
+	WordsPerLine = LineSize / WordSize // 8
+	// LineShift is log2(LineSize).
+	LineShift = 6
+	// WordShift is log2(WordSize).
+	WordShift = 3
+)
+
+// LineAddr returns the address of the cache line containing a.
+func LineAddr(a Addr) Addr { return a &^ (LineSize - 1) }
+
+// LineOffset returns the byte offset of a within its cache line.
+func LineOffset(a Addr) int { return int(a & (LineSize - 1)) }
+
+// WordAddr returns the address of the 8-byte word containing a.
+func WordAddr(a Addr) Addr { return a &^ (WordSize - 1) }
+
+// WordIndex returns the index (0..7) of the word containing a within its
+// cache line.
+func WordIndex(a Addr) int { return int(a&(LineSize-1)) >> WordShift }
+
+// AlignUp rounds a up to the next multiple of align. align must be a
+// power of two.
+func AlignUp(a Addr, align uint64) Addr { return (a + align - 1) &^ (align - 1) }
+
+// AlignedTo reports whether a is a multiple of align (a power of two).
+func AlignedTo(a Addr, align uint64) bool { return a&(align-1) == 0 }
+
+// WordMask returns the bitmask (one bit per word, bit i = word i) of the
+// words in the line at lineAddr touched by the byte range [a, a+size).
+// The range must lie entirely within one cache line.
+func WordMask(a Addr, size int) uint8 {
+	first := WordIndex(a)
+	last := WordIndex(a + Addr(size) - 1)
+	var m uint8
+	for i := first; i <= last; i++ {
+		m |= 1 << uint(i)
+	}
+	return m
+}
+
+// SpansLines reports whether the byte range [a, a+size) crosses a cache
+// line boundary.
+func SpansLines(a Addr, size int) bool {
+	if size <= 0 {
+		return false
+	}
+	return LineAddr(a) != LineAddr(a+Addr(size)-1)
+}
+
+// LineRange invokes fn for each (lineAddr, start, end) triple covering the
+// byte range [a, a+size), where start/end are byte offsets into the
+// respective line. It is the canonical way to split an unaligned access
+// into per-line sub-accesses.
+func LineRange(a Addr, size int, fn func(line Addr, off, n int)) {
+	for size > 0 {
+		line := LineAddr(a)
+		off := LineOffset(a)
+		n := LineSize - off
+		if n > size {
+			n = size
+		}
+		fn(line, off, n)
+		a += Addr(n)
+		size -= n
+	}
+}
+
+// Layout describes the simulated persistent memory address map. The heap
+// occupies the low region; the undo/redo log area and the root directory
+// occupy the top. Everything is line-aligned.
+type Layout struct {
+	// Size is the total PM capacity in bytes.
+	Size uint64
+	// HeapBase and HeapSize delimit the allocatable persistent heap.
+	HeapBase, HeapSize uint64
+	// LogBase and LogSize delimit the hardware log area.
+	LogBase, LogSize uint64
+	// RootBase and RootSize delimit the root directory used by recovery
+	// to find the application's top-level persistent pointers.
+	RootBase, RootSize uint64
+}
+
+// DefaultLayout returns the address map used throughout the evaluation:
+// a PM device of the given size with a 4 MiB log area and a 4 KiB root
+// directory carved from the top.
+func DefaultLayout(size uint64) Layout {
+	const (
+		logSize  = 4 << 20
+		rootSize = 4 << 10
+	)
+	if size < logSize+rootSize+LineSize {
+		panic("mem: PM size too small for default layout")
+	}
+	rootBase := size - rootSize
+	logBase := rootBase - logSize
+	return Layout{
+		Size:     size,
+		HeapBase: LineSize, // keep address 0 unmapped to catch nil derefs
+		HeapSize: logBase - LineSize,
+		LogBase:  logBase,
+		LogSize:  logSize,
+		RootBase: rootBase,
+		RootSize: rootSize,
+	}
+}
+
+// InHeap reports whether the byte range [a, a+size) lies entirely in the
+// heap region.
+func (l Layout) InHeap(a Addr, size int) bool {
+	return a >= l.HeapBase && a+Addr(size) <= l.HeapBase+l.HeapSize
+}
+
+// InLog reports whether a lies in the log region.
+func (l Layout) InLog(a Addr) bool {
+	return a >= l.LogBase && a < l.LogBase+l.LogSize
+}

@@ -1,0 +1,134 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineAddr(t *testing.T) {
+	cases := []struct{ in, want Addr }{
+		{0, 0}, {1, 0}, {63, 0}, {64, 64}, {65, 64}, {127, 64}, {128, 128},
+	}
+	for _, c := range cases {
+		if got := LineAddr(c.in); got != c.want {
+			t.Errorf("LineAddr(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWordIndex(t *testing.T) {
+	if got := WordIndex(0); got != 0 {
+		t.Errorf("WordIndex(0) = %d", got)
+	}
+	if got := WordIndex(63); got != 7 {
+		t.Errorf("WordIndex(63) = %d", got)
+	}
+	if got := WordIndex(64 + 8); got != 1 {
+		t.Errorf("WordIndex(72) = %d", got)
+	}
+}
+
+func TestAlignUp(t *testing.T) {
+	cases := []struct {
+		a     Addr
+		align uint64
+		want  Addr
+	}{
+		{0, 8, 0}, {1, 8, 8}, {8, 8, 8}, {9, 8, 16}, {63, 64, 64}, {64, 64, 64},
+	}
+	for _, c := range cases {
+		if got := AlignUp(c.a, c.align); got != c.want {
+			t.Errorf("AlignUp(%d,%d) = %d, want %d", c.a, c.align, got, c.want)
+		}
+	}
+}
+
+func TestWordMask(t *testing.T) {
+	cases := []struct {
+		a    Addr
+		size int
+		want uint8
+	}{
+		{0, 8, 0x01},
+		{8, 8, 0x02},
+		{56, 8, 0x80},
+		{0, 64, 0xFF},
+		{0, 16, 0x03},
+		{4, 8, 0x03}, // unaligned 8-byte store touches words 0 and 1
+		{16, 32, 0x3C},
+	}
+	for _, c := range cases {
+		if got := WordMask(c.a, c.size); got != c.want {
+			t.Errorf("WordMask(%d,%d) = %#x, want %#x", c.a, c.size, got, c.want)
+		}
+	}
+}
+
+func TestSpansLines(t *testing.T) {
+	if SpansLines(0, 64) {
+		t.Error("0..64 should not span")
+	}
+	if !SpansLines(60, 8) {
+		t.Error("60..68 should span")
+	}
+	if SpansLines(0, 0) {
+		t.Error("empty range should not span")
+	}
+}
+
+// TestLineRangeProperty: the per-line decomposition exactly tiles the
+// original range, in order, without crossing line boundaries.
+func TestLineRangeProperty(t *testing.T) {
+	f := func(start uint32, size16 uint16) bool {
+		a := Addr(start)
+		size := int(size16 % 1024)
+		var total int
+		next := a
+		ok := true
+		LineRange(a, size, func(line Addr, off, n int) {
+			if line != LineAddr(next) || off != LineOffset(next) {
+				ok = false
+			}
+			if off+n > LineSize || n <= 0 {
+				ok = false
+			}
+			next += Addr(n)
+			total += n
+		})
+		return ok && total == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultLayout(t *testing.T) {
+	l := DefaultLayout(16 << 20)
+	if l.HeapBase != LineSize {
+		t.Errorf("heap base = %#x", l.HeapBase)
+	}
+	if l.HeapBase+l.HeapSize != l.LogBase {
+		t.Error("heap and log regions not adjacent")
+	}
+	if l.LogBase+l.LogSize != l.RootBase {
+		t.Error("log and root regions not adjacent")
+	}
+	if l.RootBase+l.RootSize != l.Size {
+		t.Error("root region does not end at device size")
+	}
+	if !l.InHeap(l.HeapBase, 8) || l.InHeap(l.LogBase, 8) {
+		t.Error("InHeap misclassifies")
+	}
+	if !l.InLog(l.LogBase) || l.InLog(l.RootBase) {
+		t.Error("InLog misclassifies")
+	}
+}
+
+func TestDefaultLayoutTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for tiny device")
+		}
+	}()
+	DefaultLayout(1 << 10)
+}

@@ -1,0 +1,400 @@
+// Package pmem models the byte-addressable persistent memory device of
+// the paper's evaluation platform (Table III): an Intel-ADR style device
+// where data becomes durable as soon as it enters the memory controller's
+// write pending queue (WPQ), and the WPQ drains to the persistent medium
+// at the device write latency.
+//
+// The model separates durability from timing:
+//
+//   - Durability: a write is copied into the durable image at enqueue
+//     time. On a crash/power failure the hardware drains the WPQ, so the
+//     durable image is exactly what recovery sees.
+//   - Timing: the WPQ holds a bounded number of bytes (512 B in the
+//     paper). Entries complete one after another, each taking the device
+//     write latency. When the queue is full, the enqueuing core stalls
+//     until space frees — this backpressure is the mechanism that turns
+//     write traffic into execution time, which is the causal chain behind
+//     every speedup the paper reports.
+package pmem
+
+import "fmt"
+
+// Config parameterizes the device. Zero values are replaced by the
+// paper's defaults (Table III).
+type Config struct {
+	// Size is the device capacity in bytes. Default 16 MiB.
+	Size uint64
+	// WPQBytes is the write pending queue capacity. Default 512.
+	WPQBytes int
+	// EnqueueCycles is the cost of entering the WPQ (the paper's "4ns
+	// latency" for the persist operation). Default 8 cycles (4 ns @2 GHz).
+	EnqueueCycles uint64
+	// ReadCycles is the demand-read latency. Default 300 (150 ns @2 GHz).
+	ReadCycles uint64
+	// WriteCycles is the medium write latency per WPQ entry. Default
+	// 1000 (500 ns @2 GHz). Figure 12 sweeps this up to 2300 ns.
+	WriteCycles uint64
+	// Banks is the device's internal write parallelism: up to Banks WPQ
+	// entries drain concurrently (each still taking WriteCycles). Real
+	// PM modules service writes from multiple banks/partitions; a
+	// purely serial drain would make every workload trivially
+	// bandwidth-bound. Default 2.
+	Banks int
+	// AckCycles is the round-trip cost of a synchronous persist: the
+	// memory controller's durability acknowledgement the core must wait
+	// for on commit-path persists (the coherence "reached persistent
+	// domain" message of §III-C2). Asynchronous persists (evictions,
+	// buffer spills, lazy drains) do not pay it. Default 100 (50 ns).
+	AckCycles uint64
+}
+
+// Defaults for a 2 GHz core: 1 ns = 2 cycles.
+const (
+	DefaultSize          = 16 << 20
+	DefaultWPQBytes      = 512
+	DefaultEnqueueCycles = 8
+	DefaultReadCycles    = 300
+	DefaultWriteCycles   = 1000
+	DefaultAckCycles     = 100
+	DefaultBanks         = 2
+	// CyclesPerNs converts Table III nanosecond figures to core cycles.
+	CyclesPerNs = 2
+)
+
+func (c Config) withDefaults() Config {
+	if c.Size == 0 {
+		c.Size = DefaultSize
+	}
+	if c.WPQBytes == 0 {
+		c.WPQBytes = DefaultWPQBytes
+	}
+	if c.EnqueueCycles == 0 {
+		c.EnqueueCycles = DefaultEnqueueCycles
+	}
+	if c.ReadCycles == 0 {
+		c.ReadCycles = DefaultReadCycles
+	}
+	if c.WriteCycles == 0 {
+		c.WriteCycles = DefaultWriteCycles
+	}
+	if c.AckCycles == 0 {
+		c.AckCycles = DefaultAckCycles
+	}
+	if c.Banks == 0 {
+		c.Banks = DefaultBanks
+	}
+	return c
+}
+
+// entry is one in-flight WPQ element.
+type entry struct {
+	bytes  int
+	finish uint64 // cycle at which the entry has drained to the medium
+}
+
+// Device is a simulated persistent memory module with an ADR persist
+// domain. It is not safe for concurrent use.
+type Device struct {
+	cfg     Config
+	durable []byte
+
+	// WPQ state.
+	queue      []entry
+	usedBytes  int
+	lastFinish uint64   // finish time of the most recently enqueued entry
+	recent     []uint64 // recent finish times (bank occupancy window)
+
+	// Totals (timing-model introspection; traffic accounting is done by
+	// the machine layer against stats.Counters).
+	totalEnqueued uint64
+	totalStall    uint64
+}
+
+// New returns a device with the given configuration.
+func New(cfg Config) *Device {
+	cfg = cfg.withDefaults()
+	return &Device{
+		cfg:     cfg,
+		durable: make([]byte, cfg.Size),
+	}
+}
+
+// Config returns the effective configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() uint64 { return d.cfg.Size }
+
+// ReadCycles returns the demand-read latency in cycles.
+func (d *Device) ReadCycles() uint64 { return d.cfg.ReadCycles }
+
+// drainUpTo retires queue entries whose finish time is <= now.
+func (d *Device) drainUpTo(now uint64) {
+	i := 0
+	for i < len(d.queue) && d.queue[i].finish <= now {
+		d.usedBytes -= d.queue[i].bytes
+		i++
+	}
+	if i > 0 {
+		d.queue = append(d.queue[:0], d.queue[i:]...)
+	}
+}
+
+// Persist makes data durable at address addr. It returns the number of
+// cycles the enqueuing core stalls: the fixed enqueue latency plus any
+// wait for WPQ space. now is the current core cycle.
+//
+// The write is durable upon return (ADR). n must fit in one WPQ entry
+// (<= 64 bytes is typical; larger writes should be split by the caller).
+func (d *Device) Persist(now uint64, addr uint64, data []byte) (stall uint64) {
+	n := len(data)
+	if n == 0 {
+		return 0
+	}
+	if addr+uint64(n) > d.cfg.Size {
+		panic(fmt.Sprintf("pmem: persist out of range: addr=%#x n=%d size=%#x", addr, n, d.cfg.Size))
+	}
+	if n > d.cfg.WPQBytes {
+		panic(fmt.Sprintf("pmem: persist entry larger than WPQ: %d > %d", n, d.cfg.WPQBytes))
+	}
+	// Durable immediately: inside the persist domain.
+	copy(d.durable[addr:], data)
+
+	stall = d.cfg.EnqueueCycles
+	t := now + stall
+	d.drainUpTo(t)
+	for d.usedBytes+n > d.cfg.WPQBytes {
+		// Wait for the oldest entry to drain.
+		wait := d.queue[0].finish - t
+		stall += wait
+		t = d.queue[0].finish
+		d.drainUpTo(t)
+	}
+	fin := d.bankFinish(t)
+	d.queue = append(d.queue, entry{bytes: n, finish: fin})
+	d.usedBytes += n
+	d.lastFinish = fin
+	d.totalEnqueued++
+	// Synchronous persist: the commit engine issues one coherence-level
+	// persist request per line and waits for the controller's completion
+	// acknowledgement before the next ordering-constrained operation, so
+	// the core observes the write's service time (bank-pipelined) plus
+	// the acknowledgement round trip. Streamed persists (PersistStream)
+	// pay only queue backpressure; background persists (PersistAsync)
+	// are posted.
+	stall += fin - t
+	d.totalStall += stall - d.cfg.EnqueueCycles
+	stall += d.cfg.AckCycles
+	return stall
+}
+
+// PersistStream is the path of pipelined hardware engines that stream
+// packed lines to the memory controller (the log buffer drain): the
+// core pays the enqueue latency and any wait for WPQ space, but not the
+// per-line completion or acknowledgement. Callers needing an
+// end-of-stream durability point add one AckCycles barrier.
+func (d *Device) PersistStream(now uint64, addr uint64, data []byte) (stall uint64) {
+	n := len(data)
+	if n == 0 {
+		return 0
+	}
+	if addr+uint64(n) > d.cfg.Size {
+		panic(fmt.Sprintf("pmem: persist out of range: addr=%#x n=%d size=%#x", addr, n, d.cfg.Size))
+	}
+	if n > d.cfg.WPQBytes {
+		panic(fmt.Sprintf("pmem: persist entry larger than WPQ: %d > %d", n, d.cfg.WPQBytes))
+	}
+	copy(d.durable[addr:], data)
+	stall = d.cfg.EnqueueCycles
+	t := now + stall
+	d.drainUpTo(t)
+	for d.usedBytes+n > d.cfg.WPQBytes {
+		wait := d.queue[0].finish - t
+		stall += wait
+		t = d.queue[0].finish
+		d.drainUpTo(t)
+	}
+	fin := d.bankFinish(t)
+	d.queue = append(d.queue, entry{bytes: n, finish: fin})
+	d.usedBytes += n
+	d.lastFinish = fin
+	d.totalEnqueued++
+	d.totalStall += stall - d.cfg.EnqueueCycles
+	return stall
+}
+
+// LastFinish returns the finish time of the most recently enqueued
+// entry (0 if none yet) — used by the machine layer to implement
+// ordering barriers over streamed sequences.
+func (d *Device) LastFinish() uint64 { return d.lastFinish }
+
+// bankFinish computes when an entry enqueued at time t drains, given
+// that up to Banks entries are serviced concurrently: the new entry
+// starts when a bank frees (the Banks-th most recent entry's finish).
+func (d *Device) bankFinish(t uint64) uint64 {
+	start := t
+	if len(d.recent) >= d.cfg.Banks {
+		if f := d.recent[len(d.recent)-d.cfg.Banks]; f > start {
+			start = f
+		}
+	}
+	fin := start + d.cfg.WriteCycles
+	d.recent = append(d.recent, fin)
+	if len(d.recent) > 4*d.cfg.Banks {
+		d.recent = append(d.recent[:0], d.recent[len(d.recent)-d.cfg.Banks:]...)
+	}
+	return fin
+}
+
+// PersistAsync posts a persist without waiting for acknowledgement or
+// WPQ space: the data is durable (ADR) and the entry occupies device
+// write bandwidth, but the core is only charged the enqueue latency.
+// This is the path for background persists — cache evictions, log
+// buffer spills, and lazy-persistency drains, which the paper places
+// off the program's critical path (§III-B2, §III-C3). The implicit
+// buffering beyond the WPQ capacity models the dirty lines parking in
+// the cache hierarchy until the queue can take them.
+func (d *Device) PersistAsync(now uint64, addr uint64, data []byte) (stall uint64) {
+	n := len(data)
+	if n == 0 {
+		return 0
+	}
+	if addr+uint64(n) > d.cfg.Size {
+		panic(fmt.Sprintf("pmem: persist out of range: addr=%#x n=%d size=%#x", addr, n, d.cfg.Size))
+	}
+	copy(d.durable[addr:], data)
+	t := now + d.cfg.EnqueueCycles
+	d.drainUpTo(t)
+	// The posting engine waits for WPQ space on the device timeline
+	// (the entry starts only once a slot frees), but the core is not
+	// stalled — the pending line parks in the cache hierarchy. The
+	// delayed start pushes this and subsequent entries' finish times
+	// out, so later synchronous persists see the backlog.
+	tStart := t
+	if d.usedBytes+n > d.cfg.WPQBytes {
+		freed := 0
+		for _, e := range d.queue {
+			freed += e.bytes
+			if e.finish > tStart {
+				tStart = e.finish
+			}
+			if d.usedBytes+n-freed <= d.cfg.WPQBytes {
+				break
+			}
+		}
+	}
+	fin := d.bankFinish(tStart)
+	d.queue = append(d.queue, entry{bytes: n, finish: fin})
+	d.usedBytes += n
+	d.lastFinish = fin
+	d.totalEnqueued++
+	return d.cfg.EnqueueCycles
+}
+
+// PersistZero is Persist for data that is all zeros of length n (used for
+// zero-fill without allocating a buffer).
+func (d *Device) PersistZero(now uint64, addr uint64, n int) (stall uint64) {
+	if n == 0 {
+		return 0
+	}
+	zeros := make([]byte, n)
+	return d.Persist(now, addr, zeros)
+}
+
+// DrainAll returns the cycle at which every currently queued entry has
+// drained to the medium, without modifying state. now is the current
+// cycle; if the queue is empty the result is now.
+func (d *Device) DrainAll(now uint64) uint64 {
+	if d.lastFinish > now {
+		return d.lastFinish
+	}
+	return now
+}
+
+// QueueDepth returns the number of entries currently in the WPQ as of
+// cycle now.
+func (d *Device) QueueDepth(now uint64) int {
+	d.drainUpTo(now)
+	return len(d.queue)
+}
+
+// Read copies n bytes of the durable image at addr into p. This is the
+// functional read path used by recovery; demand reads during execution
+// are timed by the machine layer using ReadCycles.
+func (d *Device) Read(addr uint64, p []byte) {
+	if addr+uint64(len(p)) > d.cfg.Size {
+		panic(fmt.Sprintf("pmem: read out of range: addr=%#x n=%d", addr, len(p)))
+	}
+	copy(p, d.durable[addr:])
+}
+
+// ReadU64 reads a little-endian uint64 from the durable image.
+func (d *Device) ReadU64(addr uint64) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(d.durable[addr+uint64(i)]) << (8 * uint(i))
+	}
+	return v
+}
+
+// Image is a crash snapshot: the durable contents of the device at the
+// instant of a (simulated) power failure, after the ADR domain has been
+// flushed. Recovery operates on an Image.
+type Image struct {
+	Data []byte
+}
+
+// Crash returns a crash snapshot of the device. Because durability is
+// applied at WPQ enqueue, the snapshot is simply a copy of the durable
+// array — exactly the ADR semantics.
+func (d *Device) Crash() *Image {
+	data := make([]byte, len(d.durable))
+	copy(data, d.durable)
+	return &Image{Data: data}
+}
+
+// Restore overwrites the durable image with a crash snapshot and clears
+// the WPQ. It is used by the crash-injection harness to resume a machine
+// from a recovered image.
+func (d *Device) Restore(img *Image) {
+	if len(img.Data) != len(d.durable) {
+		panic("pmem: restore image size mismatch")
+	}
+	copy(d.durable, img.Data)
+	d.queue = d.queue[:0]
+	d.usedBytes = 0
+	d.lastFinish = 0
+}
+
+// Stats returns (entries enqueued, cycles stalled on a full WPQ) since
+// creation.
+func (d *Device) Stats() (enqueued, stallCycles uint64) {
+	return d.totalEnqueued, d.totalStall
+}
+
+// ReadU64Image reads a little-endian uint64 from a crash image.
+func (img *Image) ReadU64(addr uint64) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(img.Data[addr+uint64(i)]) << (8 * uint(i))
+	}
+	return v
+}
+
+// WriteU64 writes a little-endian uint64 into a crash image (used by
+// recovery when applying undo/redo records).
+func (img *Image) WriteU64(addr uint64, v uint64) {
+	for i := 0; i < 8; i++ {
+		img.Data[addr+uint64(i)] = byte(v >> (8 * uint(i)))
+	}
+}
+
+// Read copies n bytes at addr from the image into p.
+func (img *Image) Read(addr uint64, p []byte) {
+	copy(p, img.Data[addr:addr+uint64(len(p))])
+}
+
+// Write copies p into the image at addr.
+func (img *Image) Write(addr uint64, p []byte) {
+	copy(img.Data[addr:], p)
+}

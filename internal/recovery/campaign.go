@@ -1,0 +1,265 @@
+package recovery
+
+import (
+	"fmt"
+
+	"github.com/persistmem/slpmt"
+	"github.com/persistmem/slpmt/internal/machine"
+	"github.com/persistmem/slpmt/internal/pmem"
+	"github.com/persistmem/slpmt/internal/workloads"
+	"github.com/persistmem/slpmt/internal/ycsb"
+)
+
+// CampaignConfig parameterizes a crash-injection campaign: the workload
+// is run repeatedly, each run crashed at a different persist event, and
+// the recovered image is verified against the set of transactions known
+// committed at the crash point.
+type CampaignConfig struct {
+	Workload  string
+	Scheme    string
+	N         int // operations per run
+	ValueSize int
+	Seed      uint64
+	// Mixed interleaves updates and deletes with the inserts (for
+	// workloads implementing Mutable); default is the paper's
+	// insert-only ycsb-load.
+	Mixed bool
+	// Stride samples every Stride-th persist event (1 = every event).
+	Stride uint64
+	// MaxPoints caps the number of crash points tested (0 = no cap).
+	MaxPoints int
+}
+
+// CampaignResult summarizes a campaign.
+type CampaignResult struct {
+	TotalPersistEvents uint64
+	PointsTested       int
+	// PendingAccepted counts crash points where the in-flight
+	// transaction turned out to be durable (crash after its commit
+	// record persisted but before control returned).
+	PendingAccepted int
+	RecordsApplied  int
+	LeakedBytes     uint64
+}
+
+// opKind enumerates campaign operations.
+type opKind int
+
+const (
+	opInsert opKind = iota
+	opUpdate
+	opDelete
+)
+
+// campaignOp is one deterministic operation of the run.
+type campaignOp struct {
+	kind opKind
+	key  uint64
+	val  []byte
+}
+
+// genOps produces the deterministic operation stream.
+func genOps(cfg CampaignConfig) []campaignOp {
+	load := ycsb.Load{N: cfg.N, ValueSize: cfg.ValueSize, Seed: cfg.Seed}
+	keys := load.Keys()
+	if !cfg.Mixed {
+		ops := make([]campaignOp, 0, len(keys))
+		for _, k := range keys {
+			ops = append(ops, campaignOp{opInsert, k, load.Value(k)})
+		}
+		return ops
+	}
+	var ops []campaignOp
+	var live []uint64
+	rng := cfg.Seed*0x9e3779b97f4a7c15 + 0x1234
+	next := func(n uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	ki := 0
+	for len(ops) < cfg.N {
+		switch {
+		case len(live) < 4 || next(100) < 50:
+			if ki >= len(keys) {
+				return ops
+			}
+			k := keys[ki]
+			ki++
+			ops = append(ops, campaignOp{opInsert, k, load.Value(k)})
+			live = append(live, k)
+		case next(100) < 50:
+			k := live[next(uint64(len(live)))]
+			nv := load.Value(k ^ uint64(len(ops)))
+			ops = append(ops, campaignOp{opUpdate, k, nv})
+		default:
+			i := next(uint64(len(live)))
+			k := live[i]
+			ops = append(ops, campaignOp{opDelete, k, nil})
+			live = append(live[:i], live[i+1:]...)
+		}
+	}
+	return ops
+}
+
+// apply executes one op against the workload.
+func apply(w workloads.Workload, sys *slpmt.System, op campaignOp) error {
+	switch op.kind {
+	case opInsert:
+		return w.Insert(sys, op.key, op.val)
+	case opUpdate:
+		return w.(workloads.Mutable).UpdateValue(sys, op.key, op.val)
+	default:
+		return w.(workloads.Mutable).Delete(sys, op.key)
+	}
+}
+
+// applyOracle mutates the oracle per op.
+func applyOracle(oracle map[uint64][]byte, op campaignOp) {
+	switch op.kind {
+	case opInsert, opUpdate:
+		oracle[op.key] = op.val
+	default:
+		delete(oracle, op.key)
+	}
+}
+
+func cloneOracle(m map[uint64][]byte) map[uint64][]byte {
+	out := make(map[uint64][]byte, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// runInfo is the outcome of one (possibly crashed) execution.
+type runInfo struct {
+	img *pmem.Image
+	// before is the committed state preceding the in-flight operation;
+	// after additionally includes it. A crash image must match one of
+	// the two (the in-flight transaction either reverted or committed).
+	before, after map[uint64][]byte
+	pendingKey    uint64
+	crashed       bool
+}
+
+// execute runs the workload, crashing after the given persist event
+// (0 = run to completion).
+func execute(cfg CampaignConfig, crashAfter uint64) (info runInfo, totalPersists uint64, err error) {
+	w := workloads.MustNew(cfg.Workload)
+	sys := slpmt.New(slpmt.Options{
+		Scheme:             cfg.Scheme,
+		ComputeCyclesPerOp: w.ComputeCost(),
+	})
+	sys.Mach.CrashAfter = crashAfter
+
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(machine.CrashSignal); !ok {
+				panic(r)
+			}
+			info.crashed = true
+			info.img = sys.Mach.Crash()
+		}
+		totalPersists = sys.Mach.PersistCount
+	}()
+
+	if err := w.Setup(sys); err != nil {
+		return info, 0, fmt.Errorf("setup: %w", err)
+	}
+	oracle := map[uint64][]byte{}
+	for _, op := range genOps(cfg) {
+		info.before = cloneOracle(oracle)
+		applyOracle(oracle, op)
+		info.after = oracle
+		info.pendingKey = op.key
+		if err := apply(w, sys, op); err != nil {
+			return info, 0, fmt.Errorf("op on key %d: %w", op.key, err)
+		}
+		info.before = info.after
+		info.pendingKey = 0
+	}
+	sys.DrainLazy()
+	info.img = sys.Mach.Crash()
+	return info, sys.Mach.PersistCount, nil
+}
+
+// verifyPoint recovers a crash image and verifies it against the
+// pre-operation committed state, accepting the in-flight transaction as
+// either durably committed or cleanly reverted.
+func verifyPoint(cfg CampaignConfig, info runInfo, res *CampaignResult) error {
+	w := workloads.MustNew(cfg.Workload) // fresh instance: no volatile state survives
+	rec := w.(workloads.Recoverable)
+
+	rep, _, err := Recover(info.img, rec)
+	if err != nil {
+		return err
+	}
+	res.RecordsApplied += rep.RecordsApplied
+	res.LeakedBytes += rep.Heap.ReclaimedBytes
+
+	errBefore := rec.CheckDurable(info.img, info.before)
+	if errBefore == nil {
+		return nil
+	}
+	if info.pendingKey != 0 {
+		if err := rec.CheckDurable(info.img, info.after); err == nil {
+			res.PendingAccepted++
+			return nil
+		}
+	}
+	return fmt.Errorf("durable state invalid (pending key %d): %v", info.pendingKey, errBefore)
+}
+
+// setupPersists counts the persist events of Setup alone, so the
+// campaign can start crashing after initialization (a crash during
+// setup reverts to an uninitialized image, which applications handle by
+// re-running setup — there is no structure to verify).
+func setupPersists(cfg CampaignConfig) (uint64, error) {
+	w := workloads.MustNew(cfg.Workload)
+	sys := slpmt.New(slpmt.Options{Scheme: cfg.Scheme})
+	if err := w.Setup(sys); err != nil {
+		return 0, err
+	}
+	return sys.Mach.PersistCount, nil
+}
+
+// RunCampaign executes the crash-injection campaign.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	if cfg.Stride == 0 {
+		cfg.Stride = 1
+	}
+	// Reference run: count persist events and confirm a clean pass.
+	ref, total, err := execute(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	if ref.crashed {
+		return nil, fmt.Errorf("reference run crashed unexpectedly")
+	}
+	setup, err := setupPersists(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &CampaignResult{TotalPersistEvents: total}
+
+	for point := setup + cfg.Stride; point <= total; point += cfg.Stride {
+		if cfg.MaxPoints > 0 && res.PointsTested >= cfg.MaxPoints {
+			break
+		}
+		info, _, err := execute(cfg, point)
+		if err != nil {
+			return res, fmt.Errorf("crash point %d: %w", point, err)
+		}
+		if !info.crashed {
+			// Point beyond the run's events (drain already done).
+			break
+		}
+		if err := verifyPoint(cfg, info, res); err != nil {
+			return res, fmt.Errorf("crash point %d: %w", point, err)
+		}
+		res.PointsTested++
+	}
+	return res, nil
+}

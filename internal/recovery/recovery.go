@@ -1,0 +1,116 @@
+// Package recovery implements the post-crash procedure for SLPMT
+// transactions and the crash-injection campaign that validates it.
+//
+// Recovery runs in three phases over the durable image (the ADR crash
+// snapshot):
+//
+//  1. Hardware log application. The log header identifies the in-flight
+//     transaction: an ACTIVE undo log is applied in reverse, restoring
+//     every logged word to its pre-transaction value (idempotent;
+//     speculative records are no-ops). A COMMITTED redo log is replayed
+//     forward. Anything else means the crash fell between transactions.
+//  2. Application fix-up (§IV): the structure's own recovery repairs
+//     log-free and lazily persistent data — rebuilding derivable fields
+//     (rbtree parent pointers), re-executing published moves (hashtable
+//     rehash, heap growth), and ignoring scribbles in unreachable
+//     memory.
+//  3. Heap reconstruction: a reachability walk from the roots marks the
+//     live blocks; the allocator is rebuilt with everything else free —
+//     the garbage collection the paper prescribes for memory leaked by
+//     interrupted transactions (Pattern 1 recovery).
+package recovery
+
+import (
+	"fmt"
+
+	"github.com/persistmem/slpmt/internal/logfmt"
+	"github.com/persistmem/slpmt/internal/mem"
+	"github.com/persistmem/slpmt/internal/pmem"
+	"github.com/persistmem/slpmt/internal/txheap"
+	"github.com/persistmem/slpmt/internal/workloads"
+)
+
+// Report summarizes one recovery run.
+type Report struct {
+	// LogSeq and LogState describe the hardware log at the crash.
+	LogSeq   uint64
+	LogState uint64
+	// Mode is the logging mode found in the header.
+	Mode uint64
+	// RecordsApplied counts log records applied (undo reverted or redo
+	// replayed).
+	RecordsApplied int
+	// Heap is the allocator-reconstruction report.
+	Heap txheap.RebuildReport
+}
+
+// String implements fmt.Stringer.
+func (r *Report) String() string {
+	state := "idle"
+	switch r.LogState {
+	case logfmt.StateActive:
+		state = "active"
+	case logfmt.StateCommitted:
+		state = "committed"
+	}
+	return fmt.Sprintf("recovery: txn %d %s, %d records applied; heap: %d blocks / %d B live, %d gaps / %d B reclaimed",
+		r.LogSeq, state, r.RecordsApplied,
+		r.Heap.ReachableBlocks, r.Heap.ReachableBytes,
+		r.Heap.ReclaimedGaps, r.Heap.ReclaimedBytes)
+}
+
+// ApplyLog performs phase 1 on the image: undo records of an active
+// transaction are applied in reverse; redo records of a committed
+// transaction are replayed in order.
+func ApplyLog(img *pmem.Image) (*Report, error) {
+	layout := mem.DefaultLayout(uint64(len(img.Data)))
+	raw := img.Data[layout.LogBase : layout.LogBase+layout.LogSize]
+	hdr := logfmt.DecodeHeader(raw)
+	rep := &Report{LogSeq: hdr.Seq, LogState: hdr.State, Mode: hdr.Mode}
+	if hdr.Magic != logfmt.Magic {
+		// Never initialized: fresh image, nothing to do.
+		return rep, nil
+	}
+	switch {
+	case hdr.State == logfmt.StateActive && hdr.Mode == logfmt.ModeUndo:
+		recs, err := logfmt.ParseRecords(raw, hdr.Seq)
+		if err != nil {
+			return rep, fmt.Errorf("recovery: %w", err)
+		}
+		for i := len(recs) - 1; i >= 0; i-- {
+			img.Write(recs[i].Addr, recs[i].Data)
+			rep.RecordsApplied++
+		}
+	case hdr.State == logfmt.StateCommitted && hdr.Mode == logfmt.ModeRedo:
+		recs, err := logfmt.ParseRecords(raw, hdr.Seq)
+		if err != nil {
+			return rep, fmt.Errorf("recovery: %w", err)
+		}
+		for _, r := range recs {
+			img.Write(r.Addr, r.Data)
+			rep.RecordsApplied++
+		}
+	}
+	return rep, nil
+}
+
+// Recover runs the full three-phase recovery for a workload's structure
+// over the image, returning the report. The returned heap is the
+// reconstructed allocator (positioned over the image's layout).
+func Recover(img *pmem.Image, w workloads.Recoverable) (*Report, *txheap.Heap, error) {
+	rep, err := ApplyLog(img)
+	if err != nil {
+		return rep, nil, err
+	}
+	if err := w.Recover(img); err != nil {
+		return rep, nil, fmt.Errorf("recovery: structure fix-up: %w", err)
+	}
+	reach, err := w.Reach(img)
+	if err != nil {
+		return rep, nil, fmt.Errorf("recovery: reachability: %w", err)
+	}
+	layout := mem.DefaultLayout(uint64(len(img.Data)))
+	heap := txheap.New(nil, layout, 0)
+	rep.Heap = heap.Rebuild(reach)
+	return rep, heap, nil
+}

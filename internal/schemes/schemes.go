@@ -1,0 +1,150 @@
+// Package schemes defines the named hardware configurations the paper
+// evaluates (§VI-C), each as an engine.Config:
+//
+//   - FG: the baseline — fine-grain (word) logging through the tiered
+//     coalescing log buffer, with both selective-logging features
+//     disabled (storeT behaves as store).
+//   - FG+LG: FG plus the log-free capability only.
+//   - FG+LZ: FG plus lazy persistency only.
+//   - SLPMT: the full design (fine-grain logging + log-free + lazy).
+//   - SLPMT-CL: SLPMT logging at cache-line granularity (Figure 9).
+//   - ATOM: state-of-the-art hardware undo logging at cache-line
+//     granularity with an 8-record coalescing log buffer.
+//   - EDE: hardware logging at arbitrary granularity without a
+//     coalescing buffer; records are flushed as produced (with a single
+//     staging slot merging directly adjacent records).
+//
+// Redo variants of FG and SLPMT are provided for the Figure 4 ordering
+// experiments and the §V-A in-place-update optimization.
+package schemes
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/persistmem/slpmt/internal/engine"
+	"github.com/persistmem/slpmt/internal/isa"
+)
+
+// Scheme names.
+const (
+	FG        = "FG"
+	FGLG      = "FG+LG"
+	FGLZ      = "FG+LZ"
+	SLPMT     = "SLPMT"
+	SLPMTCL   = "SLPMT-CL"
+	ATOM      = "ATOM"
+	EDE       = "EDE"
+	FGRedo    = "FG-redo"
+	SLPMTRedo = "SLPMT-redo"
+	SLPMTSpec = "SLPMT-spec"
+)
+
+var configs = map[string]engine.Config{
+	FG: {
+		Name:        FG,
+		Caps:        isa.Caps{},
+		Granularity: engine.Word,
+		Mode:        engine.Undo,
+		Buffer:      engine.BufferTiered,
+	},
+	FGLG: {
+		Name:        FGLG,
+		Caps:        isa.Caps{HonorLogFree: true},
+		Granularity: engine.Word,
+		Mode:        engine.Undo,
+		Buffer:      engine.BufferTiered,
+	},
+	FGLZ: {
+		Name:        FGLZ,
+		Caps:        isa.Caps{HonorLazy: true},
+		Granularity: engine.Word,
+		Mode:        engine.Undo,
+		Buffer:      engine.BufferTiered,
+	},
+	SLPMT: {
+		Name:        SLPMT,
+		Caps:        isa.Caps{HonorLogFree: true, HonorLazy: true},
+		Granularity: engine.Word,
+		Mode:        engine.Undo,
+		Buffer:      engine.BufferTiered,
+	},
+	SLPMTCL: {
+		Name:        SLPMTCL,
+		Caps:        isa.Caps{HonorLogFree: true, HonorLazy: true},
+		Granularity: engine.Line,
+		Mode:        engine.Undo,
+		Buffer:      engine.BufferTiered,
+	},
+	ATOM: {
+		Name:        ATOM,
+		Caps:        isa.Caps{},
+		Granularity: engine.Line,
+		Mode:        engine.Undo,
+		Buffer:      engine.BufferTiered,
+	},
+	EDE: {
+		Name:        EDE,
+		Caps:        isa.Caps{},
+		Granularity: engine.Word,
+		Mode:        engine.Undo,
+		Buffer:      engine.BufferDirect,
+	},
+	FGRedo: {
+		Name:        FGRedo,
+		Caps:        isa.Caps{},
+		Granularity: engine.Word,
+		Mode:        engine.Redo,
+		Buffer:      engine.BufferTiered,
+	},
+	SLPMTRedo: {
+		Name:        SLPMTRedo,
+		Caps:        isa.Caps{HonorLogFree: true, HonorLazy: true},
+		Granularity: engine.Word,
+		Mode:        engine.Redo,
+		Buffer:      engine.BufferTiered,
+	},
+	SLPMTSpec: {
+		Name:        SLPMTSpec,
+		Caps:        isa.Caps{HonorLogFree: true, HonorLazy: true},
+		Granularity: engine.Word,
+		Mode:        engine.Undo,
+		Buffer:      engine.BufferTiered,
+		Speculative: true,
+	},
+}
+
+// Lookup returns the configuration for a scheme name.
+func Lookup(name string) (engine.Config, error) {
+	c, ok := configs[name]
+	if !ok {
+		return engine.Config{}, fmt.Errorf("schemes: unknown scheme %q (have %v)", name, Names())
+	}
+	return c, nil
+}
+
+// MustLookup is Lookup that panics on unknown names.
+func MustLookup(name string) engine.Config {
+	c, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Names returns every scheme name, sorted.
+func Names() []string {
+	out := make([]string, 0, len(configs))
+	for n := range configs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Evaluated returns the schemes of the paper's main comparison
+// (Figure 8): baseline first, then the feature breakdowns, the full
+// design, and the prior-work designs.
+func Evaluated() []string {
+	return []string{FG, FGLG, FGLZ, SLPMT, ATOM, EDE}
+}

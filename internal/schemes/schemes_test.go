@@ -1,0 +1,59 @@
+package schemes
+
+import (
+	"testing"
+
+	"github.com/persistmem/slpmt/internal/engine"
+)
+
+func TestLookupAllValid(t *testing.T) {
+	for _, n := range Names() {
+		cfg, err := Lookup(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", n, err)
+		}
+		if cfg.Name != n {
+			t.Errorf("%s: name mismatch %q", n, cfg.Name)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestKeyConfigurations(t *testing.T) {
+	fg := MustLookup(FG)
+	if fg.Caps.HonorLazy || fg.Caps.HonorLogFree || fg.Granularity != engine.Word {
+		t.Errorf("FG config wrong: %+v", fg)
+	}
+	atom := MustLookup(ATOM)
+	if atom.Granularity != engine.Line || atom.Buffer != engine.BufferTiered {
+		t.Errorf("ATOM config wrong: %+v", atom)
+	}
+	ede := MustLookup(EDE)
+	if ede.Buffer != engine.BufferDirect || ede.Granularity != engine.Word {
+		t.Errorf("EDE config wrong: %+v", ede)
+	}
+	full := MustLookup(SLPMT)
+	if !full.Caps.HonorLazy || !full.Caps.HonorLogFree {
+		t.Errorf("SLPMT config wrong: %+v", full)
+	}
+	redo := MustLookup(SLPMTRedo)
+	if redo.Mode != engine.Redo {
+		t.Error("redo variant wrong")
+	}
+}
+
+func TestEvaluatedSubset(t *testing.T) {
+	for _, n := range Evaluated() {
+		if _, err := Lookup(n); err != nil {
+			t.Errorf("evaluated scheme %s unknown", n)
+		}
+	}
+}

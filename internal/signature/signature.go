@@ -1,0 +1,109 @@
+// Package signature implements the per-transaction working-set
+// signatures of §III-C3: hash-based bit-vector summaries (as in LogTM-SE
+// and Bulk) that record the read- and write-set of a committed
+// transaction whose lazily persistent data is still volatile.
+//
+// The implementation is a 2048-bit Bloom filter with k hash functions
+// derived from a 64-bit mixer. All signatures share the same hash
+// functions (the paper notes this saves area and energy), which this
+// package models by making the hash functions package-level.
+//
+// Signatures are conservative: MayContain can report false positives
+// (forcing a harmless early persist of lazy data) but never false
+// negatives (which would break recoverability).
+package signature
+
+import "github.com/persistmem/slpmt/internal/mem"
+
+// Bits is the signature width: 2048 bits = 256 bytes, and the paper's
+// configuration uses four of them (1 KiB total, §III-D).
+const (
+	Bits  = 2048
+	words = Bits / 64
+	// HashFuncs is the number of hash functions.
+	HashFuncs = 4
+)
+
+// Signature is one working-set filter. The zero value is empty and
+// ready to use.
+type Signature struct {
+	bits  [words]uint64
+	count int // addresses added (for introspection, not correctness)
+}
+
+// mix64 is the SplitMix64 finalizer — a cheap, well-distributed 64-bit
+// mixer standing in for the hardware's XOR-fold hash trees.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashes derives the HashFuncs bit indices for a line address using
+// double hashing (h1 + i*h2), the standard Bloom construction.
+func hashes(line mem.Addr) [HashFuncs]uint32 {
+	h := mix64(uint64(line) >> mem.LineShift)
+	h1 := uint32(h)
+	h2 := uint32(h>>32) | 1 // odd so strides cover the table
+	var out [HashFuncs]uint32
+	for i := 0; i < HashFuncs; i++ {
+		out[i] = (h1 + uint32(i)*h2) % Bits
+	}
+	return out
+}
+
+// Add records the cache line containing addr in the working set.
+func (s *Signature) Add(addr mem.Addr) {
+	line := mem.LineAddr(addr)
+	for _, b := range hashes(line) {
+		s.bits[b>>6] |= 1 << (b & 63)
+	}
+	s.count++
+}
+
+// MayContain reports whether the line containing addr may be in the
+// working set. False positives are possible; false negatives are not.
+func (s *Signature) MayContain(addr mem.Addr) bool {
+	line := mem.LineAddr(addr)
+	for _, b := range hashes(line) {
+		if s.bits[b>>6]&(1<<(b&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear empties the signature (the hardware reclaims it once the
+// transaction's lazy data has fully persisted).
+func (s *Signature) Clear() {
+	s.bits = [words]uint64{}
+	s.count = 0
+}
+
+// Empty reports whether no address has been added since the last Clear.
+func (s *Signature) Empty() bool { return s.count == 0 }
+
+// AddCount returns the number of Add calls since the last Clear.
+func (s *Signature) AddCount() int { return s.count }
+
+// Population returns the number of set bits (useful for occupancy
+// diagnostics and the false-positive tests).
+func (s *Signature) Population() int {
+	n := 0
+	for _, w := range s.bits {
+		n += popcount(w)
+	}
+	return n
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

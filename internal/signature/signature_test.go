@@ -1,0 +1,97 @@
+package signature
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/persistmem/slpmt/internal/mem"
+)
+
+// TestNoFalseNegatives: every added address must be reported present —
+// a false negative would skip a required lazy persist and break
+// recoverability. Property-checked over random address sets.
+func TestNoFalseNegatives(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Signature
+		addrs := make([]mem.Addr, 0, n)
+		for i := 0; i < int(n); i++ {
+			a := mem.Addr(rng.Uint64() % (1 << 30))
+			s.Add(a)
+			addrs = append(addrs, a)
+		}
+		for _, a := range addrs {
+			if !s.MayContain(a) {
+				return false
+			}
+			// Any address in the same line must also match.
+			if !s.MayContain(mem.LineAddr(a) + 63) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClear(t *testing.T) {
+	var s Signature
+	s.Add(0x1000)
+	if s.Empty() {
+		t.Error("signature empty after Add")
+	}
+	s.Clear()
+	if !s.Empty() || s.Population() != 0 {
+		t.Error("clear did not empty the signature")
+	}
+	if s.MayContain(0x1000) {
+		t.Error("cleared signature still matches")
+	}
+}
+
+// TestFalsePositiveRate: with a realistic working-set size the filter
+// must stay selective (false positives only force harmless early
+// persists, but a saturated filter would drain lazy data constantly).
+func TestFalsePositiveRate(t *testing.T) {
+	var s Signature
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 128; i++ { // 128-line working set
+		s.Add(mem.Addr(rng.Uint64() % (1 << 28)))
+	}
+	fp := 0
+	probes := 10000
+	for i := 0; i < probes; i++ {
+		a := mem.Addr(1<<30) + mem.Addr(i)*mem.LineSize // disjoint region
+		if s.MayContain(a) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / float64(probes); rate > 0.05 {
+		t.Errorf("false positive rate %.3f too high for 128-line set", rate)
+	}
+}
+
+func TestPopulationGrowth(t *testing.T) {
+	var s Signature
+	s.Add(0x40)
+	p1 := s.Population()
+	if p1 == 0 || p1 > HashFuncs {
+		t.Errorf("population after one add = %d", p1)
+	}
+	if s.AddCount() != 1 {
+		t.Errorf("add count = %d", s.AddCount())
+	}
+}
+
+// TestLineGranularity: two addresses within one cache line are
+// indistinguishable to the signature.
+func TestLineGranularity(t *testing.T) {
+	var s Signature
+	s.Add(0x1008)
+	if !s.MayContain(0x1000) || !s.MayContain(0x103F) {
+		t.Error("same-line addresses not matched")
+	}
+}

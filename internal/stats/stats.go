@@ -1,0 +1,273 @@
+// Package stats collects the simulation counters that the paper's
+// evaluation reports: cycles, persistent-memory write traffic (split into
+// data and log bytes), cache events, log-buffer activity, and
+// lazy-persistency bookkeeping.
+//
+// A single Counters value is owned by one simulated machine; it is not
+// safe for concurrent use (the simulator is single-threaded per machine).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters aggregates every event class the evaluation reports on.
+type Counters struct {
+	// Cycles is the simulated execution time of the program.
+	Cycles uint64
+
+	// Instruction mix.
+	Loads, Stores, StoreTs uint64
+
+	// Transactions.
+	TxBegins, TxCommits, TxAborts uint64
+
+	// Cache events, per level.
+	L1Hits, L1Misses   uint64
+	L2Hits, L2Misses   uint64
+	L3Hits, L3Misses   uint64
+	L1Evicts, L2Evicts uint64
+	L3Evicts           uint64
+	L3Writebacks       uint64 // dirty L3 evictions reaching PM
+
+	// PM write traffic in bytes, as counted at the write-pending queue.
+	PMWriteBytesData uint64 // data cache-line persists + writebacks
+	PMWriteBytesLog  uint64 // log-record persists
+	PMWriteEntries   uint64 // WPQ entries enqueued
+	PMReadBytes      uint64 // demand fills from PM
+	WPQStallCycles   uint64 // cycles the core stalled on a full WPQ
+
+	// Logging activity.
+	LogRecordsCreated   uint64 // records inserted into the log buffer
+	LogRecordsCoalesced uint64 // pairwise coalesce operations performed
+	LogRecordsDiscarded uint64 // records dropped at commit (lazy lines)
+	LogRecordsPersisted uint64 // records that reached PM
+	LogBytesPersisted   uint64 // payload bytes of persisted records
+	LogDuplicates       uint64 // re-logging after L2 log-bit loss
+	SpeculativeRecords  uint64 // records created speculatively (§III-B)
+	LogBufferStalls     uint64 // stores stalled on a locked/full tier 1
+
+	// Persist events.
+	EagerLinePersists uint64 // lines persisted at commit
+	EvictLinePersists uint64 // lines persisted due to L2->L3 eviction
+	LazyLinesDeferred uint64 // lines left volatile at commit
+	LazyLinePersists  uint64 // deferred lines later forced to PM
+	LazyLinesElided   uint64 // deferred lines never persisted (overwritten or clean)
+
+	// Lazy-persistency conflict machinery.
+	SignatureHits   uint64 // working-set matches forcing persistence
+	TxIDRecycles    uint64 // forced persists due to transaction-ID reuse
+	TxIDCrossAccess uint64 // cache-line txid mismatches forcing persistence
+
+	// Allocator.
+	HeapAllocs, HeapFrees uint64
+	HeapBytesAllocated    uint64
+}
+
+// PMWriteBytes returns total persistent-memory write traffic in bytes.
+func (c *Counters) PMWriteBytes() uint64 {
+	return c.PMWriteBytesData + c.PMWriteBytesLog
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o *Counters) {
+	c.Cycles += o.Cycles
+	c.Loads += o.Loads
+	c.Stores += o.Stores
+	c.StoreTs += o.StoreTs
+	c.TxBegins += o.TxBegins
+	c.TxCommits += o.TxCommits
+	c.TxAborts += o.TxAborts
+	c.L1Hits += o.L1Hits
+	c.L1Misses += o.L1Misses
+	c.L2Hits += o.L2Hits
+	c.L2Misses += o.L2Misses
+	c.L3Hits += o.L3Hits
+	c.L3Misses += o.L3Misses
+	c.L1Evicts += o.L1Evicts
+	c.L2Evicts += o.L2Evicts
+	c.L3Evicts += o.L3Evicts
+	c.L3Writebacks += o.L3Writebacks
+	c.PMWriteBytesData += o.PMWriteBytesData
+	c.PMWriteBytesLog += o.PMWriteBytesLog
+	c.PMWriteEntries += o.PMWriteEntries
+	c.PMReadBytes += o.PMReadBytes
+	c.WPQStallCycles += o.WPQStallCycles
+	c.LogRecordsCreated += o.LogRecordsCreated
+	c.LogRecordsCoalesced += o.LogRecordsCoalesced
+	c.LogRecordsDiscarded += o.LogRecordsDiscarded
+	c.LogRecordsPersisted += o.LogRecordsPersisted
+	c.LogBytesPersisted += o.LogBytesPersisted
+	c.LogDuplicates += o.LogDuplicates
+	c.SpeculativeRecords += o.SpeculativeRecords
+	c.LogBufferStalls += o.LogBufferStalls
+	c.EagerLinePersists += o.EagerLinePersists
+	c.EvictLinePersists += o.EvictLinePersists
+	c.LazyLinesDeferred += o.LazyLinesDeferred
+	c.LazyLinePersists += o.LazyLinePersists
+	c.LazyLinesElided += o.LazyLinesElided
+	c.SignatureHits += o.SignatureHits
+	c.TxIDRecycles += o.TxIDRecycles
+	c.TxIDCrossAccess += o.TxIDCrossAccess
+	c.HeapAllocs += o.HeapAllocs
+	c.HeapFrees += o.HeapFrees
+	c.HeapBytesAllocated += o.HeapBytesAllocated
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// Snapshot returns a copy of the counters.
+func (c *Counters) Snapshot() Counters { return *c }
+
+// Delta returns the counters accumulated since the given snapshot.
+func (c *Counters) Delta(since Counters) Counters {
+	d := *c
+	d.Cycles -= since.Cycles
+	d.Loads -= since.Loads
+	d.Stores -= since.Stores
+	d.StoreTs -= since.StoreTs
+	d.TxBegins -= since.TxBegins
+	d.TxCommits -= since.TxCommits
+	d.TxAborts -= since.TxAborts
+	d.L1Hits -= since.L1Hits
+	d.L1Misses -= since.L1Misses
+	d.L2Hits -= since.L2Hits
+	d.L2Misses -= since.L2Misses
+	d.L3Hits -= since.L3Hits
+	d.L3Misses -= since.L3Misses
+	d.L1Evicts -= since.L1Evicts
+	d.L2Evicts -= since.L2Evicts
+	d.L3Evicts -= since.L3Evicts
+	d.L3Writebacks -= since.L3Writebacks
+	d.PMWriteBytesData -= since.PMWriteBytesData
+	d.PMWriteBytesLog -= since.PMWriteBytesLog
+	d.PMWriteEntries -= since.PMWriteEntries
+	d.PMReadBytes -= since.PMReadBytes
+	d.WPQStallCycles -= since.WPQStallCycles
+	d.LogRecordsCreated -= since.LogRecordsCreated
+	d.LogRecordsCoalesced -= since.LogRecordsCoalesced
+	d.LogRecordsDiscarded -= since.LogRecordsDiscarded
+	d.LogRecordsPersisted -= since.LogRecordsPersisted
+	d.LogBytesPersisted -= since.LogBytesPersisted
+	d.LogDuplicates -= since.LogDuplicates
+	d.SpeculativeRecords -= since.SpeculativeRecords
+	d.LogBufferStalls -= since.LogBufferStalls
+	d.EagerLinePersists -= since.EagerLinePersists
+	d.EvictLinePersists -= since.EvictLinePersists
+	d.LazyLinesDeferred -= since.LazyLinesDeferred
+	d.LazyLinePersists -= since.LazyLinePersists
+	d.LazyLinesElided -= since.LazyLinesElided
+	d.SignatureHits -= since.SignatureHits
+	d.TxIDRecycles -= since.TxIDRecycles
+	d.TxIDCrossAccess -= since.TxIDCrossAccess
+	d.HeapAllocs -= since.HeapAllocs
+	d.HeapFrees -= since.HeapFrees
+	d.HeapBytesAllocated -= since.HeapBytesAllocated
+	return d
+}
+
+// Row is one (name, value) pair of a rendered counter table.
+type Row struct {
+	Name  string
+	Value uint64
+}
+
+// Rows returns the non-zero counters in a stable, grouped order, suitable
+// for the CLI tools' reports.
+func (c *Counters) Rows() []Row {
+	all := canonicalRows(c)
+	rows := all[:0]
+	for _, r := range all {
+		if r.Value != 0 {
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+// String renders the non-zero counters as an aligned table.
+func (c *Counters) String() string {
+	rows := c.Rows()
+	width := 0
+	for _, r := range rows {
+		if len(r.Name) > width {
+			width = len(r.Name)
+		}
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s %d\n", width+2, r.Name, r.Value)
+	}
+	return b.String()
+}
+
+// Named returns the value of the counter with the given dotted name, as
+// produced by Rows, and whether it exists (including zero-valued ones).
+func (c *Counters) Named(name string) (uint64, bool) {
+	for _, r := range canonicalRows(c) {
+		if r.Name == name {
+			return r.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Names returns every counter name in canonical order.
+func Names() []string {
+	rows := canonicalRows(&Counters{})
+	names := make([]string, len(rows))
+	for i, r := range rows {
+		names[i] = r.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+func canonicalRows(c *Counters) []Row {
+	return []Row{
+		{"cycles", c.Cycles},
+		{"loads", c.Loads},
+		{"stores", c.Stores},
+		{"storeTs", c.StoreTs},
+		{"tx.begins", c.TxBegins},
+		{"tx.commits", c.TxCommits},
+		{"tx.aborts", c.TxAborts},
+		{"l1.hits", c.L1Hits},
+		{"l1.misses", c.L1Misses},
+		{"l2.hits", c.L2Hits},
+		{"l2.misses", c.L2Misses},
+		{"l3.hits", c.L3Hits},
+		{"l3.misses", c.L3Misses},
+		{"l1.evicts", c.L1Evicts},
+		{"l2.evicts", c.L2Evicts},
+		{"l3.evicts", c.L3Evicts},
+		{"l3.writebacks", c.L3Writebacks},
+		{"pm.write.bytes.data", c.PMWriteBytesData},
+		{"pm.write.bytes.log", c.PMWriteBytesLog},
+		{"pm.write.entries", c.PMWriteEntries},
+		{"pm.read.bytes", c.PMReadBytes},
+		{"pm.wpq.stall.cycles", c.WPQStallCycles},
+		{"log.records.created", c.LogRecordsCreated},
+		{"log.records.coalesced", c.LogRecordsCoalesced},
+		{"log.records.discarded", c.LogRecordsDiscarded},
+		{"log.records.persisted", c.LogRecordsPersisted},
+		{"log.bytes.persisted", c.LogBytesPersisted},
+		{"log.duplicates", c.LogDuplicates},
+		{"log.speculative", c.SpeculativeRecords},
+		{"log.buffer.stalls", c.LogBufferStalls},
+		{"persist.eager.lines", c.EagerLinePersists},
+		{"persist.evict.lines", c.EvictLinePersists},
+		{"lazy.deferred.lines", c.LazyLinesDeferred},
+		{"lazy.persisted.lines", c.LazyLinePersists},
+		{"lazy.elided.lines", c.LazyLinesElided},
+		{"lazy.signature.hits", c.SignatureHits},
+		{"lazy.txid.recycles", c.TxIDRecycles},
+		{"lazy.txid.crossaccess", c.TxIDCrossAccess},
+		{"heap.allocs", c.HeapAllocs},
+		{"heap.frees", c.HeapFrees},
+		{"heap.bytes", c.HeapBytesAllocated},
+	}
+}

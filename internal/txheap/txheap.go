@@ -1,0 +1,324 @@
+// Package txheap is the persistent-heap allocator the workloads allocate
+// their durable objects from.
+//
+// Following the paper's programming model (§IV-B, Pattern 1), allocator
+// METADATA is volatile: like the STAMP ports' malloc, the free lists and
+// bump pointer live outside persistent memory and are rebuilt after a
+// crash by a reachability scan from the application's roots. A crash in
+// the middle of a transaction can therefore leak objects that were
+// allocated but never linked into the structure — exactly the leak the
+// paper's recovery reclaims "using a garbage collector or a persistent
+// inspector from PMDK". The recovery package implements that collector
+// (mark from roots, rebuild the heap).
+//
+// Two rules keep selective logging sound:
+//
+//   - Objects freed inside a transaction are quarantined until the
+//     transaction commits; the allocator never hands memory freed by the
+//     current transaction back to it. (Reuse within the freeing
+//     transaction would let log-free scribbles reach PM over data that
+//     an undo-recovery could resurrect.)
+//   - On abort, the transaction's allocations are returned to the free
+//     list and its frees are cancelled.
+//
+// The allocator is first-fit over a sorted, coalescing free-extent list,
+// with a bump pointer for virgin space.
+package txheap
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/persistmem/slpmt/internal/mem"
+)
+
+// Extent is a [Addr, Addr+Size) byte range in the heap.
+type Extent struct {
+	Addr mem.Addr
+	Size uint64
+}
+
+// End returns the first address past the extent.
+func (e Extent) End() mem.Addr { return e.Addr + e.Size }
+
+// Ticker is the clock surface the heap charges allocation costs to
+// (satisfied by *machine.Machine).
+type Ticker interface {
+	Tick(cycles uint64)
+}
+
+// DefaultAllocCycles is the modelled CPU cost of one allocator
+// operation.
+const DefaultAllocCycles = 40
+
+// Heap is the allocator. Not safe for concurrent use.
+type Heap struct {
+	clk         Ticker
+	base        mem.Addr
+	limit       mem.Addr
+	bump        mem.Addr
+	free        []Extent            // sorted by Addr, non-adjacent
+	allocated   map[mem.Addr]uint64 // live blocks: addr -> size
+	allocCycles uint64
+
+	inTx         bool
+	txAllocs     []Extent // allocations made by the current transaction
+	txFrees      []Extent // frees made by the current transaction
+	totalAllocs  uint64
+	totalFrees   uint64
+	totalBytes   uint64
+	liveBytes    uint64
+	rebuiltGaps  uint64
+	rebuiltBytes uint64
+}
+
+// New creates a heap over [layout.HeapBase, HeapBase+HeapSize). clk may
+// be nil (no timing charged).
+func New(clk Ticker, layout mem.Layout, allocCycles uint64) *Heap {
+	if allocCycles == 0 {
+		allocCycles = DefaultAllocCycles
+	}
+	return &Heap{
+		clk:         clk,
+		base:        layout.HeapBase,
+		limit:       layout.HeapBase + layout.HeapSize,
+		bump:        layout.HeapBase,
+		allocated:   make(map[mem.Addr]uint64),
+		allocCycles: allocCycles,
+	}
+}
+
+func (h *Heap) tick() {
+	if h.clk != nil {
+		h.clk.Tick(h.allocCycles)
+	}
+}
+
+// BeginTx marks the start of a transaction (called by the ptx facade).
+func (h *Heap) BeginTx() {
+	if h.inTx {
+		panic("txheap: nested BeginTx")
+	}
+	h.inTx = true
+	h.txAllocs = h.txAllocs[:0]
+	h.txFrees = h.txFrees[:0]
+}
+
+// CommitTx releases quarantined frees to the free list.
+func (h *Heap) CommitTx() {
+	if !h.inTx {
+		panic("txheap: CommitTx outside transaction")
+	}
+	for _, e := range h.txFrees {
+		h.insertFree(e)
+	}
+	h.inTx = false
+	h.txAllocs = h.txAllocs[:0]
+	h.txFrees = h.txFrees[:0]
+}
+
+// AbortTx rolls the allocator back: the transaction's allocations return
+// to the free list and its frees are reinstated as live.
+func (h *Heap) AbortTx() {
+	if !h.inTx {
+		panic("txheap: AbortTx outside transaction")
+	}
+	for _, e := range h.txAllocs {
+		delete(h.allocated, e.Addr)
+		h.liveBytes -= e.Size
+		h.insertFree(e)
+	}
+	for _, e := range h.txFrees {
+		h.allocated[e.Addr] = e.Size
+		h.liveBytes += e.Size
+	}
+	h.inTx = false
+	h.txAllocs = h.txAllocs[:0]
+	h.txFrees = h.txFrees[:0]
+}
+
+// Alloc returns the address of a fresh block of at least size bytes
+// (rounded up to a word multiple). Panics when the heap is exhausted —
+// the simulated workloads size the heap generously.
+func (h *Heap) Alloc(size uint64) mem.Addr {
+	if size == 0 {
+		size = mem.WordSize
+	}
+	size = uint64(mem.AlignUp(mem.Addr(size), mem.WordSize))
+	h.tick()
+
+	addr, ok := h.allocFromFree(size)
+	if !ok {
+		if h.bump+mem.Addr(size) > h.limit {
+			panic(fmt.Sprintf("txheap: out of memory (want %d bytes, bump %#x, limit %#x)", size, h.bump, h.limit))
+		}
+		addr = h.bump
+		h.bump += mem.Addr(size)
+	}
+	h.allocated[addr] = size
+	h.liveBytes += size
+	h.totalAllocs++
+	h.totalBytes += size
+	if h.inTx {
+		h.txAllocs = append(h.txAllocs, Extent{addr, size})
+	}
+	return addr
+}
+
+// allocFromFree takes a first-fit extent from the free list, splitting.
+func (h *Heap) allocFromFree(size uint64) (mem.Addr, bool) {
+	for i := range h.free {
+		if h.free[i].Size >= size {
+			addr := h.free[i].Addr
+			if h.free[i].Size == size {
+				h.free = append(h.free[:i], h.free[i+1:]...)
+			} else {
+				h.free[i].Addr += mem.Addr(size)
+				h.free[i].Size -= size
+			}
+			return addr, true
+		}
+	}
+	return 0, false
+}
+
+// Free releases the block at addr. Inside a transaction the memory is
+// quarantined until commit. Freeing an unknown address panics (catching
+// workload bugs early).
+func (h *Heap) Free(addr mem.Addr) {
+	size, ok := h.allocated[addr]
+	if !ok {
+		panic(fmt.Sprintf("txheap: free of unallocated address %#x", addr))
+	}
+	h.tick()
+	delete(h.allocated, addr)
+	h.liveBytes -= size
+	h.totalFrees++
+	e := Extent{addr, size}
+	if h.inTx {
+		h.txFrees = append(h.txFrees, e)
+	} else {
+		h.insertFree(e)
+	}
+}
+
+// SizeOf returns the allocation size of a live block, or 0 if addr is
+// not a live block start.
+func (h *Heap) SizeOf(addr mem.Addr) uint64 { return h.allocated[addr] }
+
+// insertFree adds an extent to the sorted free list, coalescing with
+// neighbours.
+func (h *Heap) insertFree(e Extent) {
+	i := sort.Search(len(h.free), func(i int) bool { return h.free[i].Addr >= e.Addr })
+	h.free = append(h.free, Extent{})
+	copy(h.free[i+1:], h.free[i:])
+	h.free[i] = e
+	// Coalesce with successor.
+	if i+1 < len(h.free) && h.free[i].End() == h.free[i+1].Addr {
+		h.free[i].Size += h.free[i+1].Size
+		h.free = append(h.free[:i+1], h.free[i+2:]...)
+	}
+	// Coalesce with predecessor.
+	if i > 0 && h.free[i-1].End() == h.free[i].Addr {
+		h.free[i-1].Size += h.free[i].Size
+		h.free = append(h.free[:i], h.free[i+1:]...)
+	}
+}
+
+// TxAllocs returns the extents allocated by the current transaction —
+// the provenance set the compiler's Pattern 1 analysis consumes: stores
+// into these extents are log-free candidates.
+func (h *Heap) TxAllocs() []Extent {
+	out := make([]Extent, len(h.txAllocs))
+	copy(out, h.txAllocs)
+	return out
+}
+
+// InTxAlloc reports whether addr lies inside a block allocated by the
+// current transaction.
+func (h *Heap) InTxAlloc(addr mem.Addr) bool {
+	for _, e := range h.txAllocs {
+		if addr >= e.Addr && addr < e.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// InTxFree reports whether addr lies inside a block freed by the
+// current transaction (stores to it need no persistence, §IV-B).
+func (h *Heap) InTxFree(addr mem.Addr) bool {
+	for _, e := range h.txFrees {
+		if addr >= e.Addr && addr < e.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// Live returns the live extents, sorted by address.
+func (h *Heap) Live() []Extent {
+	out := make([]Extent, 0, len(h.allocated))
+	for a, s := range h.allocated {
+		out = append(out, Extent{a, s})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Stats returns (allocs, frees, bytes allocated, live bytes).
+func (h *Heap) Stats() (allocs, frees, bytes, live uint64) {
+	return h.totalAllocs, h.totalFrees, h.totalBytes, h.liveBytes
+}
+
+// RebuildReport describes a post-crash heap reconstruction.
+type RebuildReport struct {
+	// ReachableBlocks/Bytes is what the mark phase found live.
+	ReachableBlocks int
+	ReachableBytes  uint64
+	// ReclaimedGaps/Bytes is allocated-looking space between reachable
+	// blocks that returned to the free list (leaked allocations of the
+	// interrupted transaction among it).
+	ReclaimedGaps  int
+	ReclaimedBytes uint64
+}
+
+// Rebuild reconstructs the allocator state after a crash from the set of
+// reachable extents (the mark phase's output): reachable blocks become
+// the live set, every gap below the high-water mark becomes free space.
+// Returns a report of what was reclaimed.
+func (h *Heap) Rebuild(reachable []Extent) RebuildReport {
+	sorted := make([]Extent, len(reachable))
+	copy(sorted, reachable)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Addr < sorted[j].Addr })
+
+	var rep RebuildReport
+	h.allocated = make(map[mem.Addr]uint64, len(sorted))
+	h.free = h.free[:0]
+	h.liveBytes = 0
+	cursor := h.base
+	for _, e := range sorted {
+		if e.Addr < cursor {
+			panic(fmt.Sprintf("txheap: overlapping reachable extents at %#x", e.Addr))
+		}
+		if gap := uint64(e.Addr - cursor); gap > 0 {
+			h.insertFree(Extent{cursor, gap})
+			rep.ReclaimedGaps++
+			rep.ReclaimedBytes += gap
+		}
+		h.allocated[e.Addr] = e.Size
+		h.liveBytes += e.Size
+		rep.ReachableBlocks++
+		rep.ReachableBytes += e.Size
+		cursor = e.End()
+	}
+	if cursor > h.bump {
+		h.bump = cursor
+	}
+	h.inTx = false
+	h.txAllocs = h.txAllocs[:0]
+	h.txFrees = h.txFrees[:0]
+	h.rebuiltGaps += uint64(rep.ReclaimedGaps)
+	h.rebuiltBytes += rep.ReclaimedBytes
+	return rep
+}

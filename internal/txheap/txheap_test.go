@@ -1,0 +1,197 @@
+package txheap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/persistmem/slpmt/internal/mem"
+)
+
+func newHeap() *Heap {
+	return New(nil, mem.DefaultLayout(16<<20), 1)
+}
+
+func TestAllocAlignsAndSeparates(t *testing.T) {
+	h := newHeap()
+	a := h.Alloc(5)
+	b := h.Alloc(24)
+	if !mem.AlignedTo(a, 8) || !mem.AlignedTo(b, 8) {
+		t.Error("allocations not word aligned")
+	}
+	if b < a+8 {
+		t.Error("allocations overlap")
+	}
+	if h.SizeOf(a) != 8 || h.SizeOf(b) != 24 {
+		t.Errorf("sizes: %d, %d", h.SizeOf(a), h.SizeOf(b))
+	}
+}
+
+func TestFreeReuseAndCoalesce(t *testing.T) {
+	h := newHeap()
+	a := h.Alloc(32)
+	b := h.Alloc(32)
+	c := h.Alloc(32)
+	_ = c
+	h.Free(a)
+	h.Free(b) // coalesces with a: one 64-byte extent
+	d := h.Alloc(64)
+	if d != a {
+		t.Errorf("coalesced region not reused: got %#x, want %#x", d, a)
+	}
+}
+
+func TestFirstFitSplits(t *testing.T) {
+	h := newHeap()
+	a := h.Alloc(64)
+	h.Alloc(8) // barrier so the free extent is isolated
+	h.Free(a)
+	b := h.Alloc(16)
+	if b != a {
+		t.Error("first fit ignored the free extent")
+	}
+	c := h.Alloc(48)
+	if c != a+16 {
+		t.Errorf("split remainder not used: got %#x, want %#x", c, a+16)
+	}
+}
+
+func TestFreeUnknownPanics(t *testing.T) {
+	h := newHeap()
+	defer func() {
+		if recover() == nil {
+			t.Error("free of unknown address should panic")
+		}
+	}()
+	h.Free(0x5000)
+}
+
+// TestQuarantine: memory freed inside a transaction is not handed back
+// to the same transaction (the selective-logging soundness rule).
+func TestQuarantine(t *testing.T) {
+	h := newHeap()
+	a := h.Alloc(64)
+	h.BeginTx()
+	h.Free(a)
+	b := h.Alloc(64)
+	if b == a {
+		t.Fatal("freed block reused within the freeing transaction")
+	}
+	h.CommitTx()
+	c := h.Alloc(64)
+	if c != a {
+		t.Errorf("freed block not reused after commit: got %#x, want %#x", c, a)
+	}
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	h := newHeap()
+	pre := h.Alloc(16)
+	h.BeginTx()
+	inTx := h.Alloc(16)
+	h.Free(pre)
+	if !h.InTxAlloc(inTx) || h.InTxAlloc(pre) {
+		t.Error("InTxAlloc misclassifies")
+	}
+	if !h.InTxFree(pre) {
+		t.Error("InTxFree misclassifies")
+	}
+	h.AbortTx()
+	if h.SizeOf(pre) != 16 {
+		t.Error("abort did not reinstate the freed block")
+	}
+	if h.SizeOf(inTx) != 0 {
+		t.Error("abort did not release the transaction's allocation")
+	}
+	// The aborted allocation's space is reusable.
+	again := h.Alloc(16)
+	if again != inTx {
+		t.Errorf("aborted allocation not recycled: got %#x, want %#x", again, inTx)
+	}
+}
+
+func TestRebuild(t *testing.T) {
+	h := newHeap()
+	a := h.Alloc(64)
+	b := h.Alloc(32)
+	c := h.Alloc(128)
+	_ = b // b becomes unreachable (leaked by a crashed transaction)
+	rep := h.Rebuild([]Extent{{a, 64}, {c, 128}})
+	if rep.ReachableBlocks != 2 || rep.ReachableBytes != 192 {
+		t.Errorf("report: %+v", rep)
+	}
+	if rep.ReclaimedGaps != 1 || rep.ReclaimedBytes != 32 {
+		t.Errorf("leak not reclaimed: %+v", rep)
+	}
+	// The reclaimed gap is allocatable again.
+	d := h.Alloc(32)
+	if d != b {
+		t.Errorf("reclaimed gap not reused: got %#x, want %#x", d, b)
+	}
+}
+
+func TestRebuildOverlapPanics(t *testing.T) {
+	h := newHeap()
+	a := h.Alloc(64)
+	defer func() {
+		if recover() == nil {
+			t.Error("overlapping extents should panic")
+		}
+	}()
+	h.Rebuild([]Extent{{a, 64}, {a + 32, 64}})
+}
+
+// TestAllocFreeProperty: under random alloc/free sequences, live blocks
+// never overlap each other or the free list.
+func TestAllocFreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := newHeap()
+		var live []mem.Addr
+		for i := 0; i < 300; i++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				k := rng.Intn(len(live))
+				h.Free(live[k])
+				live = append(live[:k], live[k+1:]...)
+			} else {
+				live = append(live, h.Alloc(uint64(rng.Intn(200)+1)))
+			}
+		}
+		// Verify no two live blocks overlap.
+		ext := h.Live()
+		for i := 1; i < len(ext); i++ {
+			if ext[i-1].End() > ext[i].Addr {
+				return false
+			}
+		}
+		// Every Live extent matches a tracked address.
+		if len(ext) != len(live) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	h := newHeap()
+	a := h.Alloc(100) // rounds to 104
+	h.Free(a)
+	allocs, frees, bytes, liveB := h.Stats()
+	if allocs != 1 || frees != 1 || bytes != 104 || liveB != 0 {
+		t.Errorf("stats: %d %d %d %d", allocs, frees, bytes, liveB)
+	}
+}
+
+func TestOutOfMemoryPanics(t *testing.T) {
+	h := New(nil, mem.Layout{HeapBase: 64, HeapSize: 128}, 1)
+	h.Alloc(128)
+	defer func() {
+		if recover() == nil {
+			t.Error("exhausted heap should panic")
+		}
+	}()
+	h.Alloc(8)
+}

@@ -1,0 +1,177 @@
+// Package txir defines the transaction intermediate representation the
+// compiler tooling analyzes (§IV): a linear record of every
+// transactional operation a workload performs, with the provenance
+// information the paper's MemorySSA-based analyses consume —
+// allocation events (Pattern 1: stores into transaction-local memory
+// are log-free) and data-movement sources (Pattern 2: values copied
+// from unmodified persistent locations are lazily persistent).
+//
+// A Recorder implements the public API's recording hook; the trace it
+// captures can be analyzed (package compiler) and replayed against a
+// fresh system with inferred annotations substituted for manual ones.
+package txir
+
+import (
+	"fmt"
+
+	"github.com/persistmem/slpmt/internal/isa"
+	"github.com/persistmem/slpmt/internal/mem"
+)
+
+// OpKind enumerates IR operations.
+type OpKind uint8
+
+const (
+	// OpBegin starts a transaction.
+	OpBegin OpKind = iota
+	// OpCommit ends a transaction successfully.
+	OpCommit
+	// OpAbort ends a transaction with rollback.
+	OpAbort
+	// OpAlloc is a persistent-heap allocation.
+	OpAlloc
+	// OpFree is a persistent-heap release.
+	OpFree
+	// OpLoad is a transactional read.
+	OpLoad
+	// OpStore is a store of a computed value.
+	OpStore
+	// OpCopy is a store whose value was read from Src (data movement).
+	OpCopy
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpBegin:
+		return "begin"
+	case OpCommit:
+		return "commit"
+	case OpAbort:
+		return "abort"
+	case OpAlloc:
+		return "alloc"
+	case OpFree:
+		return "free"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpCopy:
+		return "copy"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one IR operation.
+type Op struct {
+	Kind OpKind
+	// Seq is the transaction sequence (OpBegin only).
+	Seq uint64
+	// Addr is the operation's target address (store/copy destination,
+	// load source, alloc result, free target).
+	Addr mem.Addr
+	// Size is the byte size of the access (loads, stores, copies) or
+	// allocation.
+	Size int
+	// Src is the source address of a copy (0 for computed stores).
+	Src mem.Addr
+	// Data is the stored value for OpStore (needed for replay).
+	Data []byte
+	// Instr is the instruction kind the workload used.
+	Instr isa.Kind
+	// Manual is the workload's hand annotation, recorded even when the
+	// execution stripped it (the compiler-coverage baseline).
+	Manual isa.Attr
+	// Site identifies the source-level store site (a caller PC): the
+	// unit the paper counts "variables" in for Figure 13.
+	Site uintptr
+}
+
+// Trace is a recorded operation stream.
+type Trace struct {
+	Ops []Op
+}
+
+// Recorder captures a Trace through the public API's Recorder hook.
+type Recorder struct {
+	Trace Trace
+}
+
+// RecBegin implements slpmt.Recorder.
+func (r *Recorder) RecBegin(seq uint64) {
+	r.Trace.Ops = append(r.Trace.Ops, Op{Kind: OpBegin, Seq: seq})
+}
+
+// RecCommit implements slpmt.Recorder.
+func (r *Recorder) RecCommit() {
+	r.Trace.Ops = append(r.Trace.Ops, Op{Kind: OpCommit})
+}
+
+// RecAbort implements slpmt.Recorder.
+func (r *Recorder) RecAbort() {
+	r.Trace.Ops = append(r.Trace.Ops, Op{Kind: OpAbort})
+}
+
+// RecAlloc implements slpmt.Recorder.
+func (r *Recorder) RecAlloc(addr mem.Addr, size uint64) {
+	r.Trace.Ops = append(r.Trace.Ops, Op{Kind: OpAlloc, Addr: addr, Size: int(size)})
+}
+
+// RecFree implements slpmt.Recorder.
+func (r *Recorder) RecFree(addr mem.Addr) {
+	r.Trace.Ops = append(r.Trace.Ops, Op{Kind: OpFree, Addr: addr})
+}
+
+// RecLoad implements slpmt.Recorder.
+func (r *Recorder) RecLoad(addr mem.Addr, size int) {
+	r.Trace.Ops = append(r.Trace.Ops, Op{Kind: OpLoad, Addr: addr, Size: size})
+}
+
+// RecStore implements slpmt.Recorder.
+func (r *Recorder) RecStore(addr mem.Addr, data []byte, kind isa.Kind, attr isa.Attr, site uintptr) {
+	r.Trace.Ops = append(r.Trace.Ops, Op{
+		Kind: OpStore, Addr: addr, Size: len(data), Data: data,
+		Instr: kind, Manual: attr, Site: site,
+	})
+}
+
+// RecCopy implements slpmt.Recorder.
+func (r *Recorder) RecCopy(dst, src mem.Addr, size int, kind isa.Kind, attr isa.Attr, site uintptr) {
+	r.Trace.Ops = append(r.Trace.Ops, Op{
+		Kind: OpCopy, Addr: dst, Size: size, Src: src,
+		Instr: kind, Manual: attr, Site: site,
+	})
+}
+
+// Transactions splits the trace into per-transaction op windows
+// (inclusive of Begin and Commit/Abort). Ops outside transactions are
+// skipped.
+func (t *Trace) Transactions() [][]Op {
+	var out [][]Op
+	start := -1
+	for i, op := range t.Ops {
+		switch op.Kind {
+		case OpBegin:
+			start = i
+		case OpCommit, OpAbort:
+			if start >= 0 {
+				out = append(out, t.Ops[start:i+1])
+				start = -1
+			}
+		}
+	}
+	return out
+}
+
+// Stores returns the indices of store/copy ops.
+func (t *Trace) Stores() []int {
+	var out []int
+	for i, op := range t.Ops {
+		if op.Kind == OpStore || op.Kind == OpCopy {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package txir_test
+
+import (
+	"testing"
+
+	"github.com/persistmem/slpmt"
+	"github.com/persistmem/slpmt/internal/isa"
+	"github.com/persistmem/slpmt/internal/txir"
+)
+
+// TestRecorderCapturesOps: the recorder sees the full op stream of a
+// transaction with provenance and manual annotations, even when the
+// execution strips them.
+func TestRecorderCapturesOps(t *testing.T) {
+	sys := slpmt.New(slpmt.Options{Scheme: "SLPMT"})
+	rec := &txir.Recorder{}
+	sys.AttachRecorder(rec)
+	sys.SetStrip(true)
+
+	var a slpmt.Addr
+	err := sys.Update(func(tx *slpmt.Tx) error {
+		a = tx.Alloc(32)
+		tx.StoreTU64(a, 7, slpmt.LogFree)
+		tx.CopyU64(a+8, a, slpmt.LazyLogFree)
+		v := tx.LoadU64(a)
+		_ = v
+		tx.Free(a)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ops := rec.Trace.Ops
+	kinds := []txir.OpKind{}
+	for _, op := range ops {
+		kinds = append(kinds, op.Kind)
+	}
+	want := []txir.OpKind{txir.OpBegin, txir.OpAlloc, txir.OpStore, txir.OpCopy, txir.OpLoad, txir.OpFree, txir.OpCommit}
+	if len(kinds) != len(want) {
+		t.Fatalf("ops = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("op %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	st := ops[2]
+	if st.Manual != isa.LogFree || st.Addr != a || st.Site == 0 {
+		t.Errorf("store op wrong: %+v", st)
+	}
+	cp := ops[3]
+	if cp.Src != a || cp.Addr != a+8 || cp.Manual != isa.LazyLogFree {
+		t.Errorf("copy op wrong: %+v", cp)
+	}
+	// Stripping: the executed instruction was a plain store, so the
+	// lazy line must NOT have been deferred.
+	if sys.Eng.RetainedLazyLines() != 0 {
+		t.Error("strip mode did not neutralize the lazy annotation")
+	}
+}
+
+func TestTransactionsSplitsWindows(t *testing.T) {
+	tr := &txir.Trace{Ops: []txir.Op{
+		{Kind: txir.OpBegin, Seq: 1},
+		{Kind: txir.OpStore},
+		{Kind: txir.OpCommit},
+		{Kind: txir.OpLoad}, // outside
+		{Kind: txir.OpBegin, Seq: 2},
+		{Kind: txir.OpAbort},
+	}}
+	txs := tr.Transactions()
+	if len(txs) != 2 || len(txs[0]) != 3 || len(txs[1]) != 2 {
+		t.Fatalf("windows: %d", len(txs))
+	}
+	if len(tr.Stores()) != 1 {
+		t.Error("store index broken")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if txir.OpBegin.String() != "begin" || txir.OpCopy.String() != "copy" {
+		t.Error("op kind strings broken")
+	}
+}

@@ -1,0 +1,13 @@
+// Package all registers every benchmark workload; blank-import it to
+// populate the workloads registry.
+package all
+
+import (
+	// Register the benchmark structures.
+	_ "github.com/persistmem/slpmt/internal/workloads/avl"
+	_ "github.com/persistmem/slpmt/internal/workloads/binheap"
+	_ "github.com/persistmem/slpmt/internal/workloads/dlist"
+	_ "github.com/persistmem/slpmt/internal/workloads/hashtable"
+	_ "github.com/persistmem/slpmt/internal/workloads/kvstore"
+	_ "github.com/persistmem/slpmt/internal/workloads/rbtree"
+)

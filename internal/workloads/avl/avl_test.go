@@ -1,0 +1,119 @@
+package avl
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/persistmem/slpmt"
+)
+
+func build(t *testing.T, keys []uint64) (*Tree, *slpmt.System) {
+	t.Helper()
+	tr := New()
+	sys := slpmt.New(slpmt.Options{Scheme: "SLPMT"})
+	if err := tr.Setup(sys); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if err := tr.Insert(sys, k, []byte("avlvalue")); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	return tr, sys
+}
+
+func oracleFor(keys []uint64) map[uint64][]byte {
+	o := map[uint64][]byte{}
+	for _, k := range keys {
+		o[k] = []byte("avlvalue")
+	}
+	return o
+}
+
+// TestRotationCases covers all four AVL rotation shapes explicitly.
+func TestRotationCases(t *testing.T) {
+	cases := map[string][]uint64{
+		"LL": {30, 20, 10},
+		"RR": {10, 20, 30},
+		"LR": {30, 10, 20},
+		"RL": {10, 30, 20},
+	}
+	for name, keys := range cases {
+		t.Run(name, func(t *testing.T) {
+			tr, sys := build(t, keys)
+			if err := tr.Check(sys, oracleFor(keys)); err != nil {
+				t.Fatal(err)
+			}
+			// All cases end with 20 at the root.
+			sys.View(func(tx *slpmt.Tx) {
+				root := slpmt.Addr(tx.Root(0))
+				if k := tx.LoadU64(root + offKey); k != 20 {
+					t.Errorf("root key = %d, want 20", k)
+				}
+			})
+		})
+	}
+}
+
+func TestSequentialAndRandom(t *testing.T) {
+	seq := make([]uint64, 200)
+	for i := range seq {
+		seq[i] = uint64(i + 1)
+	}
+	tr, sys := build(t, seq)
+	if err := tr.Check(sys, oracleFor(seq)); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var rnd []uint64
+	seen := map[uint64]bool{}
+	for len(rnd) < 200 {
+		k := rng.Uint64()%50000 + 1
+		if !seen[k] {
+			seen[k] = true
+			rnd = append(rnd, k)
+		}
+	}
+	tr2, sys2 := build(t, rnd)
+	if err := tr2.Check(sys2, oracleFor(rnd)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeleteRebalances: deleting a whole flank forces rebalancing.
+func TestDeleteRebalances(t *testing.T) {
+	keys := make([]uint64, 63)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+	}
+	tr, sys := build(t, keys)
+	oracle := oracleFor(keys)
+	// Remove all even keys, then the low half.
+	for _, k := range keys {
+		if k%2 == 0 || k < 16 {
+			if err := tr.Delete(sys, k); err != nil {
+				t.Fatalf("delete %d: %v", k, err)
+			}
+			delete(oracle, k)
+		}
+	}
+	if err := tr.Check(sys, oracle); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteTwoChildrenSplice(t *testing.T) {
+	// Delete internal nodes with two children (successor splice path).
+	keys := []uint64{50, 25, 75, 12, 37, 62, 87, 31, 43}
+	tr, sys := build(t, keys)
+	oracle := oracleFor(keys)
+	for _, k := range []uint64{25, 50} {
+		if err := tr.Delete(sys, k); err != nil {
+			t.Fatalf("delete %d: %v", k, err)
+		}
+		delete(oracle, k)
+		if err := tr.Check(sys, oracle); err != nil {
+			t.Fatalf("after deleting %d: %v", k, err)
+		}
+	}
+}

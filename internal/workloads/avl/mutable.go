@@ -1,0 +1,145 @@
+package avl
+
+import (
+	"fmt"
+
+	"github.com/persistmem/slpmt"
+	"github.com/persistmem/slpmt/internal/workloads"
+)
+
+// UpdateValue implements workloads.Mutable: same-size updates overwrite
+// the inline value (logged); size-changing updates splice in a fresh
+// replacement node (log-free fields, one logged link).
+func (t *Tree) UpdateValue(sys *slpmt.System, key uint64, value []byte) error {
+	rootSlot := slpmt.Addr(sys.Layout().RootBase) + 8*workloads.RootMain
+	return sys.Update(func(tx *slpmt.Tx) error {
+		parentLink := rootSlot
+		n := slpmt.Addr(tx.LoadU64(parentLink))
+		for n != 0 {
+			k := tx.LoadU64(n + offKey)
+			switch {
+			case key == k:
+				if tx.LoadU64(n+offVLen) == uint64(len(value)) {
+					tx.Store(n+offVal, value)
+					return nil
+				}
+				repl := tx.Alloc(offVal + uint64(len(value)))
+				tx.StoreTU64(repl+offKey, key, slpmt.LogFree)
+				tx.StoreTU64(repl+offVLen, uint64(len(value)), slpmt.LogFree)
+				tx.CopyU64(repl+offLeft, n+offLeft, slpmt.LogFree)
+				tx.CopyU64(repl+offRight, n+offRight, slpmt.LogFree)
+				tx.CopyU64(repl+offHeight, n+offHeight, slpmt.LogFree)
+				tx.StoreT(repl+offVal, value, slpmt.LogFree)
+				tx.StoreU64(parentLink, uint64(repl))
+				tx.Free(n)
+				return nil
+			case key < k:
+				parentLink = n + offLeft
+			default:
+				parentLink = n + offRight
+			}
+			n = slpmt.Addr(tx.LoadU64(parentLink))
+		}
+		return fmt.Errorf("avl: key %d not found", key)
+	})
+}
+
+// Delete implements workloads.Mutable: recursive removal with pointer
+// splicing (the successor node is relinked, payloads never move) and
+// AVL rebalancing on the way up.
+func (t *Tree) Delete(sys *slpmt.System, key uint64) error {
+	return sys.Update(func(tx *slpmt.Tx) error {
+		root := slpmt.Addr(tx.Root(workloads.RootMain))
+		newRoot, removed, err := t.remove(tx, root, key)
+		if err != nil {
+			return err
+		}
+		if newRoot != root {
+			tx.SetRoot(workloads.RootMain, uint64(newRoot))
+		}
+		tx.SetRoot(workloads.RootCount, tx.Root(workloads.RootCount)-1)
+		tx.Free(removed)
+		return nil
+	})
+}
+
+// remove deletes key from the subtree at n, returning the new subtree
+// root and the detached node (freed by the caller after commit).
+func (t *Tree) remove(tx *slpmt.Tx, n slpmt.Addr, key uint64) (slpmt.Addr, slpmt.Addr, error) {
+	if n == 0 {
+		return 0, 0, fmt.Errorf("avl: key %d not found", key)
+	}
+	k := tx.LoadU64(n + offKey)
+	switch {
+	case key < k:
+		child, removed, err := t.remove(tx, slpmt.Addr(tx.LoadU64(n+offLeft)), key)
+		if err != nil {
+			return 0, 0, err
+		}
+		if uint64(child) != tx.LoadU64(n+offLeft) {
+			tx.StoreU64(n+offLeft, uint64(child))
+		}
+		return t.rebalance(tx, n), removed, nil
+	case key > k:
+		child, removed, err := t.remove(tx, slpmt.Addr(tx.LoadU64(n+offRight)), key)
+		if err != nil {
+			return 0, 0, err
+		}
+		if uint64(child) != tx.LoadU64(n+offRight) {
+			tx.StoreU64(n+offRight, uint64(child))
+		}
+		return t.rebalance(tx, n), removed, nil
+	}
+	// Found n.
+	l := slpmt.Addr(tx.LoadU64(n + offLeft))
+	r := slpmt.Addr(tx.LoadU64(n + offRight))
+	switch {
+	case l == 0:
+		return r, n, nil
+	case r == 0:
+		return l, n, nil
+	}
+	// Two children: detach the successor (min of right subtree) and
+	// splice it into n's position.
+	newRight, succ := t.detachMin(tx, r)
+	tx.StoreU64(succ+offLeft, uint64(l))
+	tx.StoreU64(succ+offRight, uint64(newRight))
+	fixHeight(tx, succ)
+	return t.rebalance(tx, succ), n, nil
+}
+
+// detachMin removes and returns the minimum node of the subtree.
+func (t *Tree) detachMin(tx *slpmt.Tx, n slpmt.Addr) (newRoot, min slpmt.Addr) {
+	l := slpmt.Addr(tx.LoadU64(n + offLeft))
+	if l == 0 {
+		return slpmt.Addr(tx.LoadU64(n + offRight)), n
+	}
+	newLeft, min := t.detachMin(tx, l)
+	if uint64(newLeft) != tx.LoadU64(n+offLeft) {
+		tx.StoreU64(n+offLeft, uint64(newLeft))
+	}
+	return t.rebalance(tx, n), min
+}
+
+// rebalance restores the AVL invariant at n after a removal below it.
+func (t *Tree) rebalance(tx *slpmt.Tx, n slpmt.Addr) slpmt.Addr {
+	fixHeight(tx, n)
+	b := balance(tx, n)
+	switch {
+	case b > 1:
+		l := slpmt.Addr(tx.LoadU64(n + offLeft))
+		if balance(tx, l) < 0 {
+			nl := rotateLeft(tx, l)
+			tx.StoreU64(n+offLeft, uint64(nl))
+		}
+		return rotateRight(tx, n)
+	case b < -1:
+		r := slpmt.Addr(tx.LoadU64(n + offRight))
+		if balance(tx, r) > 0 {
+			nr := rotateRight(tx, r)
+			tx.StoreU64(n+offRight, uint64(nr))
+		}
+		return rotateLeft(tx, n)
+	}
+	return n
+}

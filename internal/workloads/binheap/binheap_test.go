@@ -1,0 +1,120 @@
+package binheap
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/persistmem/slpmt"
+	"github.com/persistmem/slpmt/internal/workloads"
+)
+
+func build(t *testing.T, keys []uint64) (*Heap, *slpmt.System) {
+	t.Helper()
+	h := New()
+	sys := slpmt.New(slpmt.Options{Scheme: "SLPMT"})
+	if err := h.Setup(sys); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if err := h.Insert(sys, k, []byte("heapval!")); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	return h, sys
+}
+
+func oracleFor(keys []uint64) map[uint64][]byte {
+	o := map[uint64][]byte{}
+	for _, k := range keys {
+		o[k] = []byte("heapval!")
+	}
+	return o
+}
+
+// TestMaxAtRoot: the maximum key always sits at index 0.
+func TestMaxAtRoot(t *testing.T) {
+	keys := []uint64{5, 99, 3, 42, 77, 100, 1}
+	_, sys := build(t, keys)
+	sys.View(func(tx *slpmt.Tx) {
+		arr := slpmt.Addr(tx.Root(workloads.RootMain))
+		if got := tx.LoadU64(arr + entKey); got != 100 {
+			t.Errorf("root key = %d, want 100", got)
+		}
+	})
+}
+
+// TestGrowthMoveProtocol: exceeding the capacity runs the lazy-copy
+// growth transaction with the RootMoveSrc recovery protocol.
+func TestGrowthMoveProtocol(t *testing.T) {
+	keys := make([]uint64, initialCap+1)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+	}
+	h, sys := build(t, keys)
+	var capn uint64
+	sys.View(func(tx *slpmt.Tx) { capn = tx.Root(workloads.RootMeta) })
+	if capn != 2*initialCap {
+		t.Fatalf("capacity = %d, want %d", capn, 2*initialCap)
+	}
+	if err := h.Check(sys, oracleFor(keys)); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Stats().LazyLinesDeferred == 0 {
+		t.Error("growth copy was not lazy")
+	}
+}
+
+// TestDeleteArbitrary: removing interior entries preserves heap order.
+func TestDeleteArbitrary(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var keys []uint64
+	seen := map[uint64]bool{}
+	for len(keys) < 100 {
+		k := rng.Uint64()%10000 + 1
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	h, sys := build(t, keys)
+	oracle := oracleFor(keys)
+	for i := 0; i < 60; i++ {
+		k := keys[rng.Intn(len(keys))]
+		if _, ok := oracle[k]; !ok {
+			continue
+		}
+		if err := h.Delete(sys, k); err != nil {
+			t.Fatalf("delete %d: %v", k, err)
+		}
+		delete(oracle, k)
+	}
+	if err := h.Check(sys, oracle); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEndSlotIsLogFree: the new entry's slot writes create no undo
+// records when the insert lands at the end of the array (no sift).
+func TestEndSlotIsLogFree(t *testing.T) {
+	h := New()
+	sys := slpmt.New(slpmt.Options{Scheme: "SLPMT"})
+	if err := h.Setup(sys); err != nil {
+		t.Fatal(err)
+	}
+	// Descending keys never sift (parent always larger).
+	before := sys.Stats().LogRecordsCreated
+	if err := h.Insert(sys, 100, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	first := sys.Stats().LogRecordsCreated - before
+	before = sys.Stats().LogRecordsCreated
+	if err := h.Insert(sys, 50, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	second := sys.Stats().LogRecordsCreated - before
+	// Only the size-field (and root-line) stores should be logged:
+	// a couple of records, not the entry or value payload.
+	if second > 3 {
+		t.Errorf("end-slot insert created %d records (first: %d)", second, first)
+	}
+}

@@ -1,0 +1,110 @@
+package binheap
+
+import (
+	"fmt"
+
+	"github.com/persistmem/slpmt"
+	"github.com/persistmem/slpmt/internal/workloads"
+)
+
+// UpdateValue implements workloads.Mutable: the entry's out-of-line
+// value block is replaced by a fresh one (log-free) and the entry's
+// pointer updated with one logged store — keys don't move, so the heap
+// order is untouched.
+func (h *Heap) UpdateValue(sys *slpmt.System, key uint64, value []byte) error {
+	return sys.Update(func(tx *slpmt.Tx) error {
+		h.releaseStash(tx)
+		arr := slpmt.Addr(tx.Root(workloads.RootMain))
+		size := tx.Root(workloads.RootCount)
+		for i := uint64(0); i < size; i++ {
+			if tx.LoadU64(slot(arr, i)+entKey) != key {
+				continue
+			}
+			old := slpmt.Addr(tx.LoadU64(slot(arr, i) + entVPtr))
+			vb := tx.Alloc(valBytes + uint64(len(value)))
+			tx.StoreTU64(vb+valLen, uint64(len(value)), slpmt.LogFree)
+			tx.StoreT(vb+valBytes, value, slpmt.LogFree)
+			tx.StoreU64(slot(arr, i)+entVPtr, uint64(vb))
+			tx.Free(old)
+			return nil
+		}
+		return fmt.Errorf("heap: key %d not found", key)
+	})
+}
+
+// Delete implements workloads.Mutable: classic arbitrary-position heap
+// removal — the last entry moves into the hole (logged copy) and sifts
+// to its place.
+func (h *Heap) Delete(sys *slpmt.System, key uint64) error {
+	return sys.Update(func(tx *slpmt.Tx) error {
+		h.releaseStash(tx)
+		arr := slpmt.Addr(tx.Root(workloads.RootMain))
+		size := tx.Root(workloads.RootCount)
+		idx := size
+		for i := uint64(0); i < size; i++ {
+			if tx.LoadU64(slot(arr, i)+entKey) == key {
+				idx = i
+				break
+			}
+		}
+		if idx == size {
+			return fmt.Errorf("heap: key %d not found", key)
+		}
+		vb := slpmt.Addr(tx.LoadU64(slot(arr, idx) + entVPtr))
+		last := size - 1
+		if idx != last {
+			tx.Copy(slot(arr, idx), slot(arr, last), entSize, slpmt.Plain)
+		}
+		tx.SetRoot(workloads.RootCount, last)
+		tx.Free(vb)
+		if idx == last {
+			return nil
+		}
+		h.siftDown(tx, arr, idx, last)
+		h.siftUpFrom(tx, arr, idx)
+		return nil
+	})
+}
+
+// siftDown restores heap order below i (entries [0,size)).
+func (h *Heap) siftDown(tx *slpmt.Tx, arr slpmt.Addr, i, size uint64) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		ki := tx.LoadU64(slot(arr, big) + entKey)
+		if l < size && tx.LoadU64(slot(arr, l)+entKey) > ki {
+			big = l
+			ki = tx.LoadU64(slot(arr, l) + entKey)
+		}
+		if r < size && tx.LoadU64(slot(arr, r)+entKey) > ki {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.swapEntries(tx, arr, i, big)
+		i = big
+	}
+}
+
+// siftUpFrom restores heap order above i.
+func (h *Heap) siftUpFrom(tx *slpmt.Tx, arr slpmt.Addr, i uint64) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if tx.LoadU64(slot(arr, p)+entKey) >= tx.LoadU64(slot(arr, i)+entKey) {
+			return
+		}
+		h.swapEntries(tx, arr, i, p)
+		i = p
+	}
+}
+
+// swapEntries exchanges two entries with logged stores (both operands
+// are overwritten in place, so neither is recoverable without a log).
+func (h *Heap) swapEntries(tx *slpmt.Tx, arr slpmt.Addr, i, j uint64) {
+	ki := tx.LoadU64(slot(arr, i) + entKey)
+	vi := tx.LoadU64(slot(arr, i) + entVPtr)
+	tx.Copy(slot(arr, i), slot(arr, j), entSize, slpmt.Plain)
+	tx.StoreU64(slot(arr, j)+entKey, ki)
+	tx.StoreU64(slot(arr, j)+entVPtr, vi)
+}

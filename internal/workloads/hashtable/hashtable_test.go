@@ -1,0 +1,116 @@
+package hashtable
+
+import (
+	"testing"
+
+	"github.com/persistmem/slpmt"
+	"github.com/persistmem/slpmt/internal/workloads"
+)
+
+func build(t *testing.T, n int) (*Table, *slpmt.System) {
+	t.Helper()
+	tb := New()
+	sys := slpmt.New(slpmt.Options{Scheme: "SLPMT"})
+	if err := tb.Setup(sys); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		k := uint64(i) * 2654435761
+		if err := tb.Insert(sys, k, []byte("0123456789abcdef")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb, sys
+}
+
+// TestRehashTriggersAtLoadFactor: the table doubles when it exceeds
+// three records per bucket on average (Table II).
+func TestRehashTriggersAtLoadFactor(t *testing.T) {
+	tb, sys := build(t, 3*initialBuckets) // exactly at the threshold
+	var nb uint64
+	sys.View(func(tx *slpmt.Tx) { nb = tx.Root(workloads.RootMeta) })
+	if nb != initialBuckets {
+		t.Fatalf("resized too early: %d buckets", nb)
+	}
+	k := uint64(999999)
+	if err := tb.Insert(sys, k, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	sys.View(func(tx *slpmt.Tx) { nb = tx.Root(workloads.RootMeta) })
+	if nb != 2*initialBuckets {
+		t.Fatalf("did not resize: %d buckets", nb)
+	}
+}
+
+// TestRehashMoveProtocol: the resize publishes RootMoveSrc and the next
+// transaction clears it, forcing the lazy copies durable first.
+func TestRehashMoveProtocol(t *testing.T) {
+	tb, sys := build(t, 3*initialBuckets+1) // one past threshold: resized
+	// Observe the engine state BEFORE reading any root: even a load of
+	// the root line counts as touching the rehash transaction's working
+	// set and would force the lazy drain (the §III-C3 TxID check).
+	if sys.Eng.RetainedLazyLines() == 0 {
+		t.Fatal("no lazy copies retained after rehash")
+	}
+	if sys.Stats().LazyLinesDeferred == 0 {
+		t.Fatal("rehash deferred nothing")
+	}
+	var src uint64
+	sys.View(func(tx *slpmt.Tx) { src = tx.Root(workloads.RootMoveSrc) })
+	if src == 0 {
+		t.Fatal("RootMoveSrc not published after rehash")
+	}
+	// That very read of the root line already forced the copies durable
+	// (conservative hardware); the release transaction still clears the
+	// recovery pointer.
+	if err := tb.Insert(sys, 424242, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	sys.View(func(tx *slpmt.Tx) { src = tx.Root(workloads.RootMoveSrc) })
+	if src != 0 {
+		t.Fatal("RootMoveSrc not cleared by the next transaction")
+	}
+	c := sys.Stats()
+	if c.LazyLinePersists+c.LazyLinesElided < c.LazyLinesDeferred {
+		t.Error("deferred lines unaccounted for")
+	}
+}
+
+func TestHashDistribution(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := uint64(0); i < 4096; i++ {
+		seen[hash(i)%64]++
+	}
+	for b, c := range seen {
+		if c < 20 || c > 160 {
+			t.Fatalf("bucket %d grossly unbalanced: %d", b, c)
+		}
+	}
+}
+
+func TestUpdateChangesSize(t *testing.T) {
+	tb, sys := build(t, 10)
+	k := uint64(1) * 2654435761
+	if err := tb.UpdateValue(sys, k, []byte("a-much-longer-replacement-value")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tb.Get(sys, k)
+	if !ok || string(got) != "a-much-longer-replacement-value" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDeleteMissingKey(t *testing.T) {
+	tb, sys := build(t, 5)
+	if err := tb.Delete(sys, 123456789); err == nil {
+		t.Fatal("delete of missing key succeeded")
+	}
+	// The failed transaction aborted; the table is intact.
+	oracle := map[uint64][]byte{}
+	for i := 1; i <= 5; i++ {
+		oracle[uint64(i)*2654435761] = []byte("0123456789abcdef")
+	}
+	if err := tb.Check(sys, oracle); err != nil {
+		t.Fatal(err)
+	}
+}

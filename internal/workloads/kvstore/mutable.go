@@ -1,0 +1,276 @@
+package kvstore
+
+import (
+	"fmt"
+
+	"github.com/persistmem/slpmt"
+	"github.com/persistmem/slpmt/internal/workloads"
+)
+
+// mutableIndex is implemented by backends that support value updates
+// and removals.
+type mutableIndex interface {
+	// updateVPtr points key at a new value block, returning the old one.
+	updateVPtr(tx *slpmt.Tx, key uint64, vptr slpmt.Addr) (old slpmt.Addr, err error)
+	// remove unlinks key, returning its value block. Backend node
+	// memory is freed inside; the caller frees the value block.
+	remove(tx *slpmt.Tx, key uint64) (vptr slpmt.Addr, err error)
+}
+
+// UpdateValue implements workloads.Mutable: a fresh value block
+// (log-free), one logged pointer update in the index, and the old block
+// quarantined until commit.
+func (kv *KV) UpdateValue(sys *slpmt.System, key uint64, value []byte) error {
+	mi, ok := kv.idx.(mutableIndex)
+	if !ok {
+		return workloads.ErrUnsupported
+	}
+	return sys.Update(func(tx *slpmt.Tx) error {
+		vb := tx.Alloc(valBytes + uint64(len(value)))
+		tx.StoreTU64(vb+valLen, uint64(len(value)), slpmt.LogFree)
+		tx.StoreT(vb+valBytes, value, slpmt.LogFree)
+		old, err := mi.updateVPtr(tx, key, vb)
+		if err != nil {
+			return err
+		}
+		tx.Free(old)
+		return nil
+	})
+}
+
+// Delete implements workloads.Mutable.
+func (kv *KV) Delete(sys *slpmt.System, key uint64) error {
+	mi, ok := kv.idx.(mutableIndex)
+	if !ok {
+		return workloads.ErrUnsupported
+	}
+	err := sys.Update(func(tx *slpmt.Tx) error {
+		vb, err := mi.remove(tx, key)
+		if err != nil {
+			return err
+		}
+		tx.Free(vb)
+		tx.SetRoot(workloads.RootCount, tx.Root(workloads.RootCount)-1)
+		return nil
+	})
+	return err
+}
+
+// --- btree ----------------------------------------------------------
+
+func (b *btree) updateVPtr(tx *slpmt.Tx, key uint64, vptr slpmt.Addr) (slpmt.Addr, error) {
+	x := slpmt.Addr(tx.Root(workloads.RootMain))
+	for x != 0 {
+		n := int(tx.LoadU64(x + btN))
+		i := 0
+		for i < n {
+			k := tx.LoadU64(x + btKey(i))
+			if k == key {
+				old := slpmt.Addr(tx.LoadU64(x + btVal(i)))
+				tx.StoreU64(x+btVal(i), uint64(vptr))
+				return old, nil
+			}
+			if key < k {
+				break
+			}
+			i++
+		}
+		if tx.LoadU64(x+btLeaf) == 1 {
+			break
+		}
+		x = slpmt.Addr(tx.LoadU64(x + btKid(i)))
+	}
+	return 0, fmt.Errorf("btree: key %d not found", key)
+}
+
+// remove is not implemented for the btree backend (merge/borrow
+// rebalancing is out of scope; ctree and rtree cover index removal).
+func (b *btree) remove(tx *slpmt.Tx, key uint64) (slpmt.Addr, error) {
+	return 0, workloads.ErrUnsupported
+}
+
+// --- ctree ----------------------------------------------------------
+
+func (c *ctree) updateVPtr(tx *slpmt.Tx, key uint64, vptr slpmt.Addr) (slpmt.Addr, error) {
+	p := tx.Root(workloads.RootMain)
+	if p == 0 {
+		return 0, fmt.Errorf("ctree: key %d not found", key)
+	}
+	for !ctIsLeaf(p) {
+		n := ctUntag(p)
+		if keyBit(key, tx.LoadU64(n+ctBit)) == 0 {
+			p = tx.LoadU64(n + ctChild0)
+		} else {
+			p = tx.LoadU64(n + ctChild1)
+		}
+	}
+	l := slpmt.Addr(ctUntag(p))
+	if tx.LoadU64(l+ctLeafKey) != key {
+		return 0, fmt.Errorf("ctree: key %d not found", key)
+	}
+	old := slpmt.Addr(tx.LoadU64(l + ctLeafVPtr))
+	tx.StoreU64(l+ctLeafVPtr, uint64(vptr))
+	return old, nil
+}
+
+// remove unlinks the leaf and its branch node: the grandparent's child
+// pointer is redirected to the sibling subtree (one logged store), and
+// both freed nodes are quarantined until commit.
+func (c *ctree) remove(tx *slpmt.Tx, key uint64) (slpmt.Addr, error) {
+	root := tx.Root(workloads.RootMain)
+	if root == 0 {
+		return 0, fmt.Errorf("ctree: key %d not found", key)
+	}
+	var grand slpmt.Addr // 0 = root slot holds parent
+	grandSide := uint64(0)
+	var parent slpmt.Addr
+	parentSide := uint64(0)
+	p := root
+	for !ctIsLeaf(p) {
+		n := slpmt.Addr(ctUntag(p))
+		side := keyBit(key, tx.LoadU64(n+ctBit))
+		grand, grandSide = parent, parentSide
+		parent, parentSide = n, side
+		p = tx.LoadU64(n + ctChild0 + slpmt.Addr(8*side))
+	}
+	leaf := slpmt.Addr(ctUntag(p))
+	if tx.LoadU64(leaf+ctLeafKey) != key {
+		return 0, fmt.Errorf("ctree: key %d not found", key)
+	}
+	vb := slpmt.Addr(tx.LoadU64(leaf + ctLeafVPtr))
+	switch {
+	case parent == 0:
+		// The leaf was the whole tree.
+		tx.SetRoot(workloads.RootMain, 0)
+	default:
+		sibling := tx.LoadU64(parent + ctChild0 + slpmt.Addr(8*(1-parentSide)))
+		if grand == 0 {
+			tx.SetRoot(workloads.RootMain, sibling)
+		} else {
+			tx.StoreU64(grand+ctChild0+slpmt.Addr(8*grandSide), sibling)
+		}
+		tx.Free(parent)
+	}
+	tx.Free(leaf)
+	return vb, nil
+}
+
+// --- rtree ----------------------------------------------------------
+
+func (r *rtree) updateVPtr(tx *slpmt.Tx, key uint64, vptr slpmt.Addr) (slpmt.Addr, error) {
+	p := tx.Root(workloads.RootMain)
+	depth := 0
+	for {
+		if p == 0 {
+			return 0, fmt.Errorf("rtree: key %d not found", key)
+		}
+		if rtIsLeaf(p) {
+			l := slpmt.Addr(rtUntag(p))
+			if tx.LoadU64(l+rtLeafKey) != key {
+				return 0, fmt.Errorf("rtree: key %d not found", key)
+			}
+			old := slpmt.Addr(tx.LoadU64(l + rtLeafVPtr))
+			tx.StoreU64(l+rtLeafVPtr, uint64(vptr))
+			return old, nil
+		}
+		n := slpmt.Addr(rtUntag(p))
+		plen := int(tx.LoadU64(n + rtPLen))
+		prefix := tx.LoadU64(n + rtPrefix)
+		for m := 0; m < plen; m++ {
+			if nib(key, depth+m) != prefixNib(prefix, m) {
+				return 0, fmt.Errorf("rtree: key %d not found", key)
+			}
+		}
+		depth += plen
+		p = tx.LoadU64(n + rtKid(nib(key, depth)))
+		depth++
+	}
+}
+
+// remove unlinks the leaf; a branch left with a single child collapses:
+// the child is spliced up, and if it is an internal node, a fresh
+// replacement with the merged prefix takes its place (copy-on-write,
+// log-free — the same technique as insert's prefix split).
+func (r *rtree) remove(tx *slpmt.Tx, key uint64) (slpmt.Addr, error) {
+	var parent slpmt.Addr // the branch holding the leaf (0 = root slot)
+	var pslot uint64
+	var grand slpmt.Addr // the branch holding parent (0 = root slot)
+	var gslot uint64
+	p := tx.Root(workloads.RootMain)
+	depth := 0
+	for {
+		if p == 0 {
+			return 0, fmt.Errorf("rtree: key %d not found", key)
+		}
+		if rtIsLeaf(p) {
+			break
+		}
+		n := slpmt.Addr(rtUntag(p))
+		plen := int(tx.LoadU64(n + rtPLen))
+		prefix := tx.LoadU64(n + rtPrefix)
+		for m := 0; m < plen; m++ {
+			if nib(key, depth+m) != prefixNib(prefix, m) {
+				return 0, fmt.Errorf("rtree: key %d not found", key)
+			}
+		}
+		depth += plen
+		slot := nib(key, depth)
+		depth++
+		grand, gslot = parent, pslot
+		parent, pslot = n, slot
+		p = tx.LoadU64(n + rtKid(slot))
+	}
+	leaf := slpmt.Addr(rtUntag(p))
+	if tx.LoadU64(leaf+rtLeafKey) != key {
+		return 0, fmt.Errorf("rtree: key %d not found", key)
+	}
+	vb := slpmt.Addr(tx.LoadU64(leaf + rtLeafVPtr))
+	if parent == 0 {
+		tx.SetRoot(workloads.RootMain, 0)
+		tx.Free(leaf)
+		return vb, nil
+	}
+	// Clear the leaf's slot (logged) and count the remaining children.
+	tx.StoreU64(parent+rtKid(pslot), 0)
+	remaining := uint64(0)
+	var lastSlot uint64
+	for i := uint64(0); i < 16; i++ {
+		if tx.LoadU64(parent+rtKid(i)) != 0 {
+			remaining++
+			lastSlot = i
+		}
+	}
+	if remaining != 1 {
+		tx.Free(leaf)
+		return vb, nil
+	}
+	// Collapse: splice the single remaining child up.
+	child := tx.LoadU64(parent + rtKid(lastSlot))
+	var up uint64
+	if rtIsLeaf(child) {
+		up = child
+	} else {
+		// Merge prefixes: parent.prefix + lastSlot + child.prefix into
+		// a fresh replacement of the child (log-free copy-on-write).
+		cn := slpmt.Addr(rtUntag(child))
+		pplen := int(tx.LoadU64(parent + rtPLen))
+		pprefix := tx.LoadU64(parent + rtPrefix)
+		cplen := int(tx.LoadU64(cn + rtPLen))
+		cprefix := tx.LoadU64(cn + rtPrefix)
+		merged := pprefix | (lastSlot << uint(60-4*pplen)) | (cprefix >> uint(4*(pplen+1)))
+		rep := r.newNode(tx, pplen+1+cplen, merged)
+		for i := uint64(0); i < 16; i++ {
+			tx.CopyU64(rep+rtKid(i), cn+rtKid(i), slpmt.LogFree)
+		}
+		up = uint64(rep)
+		tx.Free(cn)
+	}
+	if grand == 0 {
+		tx.SetRoot(workloads.RootMain, up)
+	} else {
+		tx.StoreU64(grand+rtKid(gslot), up)
+	}
+	tx.Free(parent)
+	tx.Free(leaf)
+	return vb, nil
+}

@@ -1,0 +1,180 @@
+package workloads_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/persistmem/slpmt"
+	"github.com/persistmem/slpmt/internal/workloads"
+	_ "github.com/persistmem/slpmt/internal/workloads/all"
+)
+
+// TestMixedOperations drives every Mutable workload with a random
+// insert/update/delete/get mix under SLPMT and verifies the structure's
+// invariants and full contents afterwards, volatile and durable.
+func TestMixedOperations(t *testing.T) {
+	for _, wname := range workloads.Names() {
+		wname := wname
+		t.Run(wname, func(t *testing.T) {
+			t.Parallel()
+			w := workloads.MustNew(wname)
+			m, ok := w.(workloads.Mutable)
+			if !ok {
+				t.Fatalf("%s does not implement Mutable", wname)
+			}
+			sys := slpmt.New(slpmt.Options{Scheme: "SLPMT", ComputeCyclesPerOp: w.ComputeCost()})
+			if err := w.Setup(sys); err != nil {
+				t.Fatal(err)
+			}
+
+			rng := rand.New(rand.NewSource(int64(len(wname)) * 7919))
+			oracle := map[uint64][]byte{}
+			var keys []uint64
+			deletesOK := true
+
+			val := func(k, gen uint64) []byte {
+				v := make([]byte, 48)
+				for i := range v {
+					v[i] = byte(k>>uint(8*(i%8))) ^ byte(gen)
+				}
+				return v
+			}
+
+			for op := 0; op < 800; op++ {
+				switch {
+				case len(keys) == 0 || rng.Intn(100) < 45:
+					k := rng.Uint64()%1_000_000 + 1
+					if _, dup := oracle[k]; dup {
+						continue
+					}
+					if err := w.Insert(sys, k, val(k, 0)); err != nil {
+						t.Fatalf("insert %d: %v", k, err)
+					}
+					oracle[k] = val(k, 0)
+					keys = append(keys, k)
+				case rng.Intn(100) < 55:
+					k := keys[rng.Intn(len(keys))]
+					nv := val(k, uint64(op))
+					if err := m.UpdateValue(sys, k, nv); err != nil {
+						t.Fatalf("update %d: %v", k, err)
+					}
+					oracle[k] = nv
+				default:
+					if !deletesOK {
+						continue
+					}
+					i := rng.Intn(len(keys))
+					k := keys[i]
+					err := m.Delete(sys, k)
+					if errors.Is(err, workloads.ErrUnsupported) {
+						deletesOK = false
+						continue
+					}
+					if err != nil {
+						t.Fatalf("delete %d: %v", k, err)
+					}
+					delete(oracle, k)
+					keys = append(keys[:i], keys[i+1:]...)
+				}
+				// Spot-check a random key every few operations.
+				if op%37 == 0 && len(keys) > 0 {
+					k := keys[rng.Intn(len(keys))]
+					got, found := w.Get(sys, k)
+					if !found || string(got) != string(oracle[k]) {
+						t.Fatalf("op %d: get %d mismatch (found=%v)", op, k, found)
+					}
+				}
+			}
+
+			sys.DrainLazy()
+			if err := w.Check(sys, oracle); err != nil {
+				t.Fatalf("volatile check: %v", err)
+			}
+			rec, ok := w.(workloads.Recoverable)
+			if !ok {
+				return
+			}
+			img := sys.Mach.Crash()
+			if err := rec.Recover(img); err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			if err := rec.CheckDurable(img, oracle); err != nil {
+				t.Fatalf("durable check: %v", err)
+			}
+			if _, err := rec.Reach(img); err != nil {
+				t.Fatalf("reach: %v", err)
+			}
+		})
+	}
+}
+
+// TestDeleteEverything empties the structures that support removal and
+// verifies the empty state is consistent and the memory reclaimable.
+func TestDeleteEverything(t *testing.T) {
+	for _, wname := range []string{"hashtable", "heap", "avl", "dlist", "kv-ctree", "kv-rtree"} {
+		wname := wname
+		t.Run(wname, func(t *testing.T) {
+			t.Parallel()
+			w := workloads.MustNew(wname)
+			m := w.(workloads.Mutable)
+			sys := slpmt.New(slpmt.Options{Scheme: "SLPMT"})
+			if err := w.Setup(sys); err != nil {
+				t.Fatal(err)
+			}
+			var keys []uint64
+			for i := uint64(1); i <= 200; i++ {
+				k := i*2654435761 + 1
+				if err := w.Insert(sys, k, []byte("valuevalue")); err != nil {
+					t.Fatal(err)
+				}
+				keys = append(keys, k)
+			}
+			for _, k := range keys {
+				if err := m.Delete(sys, k); err != nil {
+					t.Fatalf("delete %d: %v", k, err)
+				}
+			}
+			sys.DrainLazy()
+			if err := w.Check(sys, map[uint64][]byte{}); err != nil {
+				t.Fatalf("empty check: %v", err)
+			}
+			if _, found := w.Get(sys, keys[0]); found {
+				t.Fatal("deleted key still found")
+			}
+			// Deleted memory is reusable: the heap's live bytes shrink.
+			_, frees, _, _ := sys.Heap.Stats()
+			if frees == 0 {
+				t.Error("no frees recorded")
+			}
+		})
+	}
+}
+
+// TestUpdateUnderAllSchemes: value updates are durable under every
+// hardware design.
+func TestUpdateUnderAllSchemes(t *testing.T) {
+	for _, scheme := range slpmt.Schemes() {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			t.Parallel()
+			w := workloads.MustNew("kv-btree")
+			m := w.(workloads.Mutable)
+			sys := slpmt.New(slpmt.Options{Scheme: scheme})
+			if err := w.Setup(sys); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Insert(sys, 42, []byte("old-old-old!")); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.UpdateValue(sys, 42, []byte("new-new-new!")); err != nil {
+				t.Fatal(err)
+			}
+			sys.DrainLazy()
+			got, ok := w.Get(sys, 42)
+			if !ok || string(got) != "new-new-new!" {
+				t.Fatalf("got %q ok=%v", got, ok)
+			}
+		})
+	}
+}

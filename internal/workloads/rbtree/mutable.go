@@ -1,0 +1,69 @@
+package rbtree
+
+import (
+	"fmt"
+
+	"github.com/persistmem/slpmt"
+	"github.com/persistmem/slpmt/internal/workloads"
+)
+
+// UpdateValue implements workloads.Mutable: same-size updates overwrite
+// the inline value (logged); size-changing updates splice in a fresh
+// replacement node (log-free fields; the parent's child link is the one
+// logged store, and neighbours' parent pointers are lazy+log-free as
+// everywhere else in this structure).
+func (t *Tree) UpdateValue(sys *slpmt.System, key uint64, value []byte) error {
+	return sys.Update(func(tx *slpmt.Tx) error {
+		n := slpmt.Addr(tx.Root(workloads.RootMain))
+		for n != 0 {
+			k := fKey(tx, n)
+			switch {
+			case key == k:
+				if tx.LoadU64(n+offVLen) == uint64(len(value)) {
+					tx.Store(n+offVal, value)
+					return nil
+				}
+				repl := tx.Alloc(offVal + uint64(len(value)))
+				tx.StoreTU64(repl+offKey, key, slpmt.LogFree)
+				tx.StoreTU64(repl+offVLen, uint64(len(value)), slpmt.LogFree)
+				tx.CopyU64(repl+offLeft, n+offLeft, slpmt.LogFree)
+				tx.CopyU64(repl+offRight, n+offRight, slpmt.LogFree)
+				tx.CopyU64(repl+offParent, n+offParent, slpmt.LogFree)
+				tx.CopyU64(repl+offColor, n+offColor, slpmt.LogFree)
+				tx.StoreT(repl+offVal, value, slpmt.LogFree)
+				// Children's parent pointers: derivable, lazy+log-free.
+				if l := fLeft(tx, n); l != 0 {
+					setParent(tx, slpmt.Addr(l), uint64(repl))
+				}
+				if r := fRight(tx, n); r != 0 {
+					setParent(tx, slpmt.Addr(r), uint64(repl))
+				}
+				// The one logged splice.
+				p := slpmt.Addr(fParent(tx, n))
+				switch {
+				case p == 0:
+					tx.SetRoot(workloads.RootMain, uint64(repl))
+				case fLeft(tx, p) == uint64(n):
+					setLeft(tx, p, uint64(repl))
+				default:
+					setRight(tx, p, uint64(repl))
+				}
+				tx.Free(n)
+				return nil
+			case key < k:
+				n = slpmt.Addr(fLeft(tx, n))
+			default:
+				n = slpmt.Addr(fRight(tx, n))
+			}
+		}
+		return fmt.Errorf("rbtree: key %d not found", key)
+	})
+}
+
+// Delete implements workloads.Mutable. Red-black deletion's rebalancing
+// is not implemented in this reproduction (the paper's evaluation is
+// insert-only); AVL, hashtable, heap and the ctree/rtree backends cover
+// the removal recovery paths.
+func (t *Tree) Delete(sys *slpmt.System, key uint64) error {
+	return workloads.ErrUnsupported
+}

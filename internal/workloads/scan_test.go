@@ -1,0 +1,99 @@
+package workloads_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/persistmem/slpmt"
+	"github.com/persistmem/slpmt/internal/workloads"
+	_ "github.com/persistmem/slpmt/internal/workloads/all"
+)
+
+// TestScanMatchesSortedOracle: every Ranger's scan yields exactly the
+// oracle keys within the range, in ascending order, with the right
+// values; early stop works.
+func TestScanMatchesSortedOracle(t *testing.T) {
+	for _, wname := range []string{"rbtree", "avl", "kv-btree", "kv-ctree", "kv-rtree"} {
+		wname := wname
+		t.Run(wname, func(t *testing.T) {
+			t.Parallel()
+			w := workloads.MustNew(wname)
+			r, ok := w.(workloads.Ranger)
+			if !ok {
+				t.Fatalf("%s does not implement Ranger", wname)
+			}
+			sys := slpmt.New(slpmt.Options{Scheme: "SLPMT"})
+			if err := w.Setup(sys); err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(99))
+			oracle := map[uint64][]byte{}
+			for len(oracle) < 250 {
+				k := rng.Uint64()%1_000_000 + 1
+				if _, dup := oracle[k]; dup {
+					continue
+				}
+				v := []byte{byte(k), byte(k >> 8), byte(k >> 16), 0xAB}
+				if err := w.Insert(sys, k, v); err != nil {
+					t.Fatal(err)
+				}
+				oracle[k] = v
+			}
+			keys := make([]uint64, 0, len(oracle))
+			for k := range oracle {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+			ranges := [][2]uint64{
+				{0, ^uint64(0)},          // everything
+				{keys[50], keys[180]},    // interior, inclusive endpoints
+				{keys[10] + 1, keys[10]}, // empty (from > to behaves as empty)
+				{keys[0], keys[0]},       // single key
+				{2_000_000, 3_000_000},   // beyond all keys
+			}
+			for _, rg := range ranges {
+				from, to := rg[0], rg[1]
+				var want []uint64
+				for _, k := range keys {
+					if k >= from && k <= to {
+						want = append(want, k)
+					}
+				}
+				var got []uint64
+				err := r.Scan(sys, from, to, func(k uint64, v []byte) bool {
+					got = append(got, k)
+					if string(v) != string(oracle[k]) {
+						t.Fatalf("scan value mismatch at %d", k)
+					}
+					return true
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("range [%d,%d]: got %d keys, want %d", from, to, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("range [%d,%d]: position %d = %d, want %d (order violated?)",
+							from, to, i, got[i], want[i])
+					}
+				}
+			}
+
+			// Early stop after 5 results.
+			n := 0
+			if err := r.Scan(sys, 0, ^uint64(0), func(k uint64, v []byte) bool {
+				n++
+				return n < 5
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if n != 5 {
+				t.Fatalf("early stop visited %d", n)
+			}
+		})
+	}
+}

@@ -1,0 +1,174 @@
+// Package workloads defines the benchmark interface the evaluation
+// drives (Table II of the paper) and a registry of the six durable data
+// structures: four STAMP-style kernels (hashtable, rbtree, heap, avl)
+// and the PMDK-style key-value store with btree/ctree/rtree backends.
+//
+// Every workload is written against the public slpmt API with the
+// paper's annotation discipline (§IV):
+//
+//   - stores into memory allocated by the current transaction are
+//     log-free (Pattern 1);
+//   - data moved without modifying the source is lazily persistent
+//     (Pattern 2), guarded by the root-slot protocol described in the
+//     structures' recovery code;
+//   - everything else is a plain logged store.
+//
+// Workloads also implement the recovery side: a reachability walk over
+// the durable image (for the post-crash heap rebuild / leak collection)
+// and a structure-specific fix-up that repairs log-free and lazy data
+// after the undo log has been applied.
+package workloads
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/persistmem/slpmt"
+	"github.com/persistmem/slpmt/internal/pmem"
+	"github.com/persistmem/slpmt/internal/txheap"
+)
+
+// Workload is one durable data structure under test. Implementations
+// hold only volatile bookkeeping; all durable state lives in the
+// system's persistent memory, reachable from root slots.
+type Workload interface {
+	// Name returns the benchmark name used in reports.
+	Name() string
+	// Setup initializes an empty structure (runs transactions).
+	Setup(sys *slpmt.System) error
+	// Insert adds one key/value pair in one durable transaction.
+	Insert(sys *slpmt.System, key uint64, value []byte) error
+	// Get looks the key up through the volatile view.
+	Get(sys *slpmt.System, key uint64) ([]byte, bool)
+	// Check verifies the volatile structure against an oracle of every
+	// inserted pair plus the structure's own invariants.
+	Check(sys *slpmt.System, oracle map[uint64][]byte) error
+	// ComputeCost is the workload's suggested compute-cycles-per-op
+	// knob, modelling its non-memory work relative to the others.
+	ComputeCost() uint64
+}
+
+// Recoverable is implemented by workloads that support the crash /
+// recovery campaign.
+type Recoverable interface {
+	// Recover repairs the structure in a durable image after a crash:
+	// the undo log has already been applied by the driver; Recover
+	// fixes log-free and lazily-persistent data (Pattern 1/2 recovery).
+	Recover(img *pmem.Image) error
+	// Reach returns every heap extent reachable from the structure's
+	// roots in the image — the mark phase of the leak collector.
+	Reach(img *pmem.Image) ([]txheap.Extent, error)
+	// CheckDurable verifies the structure in the image against the
+	// oracle of transactions known committed at the crash point.
+	CheckDurable(img *pmem.Image, oracle map[uint64][]byte) error
+}
+
+// Factory builds a fresh workload instance.
+type Factory func() Workload
+
+var registry = map[string]Factory{}
+
+// Register adds a workload factory; called from init functions of the
+// structure packages.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("workloads: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// New instantiates a registered workload.
+func New(name string) (Workload, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// MustNew is New that panics on unknown names.
+func MustNew(name string) Workload {
+	w, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Names returns the registered workload names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Kernels returns the four STAMP-style kernel benchmarks (Figure 8).
+func Kernels() []string { return []string{"hashtable", "rbtree", "heap", "avl"} }
+
+// PMKV returns the key-value store backends (Figure 14).
+func PMKV() []string { return []string{"kv-btree", "kv-ctree", "kv-rtree"} }
+
+// Root slot conventions shared by the structures.
+const (
+	// RootMain is the structure's top pointer (bucket array, tree root).
+	RootMain = 0
+	// RootMeta holds a structure-specific scalar (bucket count, array
+	// capacity).
+	RootMeta = 1
+	// RootCount holds the element count.
+	RootCount = 2
+	// RootMoveSrc is the lazy-move recovery slot: while non-zero it
+	// points at the pre-move source (old bucket array, old heap array)
+	// from which a crash recovery re-executes the move (§IV-B
+	// Pattern 2). It is cleared — forcing the hardware to drain the
+	// lazy copies first via the working-set signature — before the
+	// source may be modified or reused.
+	RootMoveSrc = 3
+	// RootAux is free for structure-specific use.
+	RootAux = 4
+)
+
+// CheckOracle is a helper: verifies Get returns every oracle pair.
+func CheckOracle(sys *slpmt.System, w Workload, oracle map[uint64][]byte) error {
+	for k, want := range oracle {
+		got, ok := w.Get(sys, k)
+		if !ok {
+			return fmt.Errorf("%s: key %d missing", w.Name(), k)
+		}
+		if string(got) != string(want) {
+			return fmt.Errorf("%s: key %d value mismatch (got %d bytes, want %d)",
+				w.Name(), k, len(got), len(want))
+		}
+	}
+	return nil
+}
+
+// ErrUnsupported is returned by Mutable operations a structure does not
+// implement.
+var ErrUnsupported = errors.New("workloads: operation not supported")
+
+// Mutable is implemented by workloads that support updates and deletes
+// in addition to the paper's insert-only ycsb-load — the operations a
+// downstream adopter needs, and the ones that exercise the free/reuse
+// and unlink recovery paths.
+type Mutable interface {
+	// UpdateValue replaces the value of an existing key in one durable
+	// transaction. The new value has the same length as the old one
+	// (the kernels store values inline).
+	UpdateValue(sys *slpmt.System, key uint64, value []byte) error
+	// Delete removes a key in one durable transaction. Returns
+	// ErrUnsupported where the structure does not implement removal.
+	Delete(sys *slpmt.System, key uint64) error
+}
+
+// Ranger is implemented by workloads with ordered keys that support
+// range scans over [from, to] (inclusive). The callback returns false
+// to stop early. Scans run through the volatile view (loads are timed
+// and lazy-persistency checks apply, like any read).
+type Ranger interface {
+	Scan(sys *slpmt.System, from, to uint64, fn func(key uint64, value []byte) bool) error
+}

@@ -1,0 +1,84 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"github.com/persistmem/slpmt"
+	"github.com/persistmem/slpmt/internal/workloads"
+	_ "github.com/persistmem/slpmt/internal/workloads/all"
+	"github.com/persistmem/slpmt/internal/ycsb"
+)
+
+// TestAllWorkloadsAllSchemes inserts a ycsb-load into every structure
+// under every scheme and verifies the structure's invariants and full
+// contents afterwards.
+func TestAllWorkloadsAllSchemes(t *testing.T) {
+	for _, wname := range workloads.Names() {
+		for _, scheme := range slpmt.Schemes() {
+			t.Run(wname+"/"+scheme, func(t *testing.T) {
+				w := workloads.MustNew(wname)
+				sys := slpmt.New(slpmt.Options{
+					Scheme:             scheme,
+					ComputeCyclesPerOp: w.ComputeCost(),
+				})
+				if err := w.Setup(sys); err != nil {
+					t.Fatalf("setup: %v", err)
+				}
+				load := ycsb.Load{N: 300, ValueSize: 64}
+				err := load.Each(func(k uint64, v []byte) error {
+					return w.Insert(sys, k, v)
+				})
+				if err != nil {
+					t.Fatalf("insert: %v", err)
+				}
+				sys.DrainLazy()
+				if err := w.Check(sys, load.Oracle()); err != nil {
+					t.Fatalf("check: %v", err)
+				}
+				c := sys.Stats()
+				if c.TxCommits == 0 || c.PMWriteBytesData == 0 {
+					t.Fatalf("suspicious stats: commits=%d data=%d", c.TxCommits, c.PMWriteBytesData)
+				}
+			})
+		}
+	}
+}
+
+// TestDurableImageMatchesOracle verifies that after a graceful run plus
+// lazy drain, the durable image alone (no volatile state) passes every
+// structure's durable checker — i.e. commits really persist.
+func TestDurableImageMatchesOracle(t *testing.T) {
+	for _, wname := range workloads.Names() {
+		t.Run(wname, func(t *testing.T) {
+			w := workloads.MustNew(wname)
+			rec, ok := w.(workloads.Recoverable)
+			if !ok {
+				t.Fatalf("%s does not implement Recoverable", wname)
+			}
+			sys := slpmt.New(slpmt.Options{Scheme: "SLPMT"})
+			if err := w.Setup(sys); err != nil {
+				t.Fatalf("setup: %v", err)
+			}
+			load := ycsb.Load{N: 200, ValueSize: 48}
+			if err := load.Each(func(k uint64, v []byte) error {
+				return w.Insert(sys, k, v)
+			}); err != nil {
+				t.Fatalf("insert: %v", err)
+			}
+			sys.DrainLazy()
+			img := sys.Mach.Crash()
+			// A clean crash point (between transactions): recovery
+			// should find nothing to repair but must leave a valid
+			// structure.
+			if err := rec.Recover(img); err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			if err := rec.CheckDurable(img, load.Oracle()); err != nil {
+				t.Fatalf("durable check: %v", err)
+			}
+			if _, err := rec.Reach(img); err != nil {
+				t.Fatalf("reach: %v", err)
+			}
+		})
+	}
+}

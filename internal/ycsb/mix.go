@@ -1,0 +1,107 @@
+package ycsb
+
+// Standard YCSB operation mixes beyond the paper's load phase. The
+// paper evaluates ycsb-load (insert-only); these mixes let the harness
+// show how selective logging behaves once reads and scans dominate —
+// the honest flip side: fewer persistent writes means less for SLPMT to
+// save.
+
+// OpKind enumerates mix operations.
+type OpKind int
+
+const (
+	// OpRead looks up one key.
+	OpRead OpKind = iota
+	// OpUpdate replaces one key's value.
+	OpUpdate
+	// OpInsert adds a new key.
+	OpInsert
+	// OpScan iterates from a key for ScanLen records.
+	OpScan
+)
+
+// MixOp is one generated operation.
+type MixOp struct {
+	Kind    OpKind
+	Key     uint64
+	Value   []byte
+	ScanLen int
+}
+
+// Mix describes a read/update/insert/scan operation blend over a
+// preloaded table.
+type Mix struct {
+	// Name labels the mix in reports.
+	Name string
+	// Records is the preloaded table size (via Load).
+	Records int
+	// N is the number of mixed operations.
+	N int
+	// ValueSize is the value payload size.
+	ValueSize int
+	// Seed drives both the preload and the op stream.
+	Seed uint64
+	// ReadPct/UpdatePct/InsertPct/ScanPct must sum to 100.
+	ReadPct, UpdatePct, InsertPct, ScanPct int
+	// ScanLen is the records per scan (default 20).
+	ScanLen int
+}
+
+// Standard mixes (YCSB A/B/C/E) over a 1000-record table.
+func WorkloadA() Mix {
+	return Mix{Name: "ycsb-a", Records: 1000, N: 1000, ReadPct: 50, UpdatePct: 50}
+}
+func WorkloadB() Mix {
+	return Mix{Name: "ycsb-b", Records: 1000, N: 1000, ReadPct: 95, UpdatePct: 5}
+}
+func WorkloadC() Mix {
+	return Mix{Name: "ycsb-c", Records: 1000, N: 1000, ReadPct: 100}
+}
+func WorkloadE() Mix {
+	return Mix{Name: "ycsb-e", Records: 1000, N: 1000, ScanPct: 95, InsertPct: 5, ScanLen: 20}
+}
+
+// Preload returns the load phase that populates the table.
+func (m Mix) Preload() Load {
+	return Load{N: m.Records, ValueSize: m.ValueSize, Seed: m.Seed}
+}
+
+// Ops generates the deterministic operation stream. Keys are drawn
+// uniformly from the preloaded set; inserts use fresh keys.
+func (m Mix) Ops() []MixOp {
+	if m.ScanLen == 0 {
+		m.ScanLen = 20
+	}
+	load := m.Preload().withDefaults()
+	keys := load.Keys()
+	// Fresh keys for inserts: continue the key stream.
+	extra := Load{N: m.Records + m.N, ValueSize: m.ValueSize, Seed: m.Seed}.Keys()[m.Records:]
+
+	rng := m.Seed*0x9e3779b97f4a7c15 + 0xabcdef
+	next := func(n uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	ops := make([]MixOp, 0, m.N)
+	ins := 0
+	for i := 0; i < m.N; i++ {
+		p := int(next(100))
+		switch {
+		case p < m.ReadPct:
+			ops = append(ops, MixOp{Kind: OpRead, Key: keys[next(uint64(len(keys)))]})
+		case p < m.ReadPct+m.UpdatePct:
+			k := keys[next(uint64(len(keys)))]
+			ops = append(ops, MixOp{Kind: OpUpdate, Key: k, Value: load.Value(k ^ uint64(i))})
+		case p < m.ReadPct+m.UpdatePct+m.InsertPct && ins < len(extra):
+			k := extra[ins]
+			ins++
+			keys = append(keys, k)
+			ops = append(ops, MixOp{Kind: OpInsert, Key: k, Value: load.Value(k)})
+		default:
+			ops = append(ops, MixOp{Kind: OpScan, Key: keys[next(uint64(len(keys)))], ScanLen: m.ScanLen})
+		}
+	}
+	return ops
+}

@@ -1,0 +1,99 @@
+// Package ycsb generates the evaluation workload of §VI-A: the
+// YCSB-load phase — N insertion operations, each a durable transaction
+// inserting an 8-byte key with a fixed-size value (256 bytes by
+// default; Figures 10, 11 and 14 sweep the size).
+//
+// Generation is deterministic in the seed so record/replay runs (the
+// compiler experiments) and crash campaigns see identical operation
+// streams, and keys are guaranteed unique and non-zero.
+package ycsb
+
+// DefaultOps is the paper's operation count per benchmark run.
+const DefaultOps = 1000
+
+// DefaultValueSize is the paper's default value size in bytes.
+const DefaultValueSize = 256
+
+// Load describes one ycsb-load run.
+type Load struct {
+	// N is the number of insert operations (default 1000).
+	N int
+	// ValueSize is the value payload size in bytes (default 256).
+	ValueSize int
+	// Seed selects the deterministic key sequence.
+	Seed uint64
+}
+
+// withDefaults fills zero fields.
+func (l Load) withDefaults() Load {
+	if l.N == 0 {
+		l.N = DefaultOps
+	}
+	if l.ValueSize == 0 {
+		l.ValueSize = DefaultValueSize
+	}
+	if l.Seed == 0 {
+		l.Seed = 0x5eed
+	}
+	return l
+}
+
+func splitmix(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Keys returns the N unique, non-zero keys of the load.
+func (l Load) Keys() []uint64 {
+	l = l.withDefaults()
+	s := l.Seed
+	seen := make(map[uint64]bool, l.N)
+	keys := make([]uint64, 0, l.N)
+	for len(keys) < l.N {
+		k := splitmix(&s)
+		if k == 0 || k == ^uint64(0) || seen[k] {
+			continue
+		}
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Value deterministically fills a value payload for key.
+func (l Load) Value(key uint64) []byte {
+	l = l.withDefaults()
+	v := make([]byte, l.ValueSize)
+	x := key ^ l.Seed
+	for i := range v {
+		if i%8 == 0 {
+			x = splitmix(&x)
+		}
+		v[i] = byte(x >> (8 * uint(i%8)))
+	}
+	return v
+}
+
+// Each invokes fn for every operation in order, stopping on error.
+func (l Load) Each(fn func(key uint64, value []byte) error) error {
+	l = l.withDefaults()
+	for _, k := range l.Keys() {
+		if err := fn(k, l.Value(k)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Oracle returns the expected final contents.
+func (l Load) Oracle() map[uint64][]byte {
+	l = l.withDefaults()
+	m := make(map[uint64][]byte, l.N)
+	for _, k := range l.Keys() {
+		m[k] = l.Value(k)
+	}
+	return m
+}

@@ -1,0 +1,131 @@
+package ycsb
+
+import "testing"
+
+func TestKeysDeterministicUniqueNonzero(t *testing.T) {
+	l := Load{N: 5000, Seed: 7}
+	a := l.Keys()
+	b := l.Keys()
+	if len(a) != 5000 {
+		t.Fatalf("len = %d", len(a))
+	}
+	seen := map[uint64]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("key stream not deterministic")
+		}
+		if a[i] == 0 {
+			t.Fatal("zero key generated")
+		}
+		if seen[a[i]] {
+			t.Fatalf("duplicate key %d", a[i])
+		}
+		seen[a[i]] = true
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := Load{N: 10, Seed: 1}.Keys()
+	b := Load{N: 10, Seed: 2}.Keys()
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestValueSizeAndDeterminism(t *testing.T) {
+	l := Load{N: 10, ValueSize: 48, Seed: 3}
+	k := l.Keys()[0]
+	v1, v2 := l.Value(k), l.Value(k)
+	if len(v1) != 48 || string(v1) != string(v2) {
+		t.Error("value not deterministic or wrong size")
+	}
+	if string(l.Value(k)) == string(l.Value(l.Keys()[1])) {
+		t.Error("different keys produced identical values")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	l := Load{}
+	if len(l.Keys()) != DefaultOps {
+		t.Error("default op count not applied")
+	}
+	if len(l.Value(1)) != DefaultValueSize {
+		t.Error("default value size not applied")
+	}
+}
+
+func TestOracleMatchesEach(t *testing.T) {
+	l := Load{N: 50, ValueSize: 16}
+	oracle := l.Oracle()
+	n := 0
+	err := l.Each(func(k uint64, v []byte) error {
+		if string(oracle[k]) != string(v) {
+			t.Fatalf("oracle mismatch for %d", k)
+		}
+		n++
+		return nil
+	})
+	if err != nil || n != 50 {
+		t.Fatalf("each: n=%d err=%v", n, err)
+	}
+}
+
+func TestMixComposition(t *testing.T) {
+	for _, m := range []Mix{WorkloadA(), WorkloadB(), WorkloadC(), WorkloadE()} {
+		m.ValueSize = 16
+		ops := m.Ops()
+		if len(ops) != m.N {
+			t.Fatalf("%s: %d ops, want %d", m.Name, len(ops), m.N)
+		}
+		counts := map[OpKind]int{}
+		for _, op := range ops {
+			counts[op.Kind]++
+			if op.Kind == OpUpdate || op.Kind == OpInsert {
+				if len(op.Value) != 16 {
+					t.Fatalf("%s: op value size %d", m.Name, len(op.Value))
+				}
+			}
+		}
+		check := func(kind OpKind, pct int) {
+			got := counts[kind] * 100 / m.N
+			if got < pct-7 || got > pct+7 {
+				t.Errorf("%s: kind %d = %d%%, want ~%d%%", m.Name, kind, got, pct)
+			}
+		}
+		check(OpRead, m.ReadPct)
+		check(OpUpdate, m.UpdatePct)
+		check(OpScan, m.ScanPct)
+	}
+}
+
+func TestMixDeterministic(t *testing.T) {
+	a := WorkloadA().Ops()
+	b := WorkloadA().Ops()
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].Key != b[i].Key {
+			t.Fatal("mix not deterministic")
+		}
+	}
+}
+
+func TestMixInsertKeysFresh(t *testing.T) {
+	m := WorkloadE()
+	pre := map[uint64]bool{}
+	for _, k := range m.Preload().Keys() {
+		pre[k] = true
+	}
+	for _, op := range m.Ops() {
+		if op.Kind == OpInsert && pre[op.Key] {
+			t.Fatalf("insert reused preloaded key %d", op.Key)
+		}
+	}
+}

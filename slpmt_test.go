@@ -1,0 +1,144 @@
+package slpmt
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestBasicTransaction(t *testing.T) {
+	sys := New(Options{Scheme: "SLPMT"})
+	var node Addr
+	err := sys.Update(func(tx *Tx) error {
+		node = tx.Alloc(24)
+		tx.StoreTU64(node+0, 111, LogFree)
+		tx.StoreTU64(node+8, 222, LogFree)
+		tx.StoreU64(node+16, 333)
+		tx.SetRoot(0, uint64(node))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	sys.View(func(tx *Tx) {
+		if got := tx.LoadU64(node); got != 111 {
+			t.Errorf("node[0] = %d, want 111", got)
+		}
+		if got := tx.LoadU64(node + 8); got != 222 {
+			t.Errorf("node[8] = %d, want 222", got)
+		}
+		if got := tx.LoadU64(node + 16); got != 333 {
+			t.Errorf("node[16] = %d, want 333", got)
+		}
+		if got := tx.Root(0); got != uint64(node) {
+			t.Errorf("root = %#x, want %#x", got, node)
+		}
+	})
+	c := sys.Stats()
+	if c.TxCommits != 1 || c.TxBegins != 1 {
+		t.Errorf("commits/begins = %d/%d, want 1/1", c.TxCommits, c.TxBegins)
+	}
+	if c.PMWriteBytesData == 0 || c.PMWriteBytesLog == 0 {
+		t.Errorf("expected both data and log PM traffic, got data=%d log=%d",
+			c.PMWriteBytesData, c.PMWriteBytesLog)
+	}
+	if sys.Cycles() == 0 {
+		t.Error("clock did not advance")
+	}
+}
+
+func TestDurabilityAfterCommit(t *testing.T) {
+	for _, scheme := range Schemes() {
+		t.Run(scheme, func(t *testing.T) {
+			sys := New(Options{Scheme: scheme})
+			var a Addr
+			if err := sys.Update(func(tx *Tx) error {
+				a = tx.Alloc(64)
+				tx.StoreU64(a, 0xdead)
+				tx.StoreU64(a+8, 0xbeef)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			sys.DrainLazy()
+			img := sys.Mach.Crash()
+			if got := img.ReadU64(a); got != 0xdead {
+				t.Errorf("durable[a] = %#x, want 0xdead", got)
+			}
+			if got := img.ReadU64(a + 8); got != 0xbeef {
+				t.Errorf("durable[a+8] = %#x, want 0xbeef", got)
+			}
+		})
+	}
+}
+
+func TestAbortRollsBackLoggedStores(t *testing.T) {
+	sys := New(Options{Scheme: "SLPMT"})
+	var a Addr
+	if err := sys.Update(func(tx *Tx) error {
+		a = tx.Alloc(16)
+		tx.StoreU64(a, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("boom")
+	err := sys.Update(func(tx *Tx) error {
+		tx.StoreU64(a, 2)
+		return wantErr
+	})
+	if err != wantErr {
+		t.Fatalf("Update error = %v, want %v", err, wantErr)
+	}
+	sys.View(func(tx *Tx) {
+		if got := tx.LoadU64(a); got != 1 {
+			t.Errorf("after abort a = %d, want 1", got)
+		}
+	})
+	if sys.Stats().TxAborts != 1 {
+		t.Errorf("aborts = %d, want 1", sys.Stats().TxAborts)
+	}
+}
+
+func TestLazyDataEventuallyDurable(t *testing.T) {
+	sys := New(Options{Scheme: "SLPMT"})
+	var a Addr
+	if err := sys.Update(func(tx *Tx) error {
+		a = tx.Alloc(64)
+		tx.StoreTU64(a, 42, LazyLogFree)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Before draining, the lazy line may be volatile-only.
+	sys.DrainLazy()
+	img := sys.Mach.Crash()
+	if got := img.ReadU64(a); got != 42 {
+		t.Errorf("durable lazy word = %d, want 42", got)
+	}
+}
+
+func TestEmptyTransactionsFlushLazyData(t *testing.T) {
+	sys := New(Options{Scheme: "SLPMT"})
+	var a Addr
+	if err := sys.Update(func(tx *Tx) error {
+		a = tx.Alloc(64)
+		tx.StoreTU64(a, 7, LazyLogFree)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The paper: running NumTxIDs empty transactions forces all lazily
+	// persistent data durable via transaction-ID reuse.
+	for i := 0; i < 4; i++ {
+		if err := sys.Update(func(tx *Tx) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img := sys.Mach.Crash()
+	if got := img.ReadU64(a); got != 7 {
+		t.Errorf("durable lazy word after 4 empty txns = %d, want 7", got)
+	}
+	if sys.Stats().TxIDRecycles == 0 {
+		t.Error("expected a transaction-ID recycle to force the persist")
+	}
+}
