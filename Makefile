@@ -1,0 +1,33 @@
+# Developer entry points. `make check` is the pre-merge gate.
+
+GO ?= go
+
+.PHONY: all build test race check bench fmt vet
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages that exercise the parallel
+# experiment runner.
+race:
+	$(GO) test -race ./internal/bench/ ./internal/experiments/ \
+		./internal/recovery/ -run 'Parallel|ForEach|Grid|RunAll|Collector|Smoke'
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Full gate: formatting, vet, build, tests, race subset.
+check:
+	./scripts/check.sh
+
+# Micro-benchmarks for the simulator hot paths (allocations reported).
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./internal/engine/ ./internal/ycsb/

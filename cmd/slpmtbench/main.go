@@ -17,12 +17,21 @@
 //	slpmtbench -experiment all       # everything
 //
 // Flags -n, -value and -seed override the workload parameters.
+// -parallel sets the worker count for the experiment grids (0 =
+// GOMAXPROCS; results are identical at any setting). -json additionally
+// writes a machine-readable BENCH_<experiment>.json per experiment, and
+// -cpuprofile / -memprofile capture pprof profiles of the sweep.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"time"
 
 	"github.com/persistmem/slpmt/internal/bench"
 	"github.com/persistmem/slpmt/internal/experiments"
@@ -30,17 +39,189 @@ import (
 )
 
 func main() {
-	var (
-		exp   = flag.String("experiment", "all", "experiment to run (fig8..fig14, headline, ablation, model, mixes, all)")
-		n     = flag.Int("n", 1000, "insert operations per run")
-		value = flag.Int("value", 256, "value size in bytes")
-		seed  = flag.Uint64("seed", 0, "key-stream seed (0 = default)")
-	)
-	flag.Parse()
-
-	base := bench.RunConfig{N: *n, ValueSize: *value, Seed: *seed, Verify: true}
-	if err := experiments.Run(os.Stdout, *exp, base); err != nil {
+	if err := run(); err != nil {
 		fmt.Fprintf(os.Stderr, "slpmtbench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+func run() error {
+	var (
+		exp      = flag.String("experiment", "all", "experiment to run (fig8..fig14, headline, ablation, model, mixes, all)")
+		n        = flag.Int("n", 1000, "insert operations per run")
+		value    = flag.Int("value", 256, "value size in bytes")
+		seed     = flag.Uint64("seed", 0, "key-stream seed (0 = default)")
+		parallel = flag.Int("parallel", 0, "worker count for experiment grids (0 = GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "write machine-readable BENCH_<experiment>.json per experiment")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
+	)
+	flag.Parse()
+
+	bench.SetParallelism(*parallel)
+	base := bench.RunConfig{N: *n, ValueSize: *value, Seed: *seed, Verify: true}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Run "all" one experiment at a time (matching experiments.Run's own
+	// loop, blank line included) so -json can report each separately.
+	names := []string{*exp}
+	trailingBlank := false
+	if *exp == "all" {
+		names = experiments.Names()
+		trailingBlank = true
+	}
+	for _, name := range names {
+		if err := runOne(name, base, *jsonOut); err != nil {
+			return err
+		}
+		if trailingBlank {
+			fmt.Println()
+		}
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return nil
+}
+
+// runOne executes one experiment, optionally collecting every benchmark
+// result it produces into BENCH_<name>.json.
+func runOne(name string, base bench.RunConfig, jsonOut bool) error {
+	if !jsonOut {
+		return experiments.Run(os.Stdout, name, base)
+	}
+	col := &bench.Collector{}
+	bench.SetCollector(col)
+	defer bench.SetCollector(nil)
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := experiments.Run(os.Stdout, name, base)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return err
+	}
+	return writeReport(name, wall, &before, &after, col.Results())
+}
+
+// benchResult is the machine-readable form of one bench.Run outcome.
+type benchResult struct {
+	Scheme           string `json:"scheme"`
+	Workload         string `json:"workload"`
+	N                int    `json:"n"`
+	ValueSize        int    `json:"value_size"`
+	PMWriteNanos     uint64 `json:"pm_write_nanos,omitempty"`
+	Banks            int    `json:"banks,omitempty"`
+	WPQBytes         int    `json:"wpq_bytes,omitempty"`
+	Seed             uint64 `json:"seed,omitempty"`
+	Cycles           uint64 `json:"cycles"`
+	PMWriteBytesData uint64 `json:"pm_write_bytes_data"`
+	PMWriteBytesLog  uint64 `json:"pm_write_bytes_log"`
+	PMWriteBytes     uint64 `json:"pm_write_bytes"`
+	TxCommits        uint64 `json:"tx_commits"`
+	VerifyOK         bool   `json:"verify_ok"`
+}
+
+// benchReport is the top-level BENCH_<experiment>.json document.
+type benchReport struct {
+	Experiment  string        `json:"experiment"`
+	Parallel    int           `json:"parallel"`
+	WallMillis  float64       `json:"wall_ms"`
+	Runs        int           `json:"runs"`
+	TotalOps    uint64        `json:"total_ops"`
+	AllocsPerOp float64       `json:"allocs_per_op"`
+	BytesPerOp  float64       `json:"bytes_per_op"`
+	Results     []benchResult `json:"results"`
+}
+
+func writeReport(name string, wall time.Duration, before, after *runtime.MemStats, results []bench.Result) error {
+	rep := benchReport{
+		Experiment: name,
+		Parallel:   bench.Parallelism(),
+		WallMillis: float64(wall.Microseconds()) / 1000,
+		Runs:       len(results),
+		Results:    make([]benchResult, 0, len(results)),
+	}
+	for _, r := range results {
+		rep.TotalOps += uint64(r.N)
+		rep.Results = append(rep.Results, benchResult{
+			Scheme:           r.Scheme,
+			Workload:         r.Workload,
+			N:                r.N,
+			ValueSize:        r.ValueSize,
+			PMWriteNanos:     r.PMWriteNanos,
+			Banks:            r.Banks,
+			WPQBytes:         r.WPQBytes,
+			Seed:             r.Seed,
+			Cycles:           r.Cycles,
+			PMWriteBytesData: r.Counters.PMWriteBytesData,
+			PMWriteBytesLog:  r.Counters.PMWriteBytesLog,
+			PMWriteBytes:     r.PMWriteBytes(),
+			TxCommits:        r.Counters.TxCommits,
+			VerifyOK:         r.VerifyErr == nil,
+		})
+	}
+	// The collector sees results in completion order, which varies with
+	// the worker schedule; sort on the full config for stable files.
+	sort.Slice(rep.Results, func(i, j int) bool {
+		a, b := rep.Results[i], rep.Results[j]
+		if a.Scheme != b.Scheme {
+			return a.Scheme < b.Scheme
+		}
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.N != b.N {
+			return a.N < b.N
+		}
+		if a.ValueSize != b.ValueSize {
+			return a.ValueSize < b.ValueSize
+		}
+		if a.PMWriteNanos != b.PMWriteNanos {
+			return a.PMWriteNanos < b.PMWriteNanos
+		}
+		if a.Banks != b.Banks {
+			return a.Banks < b.Banks
+		}
+		if a.WPQBytes != b.WPQBytes {
+			return a.WPQBytes < b.WPQBytes
+		}
+		return a.Seed < b.Seed
+	})
+	if rep.TotalOps > 0 {
+		rep.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(rep.TotalOps)
+		rep.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(rep.TotalOps)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := "BENCH_" + name + ".json"
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d results, %.0f ms wall)\n", path, rep.Runs, rep.WallMillis)
+	return nil
 }

@@ -31,6 +31,7 @@ func main() {
 		maxPts   = flag.Int("max", 0, "cap on crash points (0 = all)")
 		mixed    = flag.Bool("mixed", false, "interleave updates and deletes with the inserts")
 		all      = flag.Bool("all", false, "run every workload")
+		parallel = flag.Int("parallel", 0, "workers for crash points (0 = GOMAXPROCS, 1 = serial; results identical)")
 	)
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 			Mixed:     *mixed,
 			Stride:    *stride,
 			MaxPoints: *maxPts,
+			Parallel:  *parallel,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%-10s FAIL: %v\n", w, err)

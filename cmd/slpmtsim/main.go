@@ -1,16 +1,22 @@
-// Command slpmtsim runs one workload under one scheme and prints the
-// full simulation counter set — the tool for inspecting a single
-// configuration in depth.
+// Command slpmtsim runs one workload under one or more schemes and
+// prints the full simulation counter set — the tool for inspecting a
+// single configuration in depth.
 //
 // Usage:
 //
 //	slpmtsim -workload hashtable -scheme SLPMT -n 1000 -value 256
+//	slpmtsim -workload hashtable -scheme FG,SLPMT     # side by side
+//	slpmtsim -workload hashtable -scheme all          # every scheme
+//
+// Multiple schemes run concurrently on the bench worker pool (-parallel
+// caps the workers); each scheme's block is printed in request order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/persistmem/slpmt/internal/bench"
 	"github.com/persistmem/slpmt/internal/schemes"
@@ -21,32 +27,56 @@ import (
 func main() {
 	var (
 		workload = flag.String("workload", "hashtable", fmt.Sprintf("workload %v", workloads.Names()))
-		scheme   = flag.String("scheme", schemes.SLPMT, fmt.Sprintf("scheme %v", schemes.Names()))
+		scheme   = flag.String("scheme", schemes.SLPMT, fmt.Sprintf("scheme %v, comma-separated list, or \"all\"", schemes.Names()))
 		n        = flag.Int("n", 1000, "insert operations")
 		value    = flag.Int("value", 256, "value size in bytes")
 		lat      = flag.Uint64("writelat", 0, "PM write latency override (ns)")
 		seed     = flag.Uint64("seed", 0, "key-stream seed")
 		verify   = flag.Bool("verify", true, "check structure invariants after the run")
+		parallel = flag.Int("parallel", 0, "worker count for multi-scheme runs (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	bench.SetParallelism(*parallel)
 
-	res := bench.Run(bench.RunConfig{
-		Scheme:       *scheme,
-		Workload:     *workload,
-		N:            *n,
-		ValueSize:    *value,
-		PMWriteNanos: *lat,
-		Seed:         *seed,
-		Verify:       *verify,
-	})
-	fmt.Printf("workload=%s scheme=%s n=%d value=%dB\n", *workload, *scheme, *n, *value)
-	fmt.Printf("cycles=%d (%.1f us simulated)  pm-writes=%d bytes (%.1f per op)\n",
-		res.Cycles, float64(res.Cycles)/2000,
-		res.PMWriteBytes(), float64(res.PMWriteBytes())/float64(*n))
-	fmt.Printf("cycles/op=%.0f\n\n", float64(res.Cycles)/float64(*n))
-	fmt.Print(res.Counters.String())
-	if res.VerifyErr != nil {
-		fmt.Fprintf(os.Stderr, "VERIFY FAILED: %v\n", res.VerifyErr)
+	ss := strings.Split(*scheme, ",")
+	if *scheme == "all" {
+		ss = schemes.Names()
+	}
+	cfgs := make([]bench.RunConfig, len(ss))
+	for i, s := range ss {
+		cfgs[i] = bench.RunConfig{
+			Scheme:       strings.TrimSpace(s),
+			Workload:     *workload,
+			N:            *n,
+			ValueSize:    *value,
+			PMWriteNanos: *lat,
+			Seed:         *seed,
+			Verify:       *verify,
+		}
+	}
+	results, err := bench.RunAll(cfgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slpmtsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fail := false
+	for i, res := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("workload=%s scheme=%s n=%d value=%dB\n", *workload, cfgs[i].Scheme, *n, *value)
+		fmt.Printf("cycles=%d (%.1f us simulated)  pm-writes=%d bytes (%.1f per op)\n",
+			res.Cycles, float64(res.Cycles)/2000,
+			res.PMWriteBytes(), float64(res.PMWriteBytes())/float64(*n))
+		fmt.Printf("cycles/op=%.0f\n\n", float64(res.Cycles)/float64(*n))
+		fmt.Print(res.Counters.String())
+		if res.VerifyErr != nil {
+			fmt.Fprintf(os.Stderr, "VERIFY FAILED (%s): %v\n", cfgs[i].Scheme, res.VerifyErr)
+			fail = true
+		}
+	}
+	if fail {
 		os.Exit(1)
 	}
 }

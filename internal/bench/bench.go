@@ -93,21 +93,20 @@ func Run(cfg RunConfig) Result {
 	if cfg.Verify {
 		res.VerifyErr = w.Check(sys, load.Oracle())
 	}
+	if c := collector.Load(); c != nil {
+		c.Add(res)
+	}
 	return res
 }
 
 // Grid runs the cartesian product of schemes × workloads with shared
-// parameters, returning results keyed [scheme][workload].
+// parameters, returning results keyed [scheme][workload]. Cells run on
+// the worker pool (see SetParallelism); the results are identical to a
+// serial sweep. A failing cell panics, like Run.
 func Grid(schemeNames, workloadNames []string, base RunConfig) map[string]map[string]Result {
-	out := make(map[string]map[string]Result, len(schemeNames))
-	for _, s := range schemeNames {
-		out[s] = make(map[string]Result, len(workloadNames))
-		for _, w := range workloadNames {
-			cfg := base
-			cfg.Scheme = s
-			cfg.Workload = w
-			out[s][w] = Run(cfg)
-		}
+	out, err := GridParallel(schemeNames, workloadNames, base)
+	if err != nil {
+		panic(err)
 	}
 	return out
 }

@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment grids are embarrassingly parallel: every cell owns a
+// fully independent, deterministic machine.Machine, so fanning cells
+// across goroutines changes wall-clock time and nothing else. The
+// worker pool here preserves result identity exactly — same seeds, same
+// per-cell machines, results keyed and ordered as the serial loops
+// produced them — and converts worker panics into errors so one broken
+// cell cannot take down a whole sweep.
+
+// parallelism is the configured worker count; 0 means GOMAXPROCS.
+var parallelism atomic.Int64
+
+// SetParallelism sets the worker count used by RunAll, GridParallel and
+// ForEach (and therefore every figure grid). n <= 0 restores the
+// default, GOMAXPROCS.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int64(n))
+}
+
+// Parallelism returns the effective worker count.
+func Parallelism() int {
+	if n := parallelism.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PanicError is a worker panic converted into an error by ForEach.
+type PanicError struct {
+	// Index is the job index whose function panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("job %d panicked: %v", e.Index, e.Value)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on Parallelism() workers,
+// returning after all jobs finish. Panics are recovered and aggregated
+// (in job order) into the returned error, as are errors returned by fn.
+// With one worker the jobs run sequentially in index order on the
+// calling goroutine — the serial loops the figures used to hand-roll.
+func ForEach(n int, fn func(i int) error) error {
+	return ForEachWorkers(n, Parallelism(), fn)
+}
+
+// ForEachWorkers is ForEach with an explicit worker count (<= 0 means
+// Parallelism()), for callers carrying their own parallelism knob.
+func ForEachWorkers(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = Parallelism()
+	}
+	if workers > n {
+		workers = n
+	}
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 1 {
+		var errs []error
+		for i := 0; i < n; i++ {
+			if err := protect(i, fn); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return joinErrors(errs)
+	}
+	jobs := make(chan int)
+	jobErrs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				jobErrs[i] = protect(i, fn)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	var errs []error
+	for _, err := range jobErrs {
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return joinErrors(errs)
+}
+
+// protect invokes fn(i), converting a panic into a *PanicError.
+func protect(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
+// joinErrors flattens an error list (nil for empty, the error itself
+// for one) into a single error preserving every message.
+func joinErrors(errs []error) error {
+	switch len(errs) {
+	case 0:
+		return nil
+	case 1:
+		return errs[0]
+	}
+	msgs := make([]string, len(errs))
+	for i, e := range errs {
+		msgs[i] = e.Error()
+	}
+	return fmt.Errorf("%d jobs failed:\n%s", len(errs), strings.Join(msgs, "\n"))
+}
+
+// RunAll executes every config on the worker pool, returning results in
+// input order. A panicking run (bad scheme name, failed setup) is
+// reported in the error; its Result slot is left zero.
+func RunAll(cfgs []RunConfig) ([]Result, error) {
+	out := make([]Result, len(cfgs))
+	err := ForEach(len(cfgs), func(i int) error {
+		out[i] = Run(cfgs[i])
+		return nil
+	})
+	return out, err
+}
+
+// GridParallel runs the cartesian product of schemes × workloads on the
+// worker pool. The result map is identical (same keys, same Result
+// values) to what the serial Grid loop produces for the same inputs.
+func GridParallel(schemeNames, workloadNames []string, base RunConfig) (map[string]map[string]Result, error) {
+	cfgs := make([]RunConfig, 0, len(schemeNames)*len(workloadNames))
+	for _, s := range schemeNames {
+		for _, w := range workloadNames {
+			cfg := base
+			cfg.Scheme = s
+			cfg.Workload = w
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := RunAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]map[string]Result, len(schemeNames))
+	i := 0
+	for _, s := range schemeNames {
+		out[s] = make(map[string]Result, len(workloadNames))
+		for _, w := range workloadNames {
+			out[s][w] = results[i]
+			i++
+		}
+	}
+	return out, nil
+}
+
+// SortedSchemes returns the sorted outer keys of a grid, giving every
+// renderer one deterministic iteration order regardless of how the grid
+// was produced.
+func SortedSchemes(grid map[string]map[string]Result) []string {
+	out := make([]string, 0, len(grid))
+	for s := range grid {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Collector accumulates every Result produced while it is installed —
+// the machine-readable feed behind slpmtbench -json. Safe for
+// concurrent use by the worker pool.
+type Collector struct {
+	mu      sync.Mutex
+	results []Result
+}
+
+// Add records one result.
+func (c *Collector) Add(r Result) {
+	c.mu.Lock()
+	c.results = append(c.results, r)
+	c.mu.Unlock()
+}
+
+// Results returns a copy of the collected results.
+func (c *Collector) Results() []Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Result, len(c.results))
+	copy(out, c.results)
+	return out
+}
+
+// collector is the installed sink (nil = collection off).
+var collector atomic.Pointer[Collector]
+
+// SetCollector installs c as the sink every Run reports into; nil
+// disables collection.
+func SetCollector(c *Collector) { collector.Store(c) }

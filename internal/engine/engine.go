@@ -62,6 +62,18 @@ type Engine struct {
 	// suppressed records lines whose L3 writeback was blocked by the
 	// redo-mode filter; they must be force-persisted at commit.
 	suppressed map[mem.Addr]struct{}
+
+	// lazyPool recycles the per-transaction lazy-line sets that Commit
+	// hands off to retainedTx entries, so a steady stream of lazy
+	// transactions allocates no new maps.
+	lazyPool []map[mem.Addr]struct{}
+
+	// scratch is the per-transaction arena for log-record payloads.
+	// Records never outlive their transaction (the sink drains at commit
+	// and clears at abort; the log writer copies payloads out), so the
+	// arena resets at Begin instead of allocating per word.
+	scratch    []byte
+	scratchOff int
 }
 
 // New wires an engine to a machine. The machine's eviction hooks are
@@ -111,9 +123,30 @@ func (e *Engine) refreshRecord(r logbuf.Record) logbuf.Record {
 	if e.cfg.Mode == Undo {
 		return r
 	}
-	data := make([]byte, len(r.Data))
+	data := e.scratchBytes(len(r.Data))
 	e.m.ReadMem(r.Addr, data)
 	return logbuf.Record{Addr: r.Addr, Data: data, Speculative: r.Speculative}
+}
+
+// scratchBlock sizes the arena growth step; large enough that even a
+// line-granularity transaction rarely grows twice.
+const scratchBlock = 1 << 16
+
+// scratchBytes returns n bytes of transaction-lifetime scratch from the
+// arena. Earlier blocks stay alive through the records referencing
+// them; the arena as a whole is recycled at Begin.
+func (e *Engine) scratchBytes(n int) []byte {
+	if e.scratchOff+n > len(e.scratch) {
+		size := scratchBlock
+		if n > size {
+			size = n
+		}
+		e.scratch = make([]byte, size)
+		e.scratchOff = 0
+	}
+	p := e.scratch[e.scratchOff : e.scratchOff+n : e.scratchOff+n]
+	e.scratchOff += n
+	return p
 }
 
 // Begin starts a durable transaction: allocates a transaction ID (forcing
@@ -135,15 +168,30 @@ func (e *Engine) Begin() {
 			break
 		}
 	}
-	e.cur = txState{
-		active:      true,
-		id:          id,
-		seq:         e.seq,
-		sig:         &e.sigs[id],
-		lazyLines:   make(map[mem.Addr]struct{}),
-		writeLines:  make(map[mem.Addr]uint8),
-		loggedWords: make(map[mem.Addr]struct{}),
+	// Reuse the per-transaction tracking maps and the record-payload
+	// arena: Commit hands lazyLines off to a retainedTx (replaced from
+	// the recycle pool here), while writeLines/loggedWords never escape
+	// the transaction and are merely cleared.
+	e.cur.active = true
+	e.cur.id = id
+	e.cur.seq = e.seq
+	e.cur.sig = &e.sigs[id]
+	if e.cur.lazyLines == nil {
+		e.cur.lazyLines = e.takeLazySet()
+	} else {
+		clear(e.cur.lazyLines)
 	}
+	if e.cur.writeLines == nil {
+		e.cur.writeLines = make(map[mem.Addr]uint8)
+	} else {
+		clear(e.cur.writeLines)
+	}
+	if e.cur.loggedWords == nil {
+		e.cur.loggedWords = make(map[mem.Addr]struct{})
+	} else {
+		clear(e.cur.loggedWords)
+	}
+	e.scratchOff = 0
 	e.cur.sig.Clear()
 	mode := uint64(logfmt.ModeUndo)
 	if e.cfg.Mode == Redo {
@@ -288,7 +336,7 @@ func (e *Engine) logStore(l *cache.Line, a mem.Addr, size int) {
 		return
 	}
 	if e.cfg.Granularity == Line {
-		data := make([]byte, mem.LineSize)
+		data := e.scratchBytes(mem.LineSize)
 		e.m.ReadMem(line, data)
 		e.sink.add(logbuf.Record{Addr: line, Data: data})
 		e.m.Stats.LogRecordsCreated++
@@ -302,7 +350,7 @@ func (e *Engine) logStore(l *cache.Line, a mem.Addr, size int) {
 				continue
 			}
 			wa := line + mem.Addr(w*mem.WordSize)
-			data := make([]byte, mem.WordSize)
+			data := e.scratchBytes(mem.WordSize)
 			e.m.ReadMem(wa, data)
 			e.sink.add(logbuf.Record{Addr: wa, Data: data})
 			e.m.Stats.LogRecordsCreated++
@@ -369,8 +417,22 @@ func (e *Engine) persistRetainedThrough(idx int) {
 			}
 		}
 		r.sig.Clear()
+		clear(r.lazy)
+		e.lazyPool = append(e.lazyPool, r.lazy)
+		r.lazy = nil
 	}
 	e.retained = append(e.retained[:0], e.retained[idx+1:]...)
+}
+
+// takeLazySet returns an empty lazy-line set, recycled from released
+// retained transactions when possible.
+func (e *Engine) takeLazySet() map[mem.Addr]struct{} {
+	if n := len(e.lazyPool); n > 0 {
+		m := e.lazyPool[n-1]
+		e.lazyPool = e.lazyPool[:n-1]
+		return m
+	}
+	return make(map[mem.Addr]struct{})
 }
 
 // DrainLazy persists every retained transaction's lazy data — the effect
@@ -418,7 +480,7 @@ func (e *Engine) onL1Demote(l *cache.Line) {
 				continue
 			}
 			wa := l.Addr + mem.Addr(w*mem.WordSize)
-			data := make([]byte, mem.WordSize)
+			data := e.scratchBytes(mem.WordSize)
 			e.m.ReadMem(wa, data)
 			e.sink.add(logbuf.Record{Addr: wa, Data: data, Speculative: true})
 			e.m.Stats.SpeculativeRecords++
@@ -496,7 +558,9 @@ func (e *Engine) Commit() {
 	} else {
 		e.commitRedo()
 	}
-	// Retain the working set while lazy data is volatile (§III-C).
+	// Retain the working set while lazy data is volatile (§III-C). The
+	// lazy set's ownership moves to the retained entry; Begin replaces
+	// it from the recycle pool.
 	if len(e.cur.lazyLines) > 0 {
 		e.m.Stats.LazyLinesDeferred += uint64(len(e.cur.lazyLines))
 		e.retained = append(e.retained, retainedTx{
@@ -505,6 +569,7 @@ func (e *Engine) Commit() {
 			sig:  e.cur.sig,
 			lazy: e.cur.lazyLines,
 		})
+		e.cur.lazyLines = nil
 	} else {
 		e.cur.sig.Clear()
 	}
@@ -580,7 +645,7 @@ func (e *Engine) commitRedo() {
 			e.m.Stats.EagerLinePersists++
 		}
 	}
-	e.suppressed = make(map[mem.Addr]struct{})
+	clear(e.suppressed)
 	e.clearTxMeta()
 }
 
@@ -666,7 +731,7 @@ func (e *Engine) Abort() {
 		e.m.DropLine(la)
 		e.m.RestoreLineFromDurable(la)
 	}
-	e.suppressed = make(map[mem.Addr]struct{})
+	clear(e.suppressed)
 
 	mode := uint64(logfmt.ModeUndo)
 	if e.cfg.Mode == Redo {

@@ -65,8 +65,17 @@ func fig13(out io.Writer, base bench.RunConfig) error {
 		"Figure 13 (right): compile (analysis) time",
 		"workload", "IR ops", "analysis time", "ns/op")
 
-	totalManual, totalFound := 0, 0
-	for _, w := range ws {
+	// One job per kernel on the worker pool: the record + infer +
+	// replay + recovery pipeline per workload touches only systems the
+	// job builds itself.
+	type fig13Cell struct {
+		fg, manual, replay uint64
+		traceOps           int
+		ann                *compiler.Annotations
+	}
+	cells := make([]fig13Cell, len(ws))
+	if err := bench.ForEach(len(ws), func(i int) error {
+		w := ws[i]
 		fg, err := runWhole(schemes.FG, w, base)
 		if err != nil {
 			return err
@@ -89,7 +98,6 @@ func fig13(out io.Writer, base bench.RunConfig) error {
 			return fmt.Errorf("%s: %w", w, err)
 		}
 		sys.DrainLazy()
-		replayCycles := sys.Cycles()
 
 		// Verify the replayed durable state with the recovery checker.
 		img := sys.Mach.Crash()
@@ -101,17 +109,25 @@ func fig13(out io.Writer, base bench.RunConfig) error {
 		if err := rec.CheckDurable(img, load.Oracle()); err != nil {
 			return fmt.Errorf("%s replay durable check: %w", w, err)
 		}
+		cells[i] = fig13Cell{fg: fg, manual: manual, replay: sys.Cycles(), traceOps: len(trace.Ops), ann: ann}
+		return nil
+	}); err != nil {
+		return err
+	}
 
-		cov := ann.Coverage
+	totalManual, totalFound := 0, 0
+	for i, w := range ws {
+		c := cells[i]
+		cov := c.ann.Coverage
 		tb.AddRow(w,
-			bench.Fx(float64(fg)/float64(manual)),
-			bench.Fx(float64(fg)/float64(replayCycles)),
+			bench.Fx(float64(c.fg)/float64(c.manual)),
+			bench.Fx(float64(c.fg)/float64(c.replay)),
 			fmt.Sprint(cov.ManualSites),
 			fmt.Sprint(cov.FoundSites))
 		tt.AddRow(w,
-			fmt.Sprint(len(trace.Ops)),
-			ann.AnalyzeTime.String(),
-			fmt.Sprintf("%.0f", float64(ann.AnalyzeTime.Nanoseconds())/float64(len(trace.Ops)+1)))
+			fmt.Sprint(c.traceOps),
+			c.ann.AnalyzeTime.String(),
+			fmt.Sprintf("%.0f", float64(c.ann.AnalyzeTime.Nanoseconds())/float64(c.traceOps+1)))
 		totalManual += cov.ManualSites
 		totalFound += cov.FoundSites
 	}

@@ -38,10 +38,8 @@ func Run(w io.Writer, name string, base bench.RunConfig) error {
 	case "mixes":
 		return Mixes(w, base)
 	case "all":
-		for _, fn := range []func(io.Writer, bench.RunConfig) error{
-			Fig8, Fig9, Fig10, Fig11, Fig12, Fig13, Fig14, Headline, Ablation, Model, Mixes,
-		} {
-			if err := fn(w, base); err != nil {
+		for _, n := range Names() {
+			if err := Run(w, n, base); err != nil {
 				return err
 			}
 			fmt.Fprintln(w)
@@ -52,11 +50,23 @@ func Run(w io.Writer, name string, base bench.RunConfig) error {
 	}
 }
 
-// checkVerify fails fast if any run's invariant check failed.
+// Names returns the individual experiment names in the order "all" runs
+// them.
+func Names() []string {
+	return []string{
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"headline", "ablation", "model", "mixes",
+	}
+}
+
+// checkVerify fails fast if any run's invariant check failed. The scan
+// order is deterministic so the reported failure (and therefore the
+// harness output) is identical between serial and parallel sweeps.
 func checkVerify(grid map[string]map[string]bench.Result) error {
-	for s, m := range grid {
-		for w, r := range m {
-			if r.VerifyErr != nil {
+	for _, s := range bench.SortedSchemes(grid) {
+		m := grid[s]
+		for _, w := range bench.SortedKeys(m) {
+			if r := m[w]; r.VerifyErr != nil {
 				return fmt.Errorf("%s/%s failed verification: %v", s, w, r.VerifyErr)
 			}
 		}
@@ -161,16 +171,19 @@ func Fig10(out io.Writer, base bench.RunConfig) error {
 	tb := bench.NewTable(
 		"Figure 10: SLPMT speedup over FG vs value size",
 		append([]string{"workload"}, colsOfInts(valueSizes)...)...)
+	sweep, err := pairSweep(base, ws, len(valueSizes), func(cfg *bench.RunConfig, v int) {
+		cfg.ValueSize = valueSizes[v]
+	})
+	if err != nil {
+		return err
+	}
 	means := make([]float64, len(valueSizes))
 	counts := 0
-	for _, w := range ws {
+	for wi, w := range ws {
 		row := []string{w}
-		for i, v := range valueSizes {
-			cfg := base
-			cfg.ValueSize = v
-			b := run(cfg, schemes.FG, w)
-			r := run(cfg, schemes.SLPMT, w)
-			sp := bench.Speedup(b, r)
+		for i := range valueSizes {
+			p := sweep[wi][i]
+			sp := bench.Speedup(p.base, p.slpmt)
 			means[i] += sp
 			row = append(row, bench.Fx(sp))
 		}
@@ -194,13 +207,16 @@ func Fig11(out io.Writer, base bench.RunConfig) error {
 	tb := bench.NewTable(
 		"Figure 11: PM write-traffic reduction (KiB saved vs FG, and %) vs value size",
 		append([]string{"workload"}, colsOfInts(valueSizes)...)...)
-	for _, w := range ws {
+	sweep, err := pairSweep(base, ws, len(valueSizes), func(cfg *bench.RunConfig, v int) {
+		cfg.ValueSize = valueSizes[v]
+	})
+	if err != nil {
+		return err
+	}
+	for wi, w := range ws {
 		row := []string{w}
-		for _, v := range valueSizes {
-			cfg := base
-			cfg.ValueSize = v
-			b := run(cfg, schemes.FG, w)
-			r := run(cfg, schemes.SLPMT, w)
+		for i := range valueSizes {
+			b, r := sweep[wi][i].base, sweep[wi][i].slpmt
 			savedKiB := (float64(b.PMWriteBytes()) - float64(r.PMWriteBytes())) / 1024
 			row = append(row, fmt.Sprintf("%.0fKiB/%s", savedKiB, bench.Pct(bench.TrafficReduction(b, r))))
 		}
@@ -220,14 +236,17 @@ func Fig12(out io.Writer, base bench.RunConfig) error {
 	tb := bench.NewTable(
 		"Figure 12: SLPMT speedup over FG vs PM write latency (ns)",
 		append([]string{"workload"}, colsOfU64(lats)...)...)
-	for _, w := range ws {
+	sweep, err := pairSweep(base, ws, len(lats), func(cfg *bench.RunConfig, v int) {
+		cfg.PMWriteNanos = lats[v]
+	})
+	if err != nil {
+		return err
+	}
+	for wi, w := range ws {
 		row := []string{w}
-		for _, lat := range lats {
-			cfg := base
-			cfg.PMWriteNanos = lat
-			b := run(cfg, schemes.FG, w)
-			r := run(cfg, schemes.SLPMT, w)
-			row = append(row, bench.Fx(bench.Speedup(b, r)))
+		for i := range lats {
+			p := sweep[wi][i]
+			row = append(row, bench.Fx(bench.Speedup(p.base, p.slpmt)))
 		}
 		tb.AddRow(row...)
 	}
@@ -300,10 +319,42 @@ func mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-func run(cfg bench.RunConfig, scheme, workload string) bench.Result {
-	cfg.Scheme = scheme
-	cfg.Workload = workload
-	return bench.Run(cfg)
+// pair is one sweep cell: the FG baseline and the SLPMT run under
+// identical parameters.
+type pair struct{ base, slpmt bench.Result }
+
+// pairSweep runs the (FG, SLPMT) pair for every workload × variant on
+// the worker pool, returning pairs indexed [workload][variant]. The
+// configure hook applies variant v to the cell's RunConfig (value size,
+// write latency, banks, ...). Results are positionally identical to
+// the nested serial loops the figures used to run.
+func pairSweep(base bench.RunConfig, ws []string, variants int, configure func(cfg *bench.RunConfig, v int)) ([][]pair, error) {
+	cfgs := make([]bench.RunConfig, 0, 2*len(ws)*variants)
+	for _, w := range ws {
+		for v := 0; v < variants; v++ {
+			cfg := base
+			cfg.Workload = w
+			configure(&cfg, v)
+			cfg.Scheme = schemes.FG
+			cfgs = append(cfgs, cfg)
+			cfg.Scheme = schemes.SLPMT
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := bench.RunAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]pair, len(ws))
+	i := 0
+	for wi := range ws {
+		out[wi] = make([]pair, variants)
+		for v := 0; v < variants; v++ {
+			out[wi][v] = pair{base: results[i], slpmt: results[i+1]}
+			i += 2
+		}
+	}
+	return out, nil
 }
 
 func colsOfInts(xs []int) []string {

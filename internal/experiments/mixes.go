@@ -21,18 +21,29 @@ func Mixes(out io.Writer, base bench.RunConfig) error {
 	tb := bench.NewTable(
 		"YCSB mixes on kv-btree: cycles/op by scheme (SLPMT speedup over FG in parens)",
 		append([]string{"mix"}, ss...)...)
-	for _, mix := range mixes {
+	// Fan every (mix, scheme) cell across the worker pool; each cell
+	// builds its own system, so cells are independent.
+	cells := make([]uint64, len(mixes)*len(ss))
+	if err := bench.ForEach(len(cells), func(i int) error {
+		mix := mixes[i/len(ss)]
 		mix.ValueSize = base.ValueSize
 		if base.Seed != 0 {
 			mix.Seed = base.Seed
 		}
+		s := ss[i%len(ss)]
+		c, err := runMix(s, mix)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", mix.Name, s, err)
+		}
+		cells[i] = c
+		return nil
+	}); err != nil {
+		return err
+	}
+	for mi, mix := range mixes {
 		cycles := map[string]uint64{}
-		for _, s := range ss {
-			c, err := runMix(s, mix)
-			if err != nil {
-				return fmt.Errorf("%s/%s: %w", mix.Name, s, err)
-			}
-			cycles[s] = c
+		for si, s := range ss {
+			cycles[s] = cells[mi*len(ss)+si]
 		}
 		row := []string{mix.Name}
 		for _, s := range ss {

@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"github.com/persistmem/slpmt/internal/bench"
-	"github.com/persistmem/slpmt/internal/schemes"
 	"github.com/persistmem/slpmt/internal/workloads"
 )
 
@@ -28,14 +27,17 @@ func Model(out io.Writer, base bench.RunConfig) error {
 	tb := bench.NewTable(
 		"Model sensitivity: SLPMT speedup over FG vs device write parallelism (banks)",
 		append([]string{"workload"}, colsPlain(banks, "")...)...)
-	for _, w := range ws {
+	bankSweep, err := pairSweep(base, ws, len(banks), func(cfg *bench.RunConfig, v int) {
+		cfg.Banks = banks[v]
+	})
+	if err != nil {
+		return err
+	}
+	for wi, w := range ws {
 		row := []string{w}
-		for _, bk := range banks {
-			cfg := base
-			cfg.Banks = bk
-			fg := run(cfg, schemes.FG, w)
-			sl := run(cfg, schemes.SLPMT, w)
-			row = append(row, bench.Fx(bench.Speedup(fg, sl)))
+		for i := range banks {
+			p := bankSweep[wi][i]
+			row = append(row, bench.Fx(bench.Speedup(p.base, p.slpmt)))
 		}
 		tb.AddRow(row...)
 	}
@@ -45,14 +47,17 @@ func Model(out io.Writer, base bench.RunConfig) error {
 	tw := bench.NewTable(
 		"Model sensitivity: SLPMT speedup over FG vs WPQ capacity (bytes)",
 		append([]string{"workload"}, colsPlain(wpqs, "B")...)...)
-	for _, w := range ws {
+	wpqSweep, err := pairSweep(base, ws, len(wpqs), func(cfg *bench.RunConfig, v int) {
+		cfg.WPQBytes = wpqs[v]
+	})
+	if err != nil {
+		return err
+	}
+	for wi, w := range ws {
 		row := []string{w}
-		for _, q := range wpqs {
-			cfg := base
-			cfg.WPQBytes = q
-			fg := run(cfg, schemes.FG, w)
-			sl := run(cfg, schemes.SLPMT, w)
-			row = append(row, bench.Fx(bench.Speedup(fg, sl)))
+		for i := range wpqs {
+			p := wpqSweep[wi][i]
+			row = append(row, bench.Fx(bench.Speedup(p.base, p.slpmt)))
 		}
 		tw.AddRow(row...)
 	}

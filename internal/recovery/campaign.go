@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/persistmem/slpmt"
+	"github.com/persistmem/slpmt/internal/bench"
 	"github.com/persistmem/slpmt/internal/machine"
 	"github.com/persistmem/slpmt/internal/pmem"
 	"github.com/persistmem/slpmt/internal/workloads"
@@ -28,6 +29,11 @@ type CampaignConfig struct {
 	Stride uint64
 	// MaxPoints caps the number of crash points tested (0 = no cap).
 	MaxPoints int
+	// Parallel is the worker count for the crash points (each point is
+	// an independent deterministic run). 0 uses the bench harness
+	// default (GOMAXPROCS); 1 forces the serial sweep. Results are
+	// identical at any setting.
+	Parallel int
 }
 
 // CampaignResult summarizes a campaign.
@@ -225,7 +231,47 @@ func setupPersists(cfg CampaignConfig) (uint64, error) {
 	return sys.Mach.PersistCount, nil
 }
 
-// RunCampaign executes the crash-injection campaign.
+// pointOutcome is one crash point's contribution to the campaign.
+type pointOutcome struct {
+	crashed bool
+	sub     CampaignResult // PendingAccepted/RecordsApplied/LeakedBytes only
+	err     error
+}
+
+// testPoint executes one crash point and verifies the recovered image,
+// returning its isolated contribution. Every run is deterministic and
+// self-contained, so points can execute in any order (or concurrently)
+// and aggregate to the same campaign result.
+func testPoint(cfg CampaignConfig, point uint64) pointOutcome {
+	var out pointOutcome
+	info, _, err := execute(cfg, point)
+	if err != nil {
+		out.err = fmt.Errorf("crash point %d: %w", point, err)
+		return out
+	}
+	if !info.crashed {
+		// Point beyond the run's events (drain already done).
+		return out
+	}
+	out.crashed = true
+	if err := verifyPoint(cfg, info, &out.sub); err != nil {
+		out.err = fmt.Errorf("crash point %d: %w", point, err)
+	}
+	return out
+}
+
+// accumulate folds one tested point into the campaign totals.
+func (r *CampaignResult) accumulate(o *pointOutcome) {
+	r.PointsTested++
+	r.PendingAccepted += o.sub.PendingAccepted
+	r.RecordsApplied += o.sub.RecordsApplied
+	r.LeakedBytes += o.sub.LeakedBytes
+}
+
+// RunCampaign executes the crash-injection campaign, fanning crash
+// points across cfg.Parallel workers. Outcomes are folded in ascending
+// point order with the serial sweep's early-exit rules, so the result
+// is bit-identical to a one-worker run.
 func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	if cfg.Stride == 0 {
 		cfg.Stride = 1
@@ -244,22 +290,49 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	}
 	res := &CampaignResult{TotalPersistEvents: total}
 
-	for point := setup + cfg.Stride; point <= total; point += cfg.Stride {
-		if cfg.MaxPoints > 0 && res.PointsTested >= cfg.MaxPoints {
+	var points []uint64
+	for p := setup + cfg.Stride; p <= total; p += cfg.Stride {
+		if cfg.MaxPoints > 0 && len(points) >= cfg.MaxPoints {
 			break
 		}
-		info, _, err := execute(cfg, point)
-		if err != nil {
-			return res, fmt.Errorf("crash point %d: %w", point, err)
+		points = append(points, p)
+	}
+
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = bench.Parallelism()
+	}
+	if workers <= 1 {
+		// Serial sweep: stop executing at the first error or
+		// beyond-the-run point, exactly like the historical loop.
+		for _, point := range points {
+			out := testPoint(cfg, point)
+			if out.err != nil {
+				return res, out.err
+			}
+			if !out.crashed {
+				break
+			}
+			res.accumulate(&out)
 		}
-		if !info.crashed {
-			// Point beyond the run's events (drain already done).
+		return res, nil
+	}
+
+	outs := make([]pointOutcome, len(points))
+	if err := bench.ForEachWorkers(len(points), workers, func(i int) error {
+		outs[i] = testPoint(cfg, points[i])
+		return nil
+	}); err != nil {
+		return res, err
+	}
+	for i := range outs {
+		if outs[i].err != nil {
+			return res, outs[i].err
+		}
+		if !outs[i].crashed {
 			break
 		}
-		if err := verifyPoint(cfg, info, res); err != nil {
-			return res, fmt.Errorf("crash point %d: %w", point, err)
-		}
-		res.PointsTested++
+		res.accumulate(&outs[i])
 	}
 	return res, nil
 }

@@ -1,0 +1,73 @@
+package recovery_test
+
+import (
+	"testing"
+
+	"github.com/persistmem/slpmt/internal/recovery"
+	_ "github.com/persistmem/slpmt/internal/workloads/all"
+)
+
+// TestCampaignParallelMatchesSerial asserts the campaign's determinism
+// contract: fanning crash points across workers yields the exact
+// CampaignResult the serial sweep produces.
+func TestCampaignParallelMatchesSerial(t *testing.T) {
+	base := recovery.CampaignConfig{
+		Workload:  "hashtable",
+		Scheme:    "SLPMT",
+		N:         40,
+		ValueSize: 32,
+		Stride:    11,
+	}
+
+	serialCfg := base
+	serialCfg.Parallel = 1
+	serial, err := recovery.RunCampaign(serialCfg)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	if serial.PointsTested == 0 {
+		t.Fatal("serial campaign tested no points")
+	}
+
+	for _, workers := range []int{2, 8} {
+		cfg := base
+		cfg.Parallel = workers
+		par, err := recovery.RunCampaign(cfg)
+		if err != nil {
+			t.Fatalf("parallel(%d): %v", workers, err)
+		}
+		if *par != *serial {
+			t.Errorf("parallel(%d) result differs:\n  serial:   %+v\n  parallel: %+v", workers, *serial, *par)
+		}
+	}
+}
+
+// TestCampaignParallelMixed exercises the parallel path on the mixed
+// (insert/update/delete) stream, where in-flight transactions are more
+// varied.
+func TestCampaignParallelMixed(t *testing.T) {
+	base := recovery.CampaignConfig{
+		Workload:  "dlist",
+		Scheme:    "SLPMT",
+		N:         30,
+		ValueSize: 24,
+		Mixed:     true,
+		Stride:    13,
+		MaxPoints: 12,
+	}
+	serialCfg := base
+	serialCfg.Parallel = 1
+	serial, err := recovery.RunCampaign(serialCfg)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parCfg := base
+	parCfg.Parallel = 4
+	par, err := recovery.RunCampaign(parCfg)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if *par != *serial {
+		t.Errorf("mixed campaign differs:\n  serial:   %+v\n  parallel: %+v", *serial, *par)
+	}
+}

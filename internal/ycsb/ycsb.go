@@ -8,6 +8,8 @@
 // streams, and keys are guaranteed unique and non-zero.
 package ycsb
 
+import "sync"
+
 // DefaultOps is the paper's operation count per benchmark run.
 const DefaultOps = 1000
 
@@ -46,9 +48,26 @@ func splitmix(x *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-// Keys returns the N unique, non-zero keys of the load.
-func (l Load) Keys() []uint64 {
+// keysCache memoizes generated key streams. A key stream depends only
+// on (N, Seed), the same handful of combinations recur across every
+// figure cell, scheme and crash point, and the splitmix + dedup-map
+// generation dominated Each/Oracle/Keys before caching. Cached slices
+// are shared read-only; Keys hands out copies.
+var keysCache sync.Map // keysCacheKey -> []uint64
+
+type keysCacheKey struct {
+	n    int
+	seed uint64
+}
+
+// keys returns the shared, memoized key stream. Callers must not
+// mutate the returned slice.
+func (l Load) keys() []uint64 {
 	l = l.withDefaults()
+	ck := keysCacheKey{n: l.N, seed: l.Seed}
+	if ks, ok := keysCache.Load(ck); ok {
+		return ks.([]uint64)
+	}
 	s := l.Seed
 	seen := make(map[uint64]bool, l.N)
 	keys := make([]uint64, 0, l.N)
@@ -60,13 +79,30 @@ func (l Load) Keys() []uint64 {
 		seen[k] = true
 		keys = append(keys, k)
 	}
+	keysCache.Store(ck, keys)
 	return keys
+}
+
+// Keys returns the N unique, non-zero keys of the load. The slice is
+// the caller's to keep (a copy of the memoized stream).
+func (l Load) Keys() []uint64 {
+	ks := l.keys()
+	out := make([]uint64, len(ks))
+	copy(out, ks)
+	return out
 }
 
 // Value deterministically fills a value payload for key.
 func (l Load) Value(key uint64) []byte {
 	l = l.withDefaults()
 	v := make([]byte, l.ValueSize)
+	l.fillValue(key, v)
+	return v
+}
+
+// fillValue writes the deterministic payload of key into v (the
+// caller-sized buffer; len(v) bytes are produced).
+func (l Load) fillValue(key uint64, v []byte) {
 	x := key ^ l.Seed
 	for i := range v {
 		if i%8 == 0 {
@@ -74,14 +110,18 @@ func (l Load) Value(key uint64) []byte {
 		}
 		v[i] = byte(x >> (8 * uint(i%8)))
 	}
-	return v
 }
 
-// Each invokes fn for every operation in order, stopping on error.
+// Each invokes fn for every operation in order, stopping on error. The
+// value buffer is reused between calls: it is valid only for the
+// duration of fn, which must copy it to retain it (inserting into
+// simulated persistent memory copies by construction).
 func (l Load) Each(fn func(key uint64, value []byte) error) error {
 	l = l.withDefaults()
-	for _, k := range l.Keys() {
-		if err := fn(k, l.Value(k)); err != nil {
+	buf := make([]byte, l.ValueSize)
+	for _, k := range l.keys() {
+		l.fillValue(k, buf)
+		if err := fn(k, buf); err != nil {
 			return err
 		}
 	}
@@ -92,7 +132,7 @@ func (l Load) Each(fn func(key uint64, value []byte) error) error {
 func (l Load) Oracle() map[uint64][]byte {
 	l = l.withDefaults()
 	m := make(map[uint64][]byte, l.N)
-	for _, k := range l.Keys() {
+	for _, k := range l.keys() {
 		m[k] = l.Value(k)
 	}
 	return m

@@ -117,6 +117,62 @@ func TestMixDeterministic(t *testing.T) {
 	}
 }
 
+func TestKeysReturnsPrivateCopy(t *testing.T) {
+	l := Load{N: 20, Seed: 11}
+	a := l.Keys()
+	want := a[0]
+	a[0] = 0 // caller mutation must not poison the memoized stream
+	if got := l.Keys()[0]; got != want {
+		t.Fatalf("cached key stream mutated: got %d, want %d", got, want)
+	}
+}
+
+func TestEachBufferReuseMatchesValue(t *testing.T) {
+	l := Load{N: 30, ValueSize: 24, Seed: 5}
+	var prev []byte
+	err := l.Each(func(k uint64, v []byte) error {
+		if prev != nil && &prev[0] != &v[0] {
+			t.Fatal("Each should reuse one value buffer")
+		}
+		prev = v
+		if string(v) != string(l.Value(k)) {
+			t.Fatalf("reused buffer content diverges from Value(%d)", k)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLoadEach(b *testing.B) {
+	l := Load{N: 1000, ValueSize: 256, Seed: 0x5eed}
+	l.keys() // warm the key cache; the loop measures the steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink := uint64(0)
+		if err := l.Each(func(k uint64, v []byte) error {
+			sink += k ^ uint64(v[0])
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadKeys(b *testing.B) {
+	l := Load{N: 1000, Seed: 0x5eed}
+	l.keys()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(l.Keys()) != 1000 {
+			b.Fatal("short key stream")
+		}
+	}
+}
+
 func TestMixInsertKeysFresh(t *testing.T) {
 	m := WorkloadE()
 	pre := map[uint64]bool{}

@@ -1,0 +1,32 @@
+#!/bin/sh
+# check.sh - the repo's pre-merge gate: formatting, vet, build, full
+# test suite, and a race-detector pass over the concurrent packages
+# (the bench worker pool and everything built on it).
+#
+# Usage: scripts/check.sh   (or: make check)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (concurrent packages) =="
+go test -race ./internal/bench/ ./internal/experiments/ \
+	./internal/recovery/ -run 'Parallel|ForEach|Grid|RunAll|Collector|Smoke'
+
+echo "ALL CHECKS PASSED"
