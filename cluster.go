@@ -1,0 +1,125 @@
+package slpmt
+
+import (
+	"github.com/persistmem/slpmt/internal/engine"
+	"github.com/persistmem/slpmt/internal/machine"
+	"github.com/persistmem/slpmt/internal/mem"
+	"github.com/persistmem/slpmt/internal/stats"
+	"github.com/persistmem/slpmt/internal/txheap"
+)
+
+// Cluster is a multi-core simulated platform: one System per core, all
+// sharing the LLC, the persistent-memory device (and its write pending
+// queue), and one persistent heap. Each core runs its own transaction
+// engine with a private log region; cross-engine conflicts are detected
+// through the coherence bus — a remote store checks every other
+// engine's retained-transaction signatures and forces lazy drains on a
+// hit (§III-C3 applied across cores).
+//
+// Execution is simulated on one OS thread by deterministically
+// interleaving the cores at transaction granularity (see Interleave),
+// so multi-core runs are exactly reproducible.
+type Cluster struct {
+	// Plat is the shared platform (LLC, PM device, cores).
+	Plat *machine.Machine
+	// Sys holds one System per core.
+	Sys []*System
+
+	tick tickMux
+}
+
+// tickMux charges heap-operation cycles to whichever core is currently
+// executing; the shared txheap sees one Ticker.
+type tickMux struct{ c *machine.Core }
+
+func (t *tickMux) Tick(n uint64) { t.c.Tick(n) }
+
+// NewCluster builds a platform with the given core count. Every core
+// runs the same scheme. NewCluster(1, opts) is timing-equivalent to
+// New(opts).
+func NewCluster(cores int, opts Options) *Cluster {
+	if cores < 1 {
+		cores = 1
+	}
+	name, cfg, mc := opts.resolve()
+	mc.Cores = cores
+	plat := machine.New(mc)
+	cl := &Cluster{Plat: plat}
+	cl.tick.c = plat.Core(0)
+	heap := txheap.New(&cl.tick, plat.Layout, opts.AllocCycles)
+	engines := make([]*engine.Engine, cores)
+	for i := 0; i < cores; i++ {
+		c := plat.Core(i)
+		e := engine.New(c, cfg)
+		engines[i] = e
+		cl.Sys = append(cl.Sys, &System{Eng: e, Mach: c, Heap: heap, scheme: name})
+	}
+	plat.OnRemoteStore = func(src int, line mem.Addr) {
+		for i, e := range engines {
+			if i != src {
+				e.CoherenceStore(line)
+			}
+		}
+	}
+	return cl
+}
+
+// Use selects core i for direct driving (heap costs charge to it) and
+// returns its System — the way single-threaded phases (setup, loading)
+// run on a cluster. Interleave selects cores itself.
+func (cl *Cluster) Use(i int) *System {
+	cl.tick.c = cl.Sys[i].Mach
+	return cl.Sys[i]
+}
+
+// Interleave runs per-core operation streams to completion under the
+// deterministic scheduler: at every step the unfinished core with the
+// lowest clock runs its next operation, ties broken by core ID (the
+// round-robin order). stream(core, sys) must run exactly one operation
+// of core's stream on sys and report whether more remain.
+//
+// Interleaving is at operation (transaction) granularity: a transaction
+// runs to completion before another core is scheduled, so transactions
+// never interleave mid-flight — cross-core interactions are coherence
+// misses, WPQ contention, and signature-forced lazy drains between
+// transactions. Operations on different cores must therefore be
+// logically independent (e.g. sharded key streams); the simulator does
+// not model speculative conflict aborts between in-flight transactions.
+func (cl *Cluster) Interleave(stream func(core int, sys *System) bool) {
+	done := make([]bool, len(cl.Sys))
+	remaining := len(cl.Sys)
+	for remaining > 0 {
+		pick := -1
+		for i, s := range cl.Sys {
+			if done[i] {
+				continue
+			}
+			if pick < 0 || s.Mach.Clk < cl.Sys[pick].Mach.Clk {
+				pick = i
+			}
+		}
+		if !stream(pick, cl.Use(pick)) {
+			done[pick] = true
+			remaining--
+		}
+	}
+}
+
+// SyncClocks aligns every core to the highest clock — the barrier
+// between a setup phase and a measured parallel phase — and returns it.
+func (cl *Cluster) SyncClocks() uint64 { return cl.Plat.SyncClocks() }
+
+// MaxClk returns the highest core clock — the parallel phase's
+// makespan when read after Interleave.
+func (cl *Cluster) MaxClk() uint64 { return cl.Plat.MaxClk() }
+
+// DrainLazy forces every core's deferred lazy data to PM.
+func (cl *Cluster) DrainLazy() {
+	for i := range cl.Sys {
+		cl.Use(i).DrainLazy()
+	}
+}
+
+// Stats returns the merged per-core counters. Cycles is not populated
+// (per-core clocks do not sum meaningfully); use MaxClk for time.
+func (cl *Cluster) Stats() stats.Counters { return cl.Plat.MergedStats() }

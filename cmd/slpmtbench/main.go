@@ -14,9 +14,13 @@
 //	slpmtbench -experiment ablation  # design-choice ablations (DESIGN.md §5)
 //	slpmtbench -experiment model     # timing-model knob sensitivity
 //	slpmtbench -experiment mixes     # YCSB A/B/C/E blends (extension)
+//	slpmtbench -experiment scaling   # throughput/traffic vs core count (extension)
 //	slpmtbench -experiment all       # everything
 //
-// Flags -n, -value and -seed override the workload parameters.
+// Flags -n, -value and -seed override the workload parameters. -cores
+// runs any experiment on a multi-core platform (sharded key streams,
+// deterministic interleaving); the scaling experiment sweeps its own
+// core counts.
 // -parallel sets the worker count for the experiment grids (0 =
 // GOMAXPROCS; results are identical at any setting). -json additionally
 // writes a machine-readable BENCH_<experiment>.json per experiment, and
@@ -47,10 +51,11 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("experiment", "all", "experiment to run (fig8..fig14, headline, ablation, model, mixes, all)")
+		exp      = flag.String("experiment", "all", "experiment to run (fig8..fig14, headline, ablation, model, mixes, scaling, all)")
 		n        = flag.Int("n", 1000, "insert operations per run")
 		value    = flag.Int("value", 256, "value size in bytes")
 		seed     = flag.Uint64("seed", 0, "key-stream seed (0 = default)")
+		cores    = flag.Int("cores", 1, "simulated core count (scaling sweeps its own counts)")
 		parallel = flag.Int("parallel", 0, "worker count for experiment grids (0 = GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "write machine-readable BENCH_<experiment>.json per experiment")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -59,7 +64,7 @@ func run() error {
 	flag.Parse()
 
 	bench.SetParallelism(*parallel)
-	base := bench.RunConfig{N: *n, ValueSize: *value, Seed: *seed, Verify: true}
+	base := bench.RunConfig{N: *n, ValueSize: *value, Seed: *seed, Verify: true, Cores: *cores}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -136,6 +141,7 @@ type benchResult struct {
 	Banks            int    `json:"banks,omitempty"`
 	WPQBytes         int    `json:"wpq_bytes,omitempty"`
 	Seed             uint64 `json:"seed,omitempty"`
+	Cores            int    `json:"cores,omitempty"`
 	Cycles           uint64 `json:"cycles"`
 	PMWriteBytesData uint64 `json:"pm_write_bytes_data"`
 	PMWriteBytesLog  uint64 `json:"pm_write_bytes_log"`
@@ -175,6 +181,7 @@ func writeReport(name string, wall time.Duration, before, after *runtime.MemStat
 			Banks:            r.Banks,
 			WPQBytes:         r.WPQBytes,
 			Seed:             r.Seed,
+			Cores:            r.Cores,
 			Cycles:           r.Cycles,
 			PMWriteBytesData: r.Counters.PMWriteBytesData,
 			PMWriteBytesLog:  r.Counters.PMWriteBytesLog,
@@ -207,6 +214,9 @@ func writeReport(name string, wall time.Duration, before, after *runtime.MemStat
 		}
 		if a.WPQBytes != b.WPQBytes {
 			return a.WPQBytes < b.WPQBytes
+		}
+		if a.Cores != b.Cores {
+			return a.Cores < b.Cores
 		}
 		return a.Seed < b.Seed
 	})

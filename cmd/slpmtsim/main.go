@@ -31,6 +31,7 @@ func main() {
 		n        = flag.Int("n", 1000, "insert operations")
 		value    = flag.Int("value", 256, "value size in bytes")
 		lat      = flag.Uint64("writelat", 0, "PM write latency override (ns)")
+		cores    = flag.Int("cores", 1, "simulated core count (sharded key streams)")
 		seed     = flag.Uint64("seed", 0, "key-stream seed")
 		verify   = flag.Bool("verify", true, "check structure invariants after the run")
 		parallel = flag.Int("parallel", 0, "worker count for multi-scheme runs (0 = GOMAXPROCS)")
@@ -52,6 +53,7 @@ func main() {
 			PMWriteNanos: *lat,
 			Seed:         *seed,
 			Verify:       *verify,
+			Cores:        *cores,
 		}
 	}
 	results, err := bench.RunAll(cfgs)

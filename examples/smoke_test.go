@@ -1,0 +1,47 @@
+// Package examples_test smoke-tests the documented example programs:
+// each must compile and run to completion with a zero exit status, so
+// an API refactor cannot silently break the repository's entry points.
+package examples_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+var programs = []string{
+	"quickstart",
+	"linkedlist",
+	"kvstore",
+	"gcmove",
+	"inplace",
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples exec the go tool; skipped in -short")
+	}
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate test file")
+	}
+	repoRoot := filepath.Dir(filepath.Dir(thisFile))
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+	for _, name := range programs {
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command(gobin, "run", "./examples/"+name)
+			cmd.Dir = repoRoot
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("examples/%s produced no output", name)
+			}
+		})
+	}
+}

@@ -38,6 +38,12 @@ type RunConfig struct {
 	// Verify runs the structure's invariant check after the measured
 	// region (errors are reported in the result).
 	Verify bool
+	// Cores is the simulated core count (0 or 1 = the single-core
+	// platform). Multi-core runs shard the key stream round-robin
+	// across the cores of one shared structure and interleave them
+	// deterministically; Cycles is then the parallel phase's makespan
+	// (see RunMulti).
+	Cores int
 }
 
 // Result is the outcome of one benchmark execution.
@@ -58,6 +64,9 @@ func (r Result) PMWriteBytes() uint64 { return r.Counters.PMWriteBytes() }
 // Run executes one benchmark under one scheme and returns the measured
 // region's statistics.
 func Run(cfg RunConfig) Result {
+	if cfg.Cores > 1 {
+		return RunMulti(cfg)
+	}
 	w := workloads.MustNew(cfg.Workload)
 	var mc machine.Config
 	mc.PM.Banks = cfg.Banks

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/persistmem/slpmt"
+	"github.com/persistmem/slpmt/internal/machine"
+	"github.com/persistmem/slpmt/internal/workloads"
+	"github.com/persistmem/slpmt/internal/ycsb"
+)
+
+// RunMulti executes one benchmark on a multi-core cluster: the
+// structure is built once (on core 0), the deterministic key stream is
+// sharded round-robin across the cores, and the per-core insert
+// streams run under the cluster's deterministic interleaver. The
+// measured region starts at a clock barrier after setup and ends when
+// the last core finishes its shard plus the final lazy drain, so
+// Cycles is the parallel makespan; Counters is the merged per-core
+// delta. Results are exactly reproducible for a given (config, seed).
+func RunMulti(cfg RunConfig) Result {
+	cores := cfg.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	w := workloads.MustNew(cfg.Workload)
+	var mc machine.Config
+	mc.PM.Banks = cfg.Banks
+	mc.PM.WPQBytes = cfg.WPQBytes
+	cl := slpmt.NewCluster(cores, slpmt.Options{
+		Scheme:             cfg.Scheme,
+		Machine:            mc,
+		PMWriteNanos:       cfg.PMWriteNanos,
+		ComputeCyclesPerOp: w.ComputeCost(),
+	})
+	if err := w.Setup(cl.Use(0)); err != nil {
+		panic(fmt.Sprintf("bench: setup %s: %v", cfg.Workload, err))
+	}
+
+	load := ycsb.Load{N: cfg.N, ValueSize: cfg.ValueSize, Seed: cfg.Seed}
+	keys := load.Keys()
+	start := cl.Stats()
+	startClk := cl.SyncClocks()
+
+	// Shard i runs keys[i], keys[i+cores], ... — every core sees an
+	// equal slice of the same deterministic stream.
+	next := make([]int, cores)
+	for i := range next {
+		next[i] = i
+	}
+	cl.Interleave(func(core int, sys *slpmt.System) bool {
+		j := next[core]
+		if j >= len(keys) {
+			return false
+		}
+		next[core] = j + cores
+		key := keys[j]
+		if err := w.Insert(sys, key, load.Value(key)); err != nil {
+			panic(fmt.Sprintf("bench: %s/%s insert: %v", cfg.Scheme, cfg.Workload, err))
+		}
+		return next[core] < len(keys)
+	})
+	cl.DrainLazy()
+
+	merged := cl.Stats()
+	res := Result{
+		RunConfig: cfg,
+		Cycles:    cl.MaxClk() - startClk,
+		Counters:  merged.Delta(start),
+	}
+	if cfg.Verify {
+		res.VerifyErr = w.Check(cl.Use(0), load.Oracle())
+	}
+	if c := collector.Load(); c != nil {
+		c.Add(res)
+	}
+	return res
+}

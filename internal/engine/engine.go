@@ -49,7 +49,7 @@ func lineID(id uint8) uint8 { return id + 1 }
 // use.
 type Engine struct {
 	cfg  Config
-	m    *machine.Machine
+	m    *machine.Core
 	w    *logWriter
 	sink logSink
 
@@ -78,7 +78,7 @@ type Engine struct {
 
 // New wires an engine to a machine. The machine's eviction hooks are
 // claimed by the engine.
-func New(m *machine.Machine, cfg Config) *Engine {
+func New(m *machine.Core, cfg Config) *Engine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -106,8 +106,8 @@ func New(m *machine.Machine, cfg Config) *Engine {
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// Machine returns the underlying machine.
-func (e *Engine) Machine() *machine.Machine { return e.m }
+// Core returns the underlying core.
+func (e *Engine) Core() *machine.Core { return e.m }
 
 // InTx reports whether a transaction is active.
 func (e *Engine) InTx() bool { return e.cur.active }
@@ -398,6 +398,16 @@ func (e *Engine) checkStoreConflict(line mem.Addr) {
 	if last >= 0 {
 		e.persistRetainedThrough(last)
 	}
+}
+
+// CoherenceStore runs the signature check for a store issued by a
+// remote core (§III-C3 across cores): the coherence write request is
+// visible to every core's SLPMT unit, and a hit against one of this
+// engine's retained transactions forces its lazy data to persist before
+// the remote store proceeds. The drain is posted on this engine's
+// core timeline, like any lazy drain.
+func (e *Engine) CoherenceStore(line mem.Addr) {
+	e.checkStoreConflict(line)
 }
 
 // persistRetainedThrough persists the lazy data of retained transactions

@@ -26,8 +26,8 @@ func fgCfg() Config {
 	return c
 }
 
-func newEng(cfg Config) (*Engine, *machine.Machine) {
-	m := machine.New(machine.Config{})
+func newEng(cfg Config) (*Engine, *machine.Core) {
+	m := machine.New(machine.Config{}).Core(0)
 	e := New(m, cfg)
 	return e, m
 }

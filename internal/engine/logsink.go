@@ -22,7 +22,7 @@ import (
 // records after a sync rewrites the partial tail line — honest write
 // amplification.
 type logWriter struct {
-	m    *machine.Machine
+	m    *machine.Core
 	base mem.Addr // log area base
 	size uint64   // log area size
 
@@ -37,7 +37,7 @@ type logWriter struct {
 	bytesPersisted   uint64
 }
 
-func newLogWriter(m *machine.Machine) *logWriter {
+func newLogWriter(m *machine.Core) *logWriter {
 	return &logWriter{
 		m:    m,
 		base: m.Layout.LogBase,

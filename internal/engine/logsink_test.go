@@ -9,8 +9,8 @@ import (
 	"github.com/persistmem/slpmt/internal/mem"
 )
 
-func newWriter() (*logWriter, *machine.Machine) {
-	m := machine.New(machine.Config{})
+func newWriter() (*logWriter, *machine.Core) {
+	m := machine.New(machine.Config{}).Core(0)
 	w := newLogWriter(m)
 	w.reset(1)
 	w.writeHeader(logfmt.Header{
@@ -28,7 +28,7 @@ func rec(addr mem.Addr, n int, fill byte) logbuf.Record {
 	return logbuf.Record{Addr: addr, Data: d}
 }
 
-func parse(m *machine.Machine) []logfmt.Record {
+func parse(m *machine.Core) []logfmt.Record {
 	raw := make([]byte, 8<<10)
 	m.PM.Read(m.Layout.LogBase, raw)
 	recs, err := logfmt.ParseRecords(raw, 1)

@@ -51,9 +51,9 @@ func (r *refModel) commit() {
 // randomProgram drives the engine and the reference model in lockstep,
 // optionally crashing at a given persist event; it returns the machine
 // (for its durable image), the model, and whether the crash fired.
-func randomProgram(seed int64, cfg Config, crashAt uint64) (m *machine.Machine, ref *refModel, crashed bool) {
+func randomProgram(seed int64, cfg Config, crashAt uint64) (m *machine.Core, ref *refModel, crashed bool) {
 	rng := rand.New(rand.NewSource(seed))
-	m = machine.New(machine.Config{})
+	m = machine.New(machine.Config{}).Core(0)
 	e := New(m, cfg)
 	m.CrashAfter = crashAt
 

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/persistmem/slpmt/internal/bench"
+	"github.com/persistmem/slpmt/internal/schemes"
+	"github.com/persistmem/slpmt/internal/workloads"
+)
+
+// ScalingCores is the core counts the scaling experiment sweeps.
+var ScalingCores = []int{1, 2, 4, 8}
+
+// ScalingSchemes is the hardware designs the scaling experiment
+// compares (the paper's main transaction schemes; FG is omitted — its
+// per-word persists saturate the device long before core count
+// matters).
+func ScalingSchemes() []string {
+	return []string{schemes.SLPMT, schemes.ATOM, schemes.EDE}
+}
+
+// Scaling runs the core-scaling study the single-core paper setup
+// cannot express: each scheme × kernel runs at 1/2/4/8 cores, the
+// deterministic YCSB stream sharded round-robin across cores that
+// share the structure, the LLC, and the PM device. Reported per core
+// count: parallel speedup over the 1-core run (makespan ratio) and PM
+// write traffic per operation (bytes). Traffic is work-conserving, so
+// per-op traffic quantifies the coherence/contention overhead of
+// scaling, while speedup shows where the shared write-pending queue
+// becomes the bottleneck.
+func Scaling(out io.Writer, base bench.RunConfig) error {
+	ss := ScalingSchemes()
+	ws := workloads.Kernels()
+
+	cfgs := make([]bench.RunConfig, 0, len(ss)*len(ws)*len(ScalingCores))
+	for _, s := range ss {
+		for _, w := range ws {
+			for _, c := range ScalingCores {
+				cfg := base
+				cfg.Scheme = s
+				cfg.Workload = w
+				cfg.Cores = c
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	results, err := bench.RunAll(cfgs)
+	if err != nil {
+		return err
+	}
+	byKey := make(map[string]map[string]map[int]bench.Result, len(ss))
+	for _, r := range results {
+		if r.VerifyErr != nil {
+			return fmt.Errorf("%s/%s cores=%d failed verification: %v",
+				r.Scheme, r.Workload, r.Cores, r.VerifyErr)
+		}
+		if byKey[r.Scheme] == nil {
+			byKey[r.Scheme] = make(map[string]map[int]bench.Result, len(ws))
+		}
+		if byKey[r.Scheme][r.Workload] == nil {
+			byKey[r.Scheme][r.Workload] = make(map[int]bench.Result, len(ScalingCores))
+		}
+		byKey[r.Scheme][r.Workload][normCores(r.Cores)] = r
+	}
+
+	cols := []string{"scheme", "workload"}
+	for _, c := range ScalingCores {
+		cols = append(cols, fmt.Sprintf("%dc", c))
+	}
+	tsp := bench.NewTable(
+		fmt.Sprintf("Scaling: parallel speedup over 1 core (%dB values, %d ops, shared structure)",
+			valueOf(base), opsOf(base)),
+		cols...)
+	ttr := bench.NewTable(
+		"Scaling: PM write traffic per op (bytes)",
+		cols...)
+	for _, s := range ss {
+		for _, w := range ws {
+			rowS := []string{s, w}
+			rowT := []string{s, w}
+			one := byKey[s][w][1]
+			for _, c := range ScalingCores {
+				r := byKey[s][w][c]
+				rowS = append(rowS, bench.Fx(bench.Speedup(one, r)))
+				rowT = append(rowT, bench.F(float64(r.PMWriteBytes())/float64(opsOf(base))))
+			}
+			tsp.AddRow(rowS...)
+			ttr.AddRow(rowT...)
+		}
+	}
+	fmt.Fprintln(out, tsp)
+	fmt.Fprintln(out, ttr)
+
+	fmt.Fprintln(out, "(cores share one structure, LLC, and PM write-pending queue; the")
+	fmt.Fprint(out, " deterministic interleaver makes every cell exactly reproducible)\n")
+	return nil
+}
+
+// normCores maps the config's core knob to its effective value (0 and
+// 1 both mean the single-core platform).
+func normCores(c int) int {
+	if c < 1 {
+		return 1
+	}
+	return c
+}

@@ -1,29 +1,36 @@
-// Package machine composes one simulated core's memory system: the
-// L1/L2/L3 cache hierarchy, the persistent memory device, the functional
-// (volatile) memory image, and the cycle clock.
+// Package machine composes the simulated hardware platform: N cores,
+// each with private L1/L2 caches and a logical clock, sharing one L3
+// (LLC), one persistent memory device, and one functional (volatile)
+// memory image.
 //
-// Timing model. A single logical clock advances by:
+// Timing model. Each core's logical clock advances by:
 //
 //   - the hit latency of the deepest level probed on each access
 //     (Table III: L1 4, L2 12, L3 40 cycles; PM read 150 ns);
 //   - explicit compute costs added by the workload (Tick);
 //   - persist stalls: every durable write enters the PM write pending
-//     queue, and a full queue stalls the core until space frees.
+//     queue, and a full queue stalls the core until space frees. The
+//     WPQ is shared: cores arbitrate for it at their own (interleaved)
+//     clock values, so one core's write burst backpressures the others;
+//   - coherence: a bus request that finds the line in another core's
+//     private caches pays a snoop penalty, and dirty remote copies are
+//     written back before ownership transfers (MESI-lite).
 //
-// Functional model. The program's current view of memory lives in a flat
-// volatile image; caches track placement and SLPMT metadata only. The
-// durable image inside the pmem.Device is updated exclusively by persist
-// operations (explicit line/log persists and dirty L3 writebacks), so a
-// crash snapshot contains exactly the persisted bytes.
+// Functional model. The program's current view of memory lives in one
+// flat volatile image shared by all cores; caches track placement and
+// SLPMT metadata only. The durable image inside the pmem.Device is
+// updated exclusively by persist operations (explicit line/log persists
+// and dirty L3 writebacks), so a crash snapshot contains exactly the
+// persisted bytes.
 //
 // The machine is policy-free: all transaction semantics (what to log,
 // what to persist at commit, lazy tracking) live in the engine layer,
-// which observes evictions through the OnL2Evict and OnL3Writeback hooks.
+// one engine per core, observing evictions through the per-core
+// OnL2Evict and OnL3Writeback hooks and remote stores through the
+// machine-level OnRemoteStore hook.
 package machine
 
 import (
-	"fmt"
-
 	"github.com/persistmem/slpmt/internal/cache"
 	"github.com/persistmem/slpmt/internal/mem"
 	"github.com/persistmem/slpmt/internal/pmem"
@@ -33,8 +40,15 @@ import (
 // Config describes the machine. Zero-valued cache levels get Table III
 // defaults.
 type Config struct {
+	// Cores is the number of simulated cores (0 = 1). Each core gets a
+	// private L1/L2 pair; L3 and the PM device are shared.
+	Cores      int
 	L1, L2, L3 cache.Config
 	PM         pmem.Config
+	// CoherenceCycles is the snoop penalty a bus request pays when the
+	// line is found in another core's private caches (0 = 40, the LLC
+	// latency — a directory-in-LLC lookup plus the remote probe).
+	CoherenceCycles uint64
 }
 
 // DefaultConfig returns the paper's evaluation platform (Table III): a
@@ -52,6 +66,9 @@ func DefaultConfig() Config {
 
 func (c Config) withDefaults() Config {
 	d := DefaultConfig()
+	if c.Cores <= 0 {
+		c.Cores = 1
+	}
 	if c.L1.SizeBytes == 0 {
 		c.L1 = d.L1
 	}
@@ -61,60 +78,36 @@ func (c Config) withDefaults() Config {
 	if c.L3.SizeBytes == 0 {
 		c.L3 = d.L3
 	}
+	if c.CoherenceCycles == 0 {
+		c.CoherenceCycles = 40
+	}
+	if c.PM.Size == 0 && c.Cores > 1 {
+		// Extra cores bring their own log region; keep the shared heap
+		// the same size as the single-core platform.
+		c.PM.Size = pmem.DefaultSize + uint64(c.Cores-1)*mem.LogRegionSize
+	}
 	return c
 }
 
-// Machine is one simulated core plus its memory system. Not safe for
-// concurrent use.
+// Machine is the shared part of the platform: the LLC, the persistent
+// memory device, the functional memory image, and the cores themselves.
+// Not safe for concurrent use; multi-core execution is simulated by
+// deterministically interleaving the cores on one OS thread.
 type Machine struct {
 	cfg    Config
-	Clk    uint64
-	L1     *cache.Cache
-	L2     *cache.Cache
 	L3     *cache.Cache
 	PM     *pmem.Device
-	Layout mem.Layout
-	Stats  *stats.Counters
+	Layout mem.Layout // core 0's view; heap/root regions are shared
+	cores  []*Core
 
 	vol []byte // functional program view of the PM address space
 
-	// PersistCount counts durable-write events; with CrashAfter != 0
-	// the machine panics with CrashSignal when the count reaches it —
-	// the crash-injection mechanism (every distinct durable state lies
-	// at a persist-event boundary).
-	PersistCount uint64
-	CrashAfter   uint64
-
-	// asyncDepth > 0 routes persists through the asynchronous path
-	// (posted, no durability-ack wait): eviction handling, log-buffer
-	// spills and lazy drains run inside PushAsync/PopAsync sections.
-	asyncDepth int
-	// streamDepth > 0 routes persists through the streamed path
-	// (backpressure but no per-line acknowledgement): the commit-time
-	// log-buffer drain. streamFinish tracks the medium completion time
-	// of the section's entries for the AckBarrier.
-	streamDepth  int
-	streamFinish uint64
-
-	// OnL1Demote is invoked when a line is evicted from L1 to L2,
-	// before its word-granularity log bits are folded to the L2
-	// granularity. The speculative-logging optimization (§III-B1) uses
-	// it to round partially logged 32-byte groups up.
-	OnL1Demote func(l *cache.Line)
-	// OnL2Evict is invoked when a line leaves the private caches (L2 ->
-	// L3). The engine persists the associated log record and, if the
-	// persist bit is set, the line itself, mutating the line's metadata
-	// before it enters L3 (which carries no metadata).
-	OnL2Evict func(l *cache.Line)
-	// OnL3Writeback is invoked after a dirty L3 victim is written back
-	// to PM; the engine uses it to retire lazy-persistency tracking.
-	OnL3Writeback func(addr mem.Addr)
-	// WritebackFilter, when non-nil, is consulted before a dirty L3
-	// victim is written back; returning false suppresses the writeback
-	// (redo-logging transactions must keep pre-transaction values in PM
-	// until the commit record persists). Suppressed lines must be
-	// persisted explicitly by the engine at commit.
-	WritebackFilter func(addr mem.Addr) bool
+	// OnRemoteStore is invoked when core src issues a bus write request
+	// (read-for-ownership or shared->modified upgrade) for a line. The
+	// cluster layer uses it to run the remote engines' lazy-persistency
+	// signature checks (§III-C3 across cores): a store that hits a
+	// retained transaction's working set forces its lazy drain.
+	OnRemoteStore func(src int, line mem.Addr)
 }
 
 // CrashSignal is the panic value thrown when an injected crash point is
@@ -128,15 +121,25 @@ type CrashSignal struct {
 func New(cfg Config) *Machine {
 	cfg = cfg.withDefaults()
 	dev := pmem.New(cfg.PM)
+	layouts := mem.MultiLayout(dev.Size(), cfg.Cores)
 	m := &Machine{
 		cfg:    cfg,
-		L1:     cache.New(cfg.L1),
-		L2:     cache.New(cfg.L2),
 		L3:     cache.New(cfg.L3),
 		PM:     dev,
-		Layout: mem.DefaultLayout(dev.Size()),
-		Stats:  &stats.Counters{},
+		Layout: layouts[0],
 		vol:    make([]byte, dev.Size()),
+	}
+	m.cores = make([]*Core, cfg.Cores)
+	for i := range m.cores {
+		m.cores[i] = &Core{
+			ID:     i,
+			L1:     cache.New(cfg.L1),
+			L2:     cache.New(cfg.L2),
+			PM:     dev,
+			Layout: layouts[i],
+			Stats:  &stats.Counters{},
+			sh:     m,
+		}
 	}
 	return m
 }
@@ -144,387 +147,117 @@ func New(cfg Config) *Machine {
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
-// Tick advances the clock by n compute cycles.
-func (m *Machine) Tick(n uint64) { m.Clk += n }
+// NumCores returns the core count.
+func (m *Machine) NumCores() int { return len(m.cores) }
 
-// ReadMem copies the current (volatile) contents at addr into p. Purely
-// functional: no timing.
-func (m *Machine) ReadMem(addr mem.Addr, p []byte) {
-	copy(p, m.vol[addr:addr+mem.Addr(len(p))])
+// Core returns core i.
+func (m *Machine) Core(i int) *Core { return m.cores[i] }
+
+// Cores returns the cores (shared slice; do not mutate).
+func (m *Machine) Cores() []*Core { return m.cores }
+
+// MergedStats sums the per-core counters into one aggregate view.
+func (m *Machine) MergedStats() stats.Counters {
+	var out stats.Counters
+	for _, c := range m.cores {
+		out.Add(c.Stats)
+	}
+	return out
 }
 
-// WriteMem copies p into the volatile image at addr. Purely functional.
-func (m *Machine) WriteMem(addr mem.Addr, p []byte) {
-	copy(m.vol[addr:], p)
-}
-
-// ReadU64 reads a little-endian word from the volatile image.
-func (m *Machine) ReadU64(addr mem.Addr) uint64 {
-	var v uint64
-	for i := 0; i < 8; i++ {
-		v |= uint64(m.vol[addr+mem.Addr(i)]) << (8 * uint(i))
-	}
-	return v
-}
-
-// WriteU64 writes a little-endian word into the volatile image.
-func (m *Machine) WriteU64(addr mem.Addr, v uint64) {
-	for i := 0; i < 8; i++ {
-		m.vol[addr+mem.Addr(i)] = byte(v >> (8 * uint(i)))
-	}
-}
-
-// AccessLine simulates one load or store touching the line containing
-// addr: the hierarchy walk, latency accounting, metadata propagation
-// across levels, and eviction cascades. It returns the L1 line, whose
-// SLPMT metadata the engine then inspects or updates. Accesses spanning
-// multiple lines must be split by the caller.
-func (m *Machine) AccessLine(addr mem.Addr, write bool) *cache.Line {
-	la := mem.LineAddr(addr)
-	if la+mem.LineSize > m.PM.Size() {
-		panic(fmt.Sprintf("machine: access out of range: %#x", addr))
-	}
-
-	// L1.
-	if l := m.L1.Lookup(la); l != nil {
-		m.Clk += m.L1.Latency()
-		m.Stats.L1Hits++
-		if write && l.State != cache.Modified {
-			l.State = cache.Modified
-		}
-		return l
-	}
-	m.Stats.L1Misses++
-	m.Clk += m.L1.Latency()
-
-	// L2.
-	if l2 := m.L2.Lookup(la); l2 != nil {
-		m.Clk += m.L2.Latency()
-		m.Stats.L2Hits++
-		line, _ := m.L2.Remove(la)
-		line.LogBits = cache.ReplicateLogBits(line.LogBits)
-		return m.finishFill(line, write)
-	}
-	m.Stats.L2Misses++
-	m.Clk += m.L2.Latency()
-
-	// L3.
-	if l3 := m.L3.Lookup(la); l3 != nil {
-		m.Clk += m.L3.Latency()
-		m.Stats.L3Hits++
-		line, _ := m.L3.Remove(la)
-		// L3 carries no SLPMT metadata: bits start zeroed (§III-B1).
-		line.Persist = false
-		line.LogBits = 0
-		line.TxID = 0
-		return m.finishFill(line, write)
-	}
-	m.Stats.L3Misses++
-	m.Clk += m.L3.Latency()
-
-	// PM demand fill.
-	m.Clk += m.PM.ReadCycles()
-	m.Stats.PMReadBytes += mem.LineSize
-	return m.finishFill(cache.Line{Addr: la, State: cache.Exclusive}, write)
-}
-
-// finishFill installs a fetched line into L1 and applies the write
-// state.
-func (m *Machine) finishFill(line cache.Line, write bool) *cache.Line {
-	if write {
-		line.State = cache.Modified
-	}
-	return m.insertL1(line)
-}
-
-// insertL1 places a line into L1, demoting any victim down the
-// hierarchy.
-func (m *Machine) insertL1(line cache.Line) *cache.Line {
-	ins, victim, evicted := m.L1.Insert(line)
-	if evicted {
-		m.Stats.L1Evicts++
-		m.demoteToL2(victim)
-	}
-	return ins
-}
-
-// demoteToL2 folds the L1 word-granularity log bits into the L2
-// 32-byte-granularity bits (Figure 5) and inserts the line into L2.
-func (m *Machine) demoteToL2(v cache.Line) {
-	if m.OnL1Demote != nil {
-		m.OnL1Demote(&v)
-	}
-	v.LogBits = cache.FoldLogBits(v.LogBits)
-	_, victim, evicted := m.L2.Insert(v)
-	if evicted {
-		m.Stats.L2Evicts++
-		m.demoteToL3(victim)
-	}
-}
-
-// demoteToL3 hands the line to the engine hook (which persists log
-// records and persist-bit lines before they leave the private caches,
-// §III-A), strips the SLPMT metadata, and inserts into L3.
-func (m *Machine) demoteToL3(v cache.Line) {
-	if m.OnL2Evict != nil {
-		m.OnL2Evict(&v)
-	}
-	v.Persist = false
-	v.LogBits = 0
-	v.TxID = 0
-	_, victim, evicted := m.L3.Insert(v)
-	if evicted {
-		m.Stats.L3Evicts++
-		if victim.State == cache.Modified {
-			m.writeback(victim.Addr)
+// MaxClk returns the highest core clock — the machine's wall time.
+func (m *Machine) MaxClk() uint64 {
+	var max uint64
+	for _, c := range m.cores {
+		if c.Clk > max {
+			max = c.Clk
 		}
 	}
+	return max
 }
 
-// PushAsync enters an asynchronous-persist section (background
-// hardware activity the core does not wait on). Sections nest.
-func (m *Machine) PushAsync() { m.asyncDepth++ }
-
-// PopAsync leaves an asynchronous-persist section.
-func (m *Machine) PopAsync() {
-	if m.asyncDepth == 0 {
-		panic("machine: PopAsync without PushAsync")
+// SyncClocks aligns every core to the highest clock — the barrier a
+// harness issues between a (single-core) setup phase and a measured
+// parallel phase, so all cores start the phase simultaneously.
+func (m *Machine) SyncClocks() uint64 {
+	max := m.MaxClk()
+	for _, c := range m.cores {
+		c.Clk = max
 	}
-	m.asyncDepth--
-}
-
-// PushStream enters a streamed-persist section (pipelined engine:
-// backpressure, no per-line acknowledgement).
-func (m *Machine) PushStream() {
-	if m.streamDepth == 0 {
-		m.streamFinish = 0
-	}
-	m.streamDepth++
-}
-
-// PopStream leaves a streamed-persist section.
-func (m *Machine) PopStream() {
-	if m.streamDepth == 0 {
-		panic("machine: PopStream without PushStream")
-	}
-	m.streamDepth--
-}
-
-// AckBarrier is the ordering/durability point at the end of a streamed
-// sequence: the core waits until every entry enqueued during the
-// current stream section has completed in the medium, plus one
-// acknowledgement round trip. Entries posted outside the section (lazy
-// drains, writebacks) are not waited on.
-func (m *Machine) AckBarrier() {
-	if m.streamFinish > m.Clk {
-		m.Clk = m.streamFinish
-	}
-	m.Clk += m.PM.Config().AckCycles
-}
-
-// persist routes a durable write through the sync, streamed or async
-// device path according to the current section, charging the core's
-// stall.
-func (m *Machine) persist(addr mem.Addr, data []byte) {
-	m.PersistCount++
-	if m.CrashAfter != 0 && m.PersistCount == m.CrashAfter {
-		// The write itself completes (it reached the persist domain);
-		// execution stops immediately after.
-		if m.asyncDepth > 0 {
-			m.PM.PersistAsync(m.Clk, addr, data)
-		} else {
-			m.PM.Persist(m.Clk, addr, data)
-		}
-		panic(CrashSignal{At: m.PersistCount})
-	}
-	var stall uint64
-	switch {
-	case m.asyncDepth > 0:
-		stall = m.PM.PersistAsync(m.Clk, addr, data)
-	case m.streamDepth > 0:
-		stall = m.PM.PersistStream(m.Clk, addr, data)
-		if f := m.PM.LastFinish(); f > m.streamFinish {
-			m.streamFinish = f
-		}
-	default:
-		stall = m.PM.Persist(m.Clk, addr, data)
-	}
-	m.Clk += stall
-	m.chargeStall(stall)
-}
-
-// writeback writes a dirty L3 victim's current contents to PM (always
-// asynchronous: the core does not wait for victim writebacks).
-func (m *Machine) writeback(addr mem.Addr) {
-	if m.WritebackFilter != nil && !m.WritebackFilter(addr) {
-		return
-	}
-	var buf [mem.LineSize]byte
-	m.ReadMem(addr, buf[:])
-	m.PushAsync()
-	m.persist(addr, buf[:])
-	m.PopAsync()
-	m.Stats.PMWriteBytesData += mem.LineSize
-	m.Stats.PMWriteEntries++
-	m.Stats.L3Writebacks++
-	if m.OnL3Writeback != nil {
-		m.OnL3Writeback(addr)
-	}
-}
-
-// chargeStall records WPQ backpressure (stall beyond the fixed enqueue
-// latency) in the counters.
-func (m *Machine) chargeStall(stall uint64) {
-	if enq := m.PM.Config().EnqueueCycles; stall > enq {
-		m.Stats.WPQStallCycles += stall - enq
-	}
-}
-
-// PersistLine makes the line containing addr durable: its current
-// volatile contents are enqueued to the WPQ and any cached copy becomes
-// clean. Returns true if a PM write was actually issued (false if the
-// line was already clean and absent, i.e. its contents are already
-// durable — persisting then would be redundant).
-func (m *Machine) PersistLine(addr mem.Addr) bool {
-	la := mem.LineAddr(addr)
-	l := m.L1.Peek(la)
-	if l == nil {
-		l = m.L2.Peek(la)
-	}
-	if l == nil {
-		l = m.L3.Peek(la)
-	}
-	if l != nil && l.State != cache.Modified {
-		// Clean copy: durable image already current.
-		return false
-	}
-	if l == nil {
-		// Not cached: it was either written back on L3 eviction (durable
-		// already) or never written. Either way the durable image is
-		// current, because every path out of the caches persists dirty
-		// data.
-		return false
-	}
-	var buf [mem.LineSize]byte
-	m.ReadMem(la, buf[:])
-	m.persist(la, buf[:])
-	m.Stats.PMWriteBytesData += mem.LineSize
-	m.Stats.PMWriteEntries++
-	l.State = cache.Exclusive
-	return true
-}
-
-// ForcePersistLine persists the line containing addr from the volatile
-// image unconditionally (used by redo commits for lines whose writeback
-// was suppressed, and by non-transactional persist-through writes). Any
-// cached copy becomes clean.
-func (m *Machine) ForcePersistLine(addr mem.Addr) {
-	la := mem.LineAddr(addr)
-	var buf [mem.LineSize]byte
-	m.ReadMem(la, buf[:])
-	m.persist(la, buf[:])
-	m.Stats.PMWriteBytesData += mem.LineSize
-	m.Stats.PMWriteEntries++
-	if _, l := m.FindCached(la); l != nil && l.State == cache.Modified {
-		l.State = cache.Exclusive
-	}
-}
-
-// PersistData makes an arbitrary small byte range durable, updating both
-// the durable and volatile images (used by the abort path to apply undo
-// records to persistent data). Counted as data traffic; one full line
-// write per touched line.
-func (m *Machine) PersistData(addr mem.Addr, data []byte) {
-	// Write volatile first, then persist each touched line in full.
-	m.WriteMem(addr, data)
-	mem.LineRange(addr, len(data), func(line mem.Addr, off, n int) {
-		var buf [mem.LineSize]byte
-		m.ReadMem(line, buf[:])
-		m.persist(line, buf[:])
-		m.Stats.PMWriteBytesData += mem.LineSize
-		m.Stats.PMWriteEntries++
-		if _, l := m.FindCached(line); l != nil && l.State == cache.Modified {
-			l.State = cache.Exclusive
-		}
-	})
-}
-
-// RestoreLineFromDurable copies the durable contents of addr's line into
-// the volatile image — the abort-path repair after invalidating a
-// transaction's cached updates (§V-B).
-func (m *Machine) RestoreLineFromDurable(addr mem.Addr) {
-	la := mem.LineAddr(addr)
-	var buf [mem.LineSize]byte
-	m.PM.Read(la, buf[:])
-	m.WriteMem(la, buf[:])
-}
-
-// PersistLogLine writes up to one cache line of serialized log records
-// at logAddr into the durable log region. The write is counted as a full
-// line of PM log traffic (PM writes are line-granular).
-func (m *Machine) PersistLogLine(logAddr mem.Addr, data []byte) {
-	if len(data) > mem.LineSize {
-		panic("machine: log write exceeds one line")
-	}
-	// Keep the volatile image in sync so post-abort code sees the log.
-	m.WriteMem(logAddr, data)
-	m.persist(logAddr, data)
-	m.Stats.PMWriteBytesLog += mem.LineSize
-	m.Stats.PMWriteEntries++
-}
-
-// FindCached returns the line's location: the cache level holding it
-// (1, 2, 3) and the line pointer, or (0, nil) if uncached.
-func (m *Machine) FindCached(addr mem.Addr) (int, *cache.Line) {
-	la := mem.LineAddr(addr)
-	if l := m.L1.Peek(la); l != nil {
-		return 1, l
-	}
-	if l := m.L2.Peek(la); l != nil {
-		return 2, l
-	}
-	if l := m.L3.Peek(la); l != nil {
-		return 3, l
-	}
-	return 0, nil
-}
-
-// ForEachPrivate invokes fn on every line resident in the private caches
-// (L1 and L2) — the scan the hardware performs at commit and when
-// persisting lazy data (§III-C2).
-func (m *Machine) ForEachPrivate(fn func(level int, l *cache.Line)) {
-	m.L1.ForEach(func(l *cache.Line) { fn(1, l) })
-	m.L2.ForEach(func(l *cache.Line) { fn(2, l) })
-}
-
-// FlushAllDirty persists every dirty line in the hierarchy (graceful
-// shutdown). It is not part of the measured execution; harnesses
-// snapshot counters before calling it.
-func (m *Machine) FlushAllDirty() {
-	persist := func(l *cache.Line) {
-		if l.State == cache.Modified {
-			var buf [mem.LineSize]byte
-			m.ReadMem(l.Addr, buf[:])
-			m.persist(l.Addr, buf[:])
-			m.Stats.PMWriteBytesData += mem.LineSize
-			m.Stats.PMWriteEntries++
-			l.State = cache.Exclusive
-		}
-	}
-	m.L1.ForEach(persist)
-	m.L2.ForEach(persist)
-	m.L3.ForEach(persist)
-}
-
-// DropLine removes the line containing addr from all levels without any
-// writeback — the abort-path invalidation (§V-B). The volatile contents
-// must be repaired by the caller (undo application).
-func (m *Machine) DropLine(addr mem.Addr) {
-	la := mem.LineAddr(addr)
-	m.L1.Remove(la)
-	m.L2.Remove(la)
-	m.L3.Remove(la)
+	return max
 }
 
 // Crash returns the durable image as of now — the ADR crash snapshot.
 func (m *Machine) Crash() *pmem.Image { return m.PM.Crash() }
+
+// snoopFetch services core c's bus request for line la after it missed
+// in c's private caches: remote private copies are downgraded (read) or
+// invalidated (write), dirty remote copies are written back to PM
+// first, and c pays the snoop penalty if any remote copy was found.
+// found reports whether any remote copy existed (the line can then be
+// served by a cache-to-cache transfer); shared reports whether a remote
+// cache still holds a copy afterwards (read case), which decides the
+// Shared/Exclusive fill state.
+func (m *Machine) snoopFetch(c *Core, la mem.Addr, write bool) (found, shared bool) {
+	for _, o := range m.cores {
+		if o == c {
+			continue
+		}
+		for _, lvl := range [2]*cache.Cache{o.L1, o.L2} {
+			l := lvl.Peek(la)
+			if l == nil {
+				continue
+			}
+			found = true
+			if l.State == cache.Modified {
+				o.coherenceWriteback(la)
+			}
+			if write {
+				lvl.Remove(la)
+				o.Stats.CoherenceInvalidations++
+			} else {
+				l.State = cache.Shared
+				shared = true
+				o.Stats.CoherenceDowngrades++
+			}
+		}
+	}
+	if found {
+		c.Clk += m.cfg.CoherenceCycles
+		c.Stats.CoherenceSnoops++
+	}
+	return found, shared
+}
+
+// busWrite announces core c's write request for line la to the rest of
+// the machine (the coherence event the SLPMT lazy-persistency checks
+// key on). It fires for every store whose line is not already owned
+// Modified/Exclusive by c — bus upgrades and read-for-ownership alike.
+func (m *Machine) busWrite(src int, la mem.Addr) {
+	if m.OnRemoteStore != nil {
+		m.OnRemoteStore(src, la)
+	}
+}
+
+// snoopUpgrade invalidates the remote Shared copies of a line core c
+// holds Shared and now wants to write (bus upgrade). Remote copies of a
+// Shared line are clean by the SWMR invariant, so no writeback occurs.
+func (m *Machine) snoopUpgrade(c *Core, la mem.Addr) {
+	found := false
+	for _, o := range m.cores {
+		if o == c {
+			continue
+		}
+		for _, lvl := range [2]*cache.Cache{o.L1, o.L2} {
+			if lvl.Peek(la) != nil {
+				lvl.Remove(la)
+				o.Stats.CoherenceInvalidations++
+				found = true
+			}
+		}
+	}
+	if found {
+		c.Clk += m.cfg.CoherenceCycles
+		c.Stats.CoherenceSnoops++
+	}
+}

@@ -7,7 +7,7 @@ import (
 	"github.com/persistmem/slpmt/internal/mem"
 )
 
-func newM() *Machine { return New(Config{}) }
+func newM() *Core { return New(Config{}).Core(0) }
 
 func TestAccessLatencies(t *testing.T) {
 	m := newM()
@@ -102,7 +102,7 @@ func TestL3StripsMetadataAndWritebacks(t *testing.T) {
 	if evicted == nil {
 		t.Fatal("OnL2Evict hook not called")
 	}
-	l3 := m.L3.Peek(base)
+	l3 := m.Machine().L3.Peek(base)
 	if l3 == nil {
 		t.Fatal("line not in L3")
 	}

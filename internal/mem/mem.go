@@ -101,28 +101,48 @@ type Layout struct {
 	RootBase, RootSize uint64
 }
 
+// Region sizes of the default address map: a 4 MiB hardware log area
+// (per core) and a 4 KiB root directory at the top of the device.
+const (
+	LogRegionSize  = 4 << 20
+	RootRegionSize = 4 << 10
+)
+
 // DefaultLayout returns the address map used throughout the evaluation:
 // a PM device of the given size with a 4 MiB log area and a 4 KiB root
 // directory carved from the top.
 func DefaultLayout(size uint64) Layout {
-	const (
-		logSize  = 4 << 20
-		rootSize = 4 << 10
-	)
-	if size < logSize+rootSize+LineSize {
-		panic("mem: PM size too small for default layout")
+	return MultiLayout(size, 1)[0]
+}
+
+// MultiLayout returns the per-core address maps of a machine with the
+// given core count. Every core shares the heap and the root directory;
+// each core owns a private 4 MiB hardware log region, stacked downward
+// from the root directory (core 0 highest, so MultiLayout(size, 1)[0]
+// is exactly the historical single-core DefaultLayout).
+func MultiLayout(size uint64, cores int) []Layout {
+	if cores < 1 {
+		cores = 1
 	}
-	rootBase := size - rootSize
-	logBase := rootBase - logSize
-	return Layout{
-		Size:     size,
-		HeapBase: LineSize, // keep address 0 unmapped to catch nil derefs
-		HeapSize: logBase - LineSize,
-		LogBase:  logBase,
-		LogSize:  logSize,
-		RootBase: rootBase,
-		RootSize: rootSize,
+	need := uint64(cores)*LogRegionSize + RootRegionSize + LineSize
+	if size < need {
+		panic("mem: PM size too small for layout")
 	}
+	rootBase := size - RootRegionSize
+	heapSize := rootBase - uint64(cores)*LogRegionSize - LineSize
+	out := make([]Layout, cores)
+	for i := range out {
+		out[i] = Layout{
+			Size:     size,
+			HeapBase: LineSize, // keep address 0 unmapped to catch nil derefs
+			HeapSize: heapSize,
+			LogBase:  rootBase - uint64(i+1)*LogRegionSize,
+			LogSize:  LogRegionSize,
+			RootBase: rootBase,
+			RootSize: RootRegionSize,
+		}
+	}
+	return out
 }
 
 // InHeap reports whether the byte range [a, a+size) lies entirely in the

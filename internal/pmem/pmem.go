@@ -128,7 +128,9 @@ func (d *Device) Size() uint64 { return d.cfg.Size }
 // ReadCycles returns the demand-read latency in cycles.
 func (d *Device) ReadCycles() uint64 { return d.cfg.ReadCycles }
 
-// drainUpTo retires queue entries whose finish time is <= now.
+// drainUpTo retires queue entries whose finish time is <= now. The
+// queue is kept sorted by finish time (see enqueue), so retirement is a
+// prefix pop.
 func (d *Device) drainUpTo(now uint64) {
 	i := 0
 	for i < len(d.queue) && d.queue[i].finish <= now {
@@ -138,6 +140,22 @@ func (d *Device) drainUpTo(now uint64) {
 	if i > 0 {
 		d.queue = append(d.queue[:0], d.queue[i:]...)
 	}
+}
+
+// enqueue inserts an entry keeping the queue sorted by finish time.
+// A single core enqueues at monotonically increasing clocks, which
+// yields monotone finish times — the insertion is then a plain append.
+// On a multi-core machine the cores arbitrate for the WPQ at their own
+// interleaved clock values, so a core that is behind in time can insert
+// an entry that finishes before already-queued ones.
+func (d *Device) enqueue(e entry) {
+	d.queue = append(d.queue, e)
+	for i := len(d.queue) - 1; i > 0 && d.queue[i-1].finish > d.queue[i].finish; i-- {
+		d.queue[i-1], d.queue[i] = d.queue[i], d.queue[i-1]
+	}
+	d.usedBytes += e.bytes
+	d.lastFinish = e.finish
+	d.totalEnqueued++
 }
 
 // Persist makes data durable at address addr. It returns the number of
@@ -171,10 +189,7 @@ func (d *Device) Persist(now uint64, addr uint64, data []byte) (stall uint64) {
 		d.drainUpTo(t)
 	}
 	fin := d.bankFinish(t)
-	d.queue = append(d.queue, entry{bytes: n, finish: fin})
-	d.usedBytes += n
-	d.lastFinish = fin
-	d.totalEnqueued++
+	d.enqueue(entry{bytes: n, finish: fin})
 	// Synchronous persist: the commit engine issues one coherence-level
 	// persist request per line and waits for the controller's completion
 	// acknowledgement before the next ordering-constrained operation, so
@@ -215,10 +230,7 @@ func (d *Device) PersistStream(now uint64, addr uint64, data []byte) (stall uint
 		d.drainUpTo(t)
 	}
 	fin := d.bankFinish(t)
-	d.queue = append(d.queue, entry{bytes: n, finish: fin})
-	d.usedBytes += n
-	d.lastFinish = fin
-	d.totalEnqueued++
+	d.enqueue(entry{bytes: n, finish: fin})
 	d.totalStall += stall - d.cfg.EnqueueCycles
 	return stall
 }
@@ -284,10 +296,7 @@ func (d *Device) PersistAsync(now uint64, addr uint64, data []byte) (stall uint6
 		}
 	}
 	fin := d.bankFinish(tStart)
-	d.queue = append(d.queue, entry{bytes: n, finish: fin})
-	d.usedBytes += n
-	d.lastFinish = fin
-	d.totalEnqueued++
+	d.enqueue(entry{bytes: n, finish: fin})
 	return d.cfg.EnqueueCycles
 }
 

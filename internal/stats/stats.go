@@ -61,6 +61,13 @@ type Counters struct {
 	TxIDRecycles    uint64 // forced persists due to transaction-ID reuse
 	TxIDCrossAccess uint64 // cache-line txid mismatches forcing persistence
 
+	// Cross-core coherence (multi-core machines only; always zero on a
+	// single core).
+	CoherenceSnoops        uint64 // bus requests that found a remote copy
+	CoherenceInvalidations uint64 // remote copies invalidated by a write
+	CoherenceDowngrades    uint64 // remote copies downgraded to Shared
+	CoherenceWritebacks    uint64 // dirty remote copies written back
+
 	// Allocator.
 	HeapAllocs, HeapFrees uint64
 	HeapBytesAllocated    uint64
@@ -111,6 +118,10 @@ func (c *Counters) Add(o *Counters) {
 	c.SignatureHits += o.SignatureHits
 	c.TxIDRecycles += o.TxIDRecycles
 	c.TxIDCrossAccess += o.TxIDCrossAccess
+	c.CoherenceSnoops += o.CoherenceSnoops
+	c.CoherenceInvalidations += o.CoherenceInvalidations
+	c.CoherenceDowngrades += o.CoherenceDowngrades
+	c.CoherenceWritebacks += o.CoherenceWritebacks
 	c.HeapAllocs += o.HeapAllocs
 	c.HeapFrees += o.HeapFrees
 	c.HeapBytesAllocated += o.HeapBytesAllocated
@@ -163,6 +174,10 @@ func (c *Counters) Delta(since Counters) Counters {
 	d.SignatureHits -= since.SignatureHits
 	d.TxIDRecycles -= since.TxIDRecycles
 	d.TxIDCrossAccess -= since.TxIDCrossAccess
+	d.CoherenceSnoops -= since.CoherenceSnoops
+	d.CoherenceInvalidations -= since.CoherenceInvalidations
+	d.CoherenceDowngrades -= since.CoherenceDowngrades
+	d.CoherenceWritebacks -= since.CoherenceWritebacks
 	d.HeapAllocs -= since.HeapAllocs
 	d.HeapFrees -= since.HeapFrees
 	d.HeapBytesAllocated -= since.HeapBytesAllocated
@@ -266,6 +281,10 @@ func canonicalRows(c *Counters) []Row {
 		{"lazy.signature.hits", c.SignatureHits},
 		{"lazy.txid.recycles", c.TxIDRecycles},
 		{"lazy.txid.crossaccess", c.TxIDCrossAccess},
+		{"coh.snoops", c.CoherenceSnoops},
+		{"coh.invalidations", c.CoherenceInvalidations},
+		{"coh.downgrades", c.CoherenceDowngrades},
+		{"coh.writebacks", c.CoherenceWritebacks},
 		{"heap.allocs", c.HeapAllocs},
 		{"heap.frees", c.HeapFrees},
 		{"heap.bytes", c.HeapBytesAllocated},

@@ -25,6 +25,12 @@
 // traffic, cache behaviour, and the durable memory image (for crash and
 // recovery testing) are all observable. See the internal packages for
 // the architecture and DESIGN.md for the paper-to-code map.
+//
+// NewCluster builds the multi-core variant: N Systems, one per core,
+// over a shared LLC, PM device, and persistent heap, with MESI-lite
+// coherence and cross-core conflict detection; Interleave runs their
+// transaction streams under a deterministic scheduler. A 1-core
+// Cluster behaves identically to a System.
 package slpmt
 
 import (
@@ -87,10 +93,12 @@ func Schemes() []string { return schemes.Names() }
 func EvaluatedSchemes() []string { return schemes.Evaluated() }
 
 // System is one simulated core with a transaction engine and a
-// persistent heap. Not safe for concurrent use.
+// persistent heap. Not safe for concurrent use. Systems of a
+// multi-core platform (see NewCluster) share the heap, the LLC and the
+// PM device with their sibling cores.
 type System struct {
 	Eng  *engine.Engine
-	Mach *machine.Machine
+	Mach *machine.Core
 	Heap *txheap.Heap
 
 	scheme string
@@ -107,8 +115,8 @@ type systemModes struct {
 	strip bool
 }
 
-// New builds a System for the given options.
-func New(opts Options) *System {
+// resolve maps Options to the engine and machine configurations.
+func (opts Options) resolve() (string, engine.Config, machine.Config) {
 	name := opts.Scheme
 	if name == "" {
 		name = schemes.SLPMT
@@ -125,10 +133,16 @@ func New(opts Options) *System {
 	if opts.PMWriteNanos != 0 {
 		mc.PM.WriteCycles = opts.PMWriteNanos * pmem.CyclesPerNs
 	}
-	m := machine.New(mc)
-	e := engine.New(m, cfg)
-	h := txheap.New(m, m.Layout, opts.AllocCycles)
-	return &System{Eng: e, Mach: m, Heap: h, scheme: name}
+	return name, cfg, mc
+}
+
+// New builds a single-core System for the given options.
+func New(opts Options) *System {
+	name, cfg, mc := opts.resolve()
+	c := machine.New(mc).Core(0)
+	e := engine.New(c, cfg)
+	h := txheap.New(c, c.Layout, opts.AllocCycles)
+	return &System{Eng: e, Mach: c, Heap: h, scheme: name}
 }
 
 // Scheme returns the scheme name the system models.
