@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check bench fmt vet
+.PHONY: all build test race check bench microbench fmt vet
 
 all: build
 
@@ -28,6 +28,17 @@ vet:
 check:
 	./scripts/check.sh
 
-# Micro-benchmarks for the simulator hot paths (allocations reported).
+# Benchmark artifacts: the core-scaling sweep with interval metrics
+# (BENCH_scaling.json) plus one traced 2-core sample run whose Perfetto
+# export (sample-trace.json) opens in ui.perfetto.dev. Sized to finish
+# in CI minutes; raise -n locally for paper-scale numbers.
 bench:
-	$(GO) test -run xxx -bench . -benchmem ./internal/engine/ ./internal/ycsb/
+	$(GO) run ./cmd/slpmtbench -experiment scaling -n 300 -value 64 -json
+	$(GO) run ./cmd/slpmtbench -workload hashtable -cores 2 -n 300 -value 64 \
+		-trace sample-trace.json
+
+# Micro-benchmarks for the simulator hot paths (allocations reported),
+# including the tracer's disabled/enabled emit costs.
+microbench:
+	$(GO) test -run xxx -bench . -benchmem ./internal/engine/ ./internal/ycsb/ \
+		./internal/trace/

@@ -25,20 +25,33 @@
 // GOMAXPROCS; results are identical at any setting). -json additionally
 // writes a machine-readable BENCH_<experiment>.json per experiment, and
 // -cpuprofile / -memprofile capture pprof profiles of the sweep.
+//
+// -trace switches to single-run tracing mode: instead of an experiment
+// grid, one run of -workload under -scheme executes with the cycle-level
+// tracer attached, the latency/WPQ metrics print to stdout, and the full
+// event stream is exported to the given path — Perfetto/Chrome
+// trace_event JSON (load it at https://ui.perfetto.dev), or the compact
+// binary format if the path ends in ".bin" (read it back with
+// trace.ReadBinary):
+//
+//	slpmtbench -workload hashtable -cores 2 -trace out.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/persistmem/slpmt/internal/bench"
 	"github.com/persistmem/slpmt/internal/experiments"
+	"github.com/persistmem/slpmt/internal/trace"
 	_ "github.com/persistmem/slpmt/internal/workloads/all"
 )
 
@@ -60,11 +73,20 @@ func run() error {
 		jsonOut  = flag.Bool("json", false, "write machine-readable BENCH_<experiment>.json per experiment")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
+		tracePth = flag.String("trace", "", "trace one run of -workload/-scheme and export events to this path (.json = Perfetto, .bin = binary)")
+		workload = flag.String("workload", "hashtable", "workload for -trace mode")
+		scheme   = flag.String("scheme", "SLPMT", "scheme for -trace mode")
 	)
 	flag.Parse()
 
 	bench.SetParallelism(*parallel)
 	base := bench.RunConfig{N: *n, ValueSize: *value, Seed: *seed, Verify: true, Cores: *cores}
+
+	if *tracePth != "" {
+		base.Scheme = *scheme
+		base.Workload = *workload
+		return runTraced(os.Stdout, base, *tracePth)
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -109,6 +131,49 @@ func run() error {
 	return nil
 }
 
+// runTraced executes one benchmark with the full-detail tracer
+// attached, prints the reduced metrics, and exports the event stream to
+// path (Perfetto JSON, or the binary format for a ".bin" suffix).
+func runTraced(out io.Writer, cfg bench.RunConfig, path string) error {
+	tr := trace.New(trace.DefaultCapacity)
+	cfg.Trace = tr
+	r := bench.Run(cfg)
+	if r.VerifyErr != nil {
+		return fmt.Errorf("%s/%s failed verification: %v", cfg.Scheme, cfg.Workload, r.VerifyErr)
+	}
+
+	cores := cfg.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	fmt.Fprintf(out, "traced run: %s/%s n=%d value=%dB cores=%d seed=%d\n",
+		cfg.Scheme, cfg.Workload, r.N, r.ValueSize, cores, cfg.Seed)
+	fmt.Fprintf(out, "cycles: %d\n", r.Cycles)
+	fmt.Fprintf(out, "events: %d captured, %d dropped\n\n", r.Summary.Events, r.Summary.Dropped)
+	fmt.Fprint(out, r.Summary.String())
+	if r.WPQ != nil {
+		fmt.Fprintf(out, "\nWPQ occupancy over the run (high-water %dB, mean %dB):\n",
+			r.Counters.WPQOccMaxBytes, r.Counters.WPQOccAvgBytes)
+		fmt.Fprint(out, r.WPQ.String())
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		err = tr.WriteBinary(f)
+	} else {
+		err = trace.WritePerfetto(f, tr.Events(), trace.PerfettoOptions{})
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nwrote %s (%d events)\n", path, tr.Len())
+	return nil
+}
+
 // runOne executes one experiment, optionally collecting every benchmark
 // result it produces into BENCH_<name>.json.
 func runOne(name string, base bench.RunConfig, jsonOut bool) error {
@@ -148,6 +213,17 @@ type benchResult struct {
 	PMWriteBytes     uint64 `json:"pm_write_bytes"`
 	TxCommits        uint64 `json:"tx_commits"`
 	VerifyOK         bool   `json:"verify_ok"`
+
+	// Interval metrics, present when the run carried a tracer (the
+	// scaling experiment always does; see bench.RunConfig.Metrics).
+	CommitLatencyP50 uint64 `json:"commit_latency_p50,omitempty"`
+	CommitLatencyP95 uint64 `json:"commit_latency_p95,omitempty"`
+	CommitLatencyP99 uint64 `json:"commit_latency_p99,omitempty"`
+	LazyDrainP50     uint64 `json:"lazy_drain_p50,omitempty"`
+	LazyDrainP95     uint64 `json:"lazy_drain_p95,omitempty"`
+	LazyDrainP99     uint64 `json:"lazy_drain_p99,omitempty"`
+	WPQOccMaxBytes   uint64 `json:"wpq_occ_max_bytes,omitempty"`
+	WPQOccAvgBytes   uint64 `json:"wpq_occ_avg_bytes,omitempty"`
 }
 
 // benchReport is the top-level BENCH_<experiment>.json document.
@@ -188,6 +264,14 @@ func writeReport(name string, wall time.Duration, before, after *runtime.MemStat
 			PMWriteBytes:     r.PMWriteBytes(),
 			TxCommits:        r.Counters.TxCommits,
 			VerifyOK:         r.VerifyErr == nil,
+			CommitLatencyP50: r.Summary.CommitP50,
+			CommitLatencyP95: r.Summary.CommitP95,
+			CommitLatencyP99: r.Summary.CommitP99,
+			LazyDrainP50:     r.Summary.LazyP50,
+			LazyDrainP95:     r.Summary.LazyP95,
+			LazyDrainP99:     r.Summary.LazyP99,
+			WPQOccMaxBytes:   r.Counters.WPQOccMaxBytes,
+			WPQOccAvgBytes:   r.Counters.WPQOccAvgBytes,
 		})
 	}
 	// The collector sees results in completion order, which varies with

@@ -8,6 +8,7 @@
 //
 //	slpmtcrash -workload hashtable -scheme SLPMT -n 60 -stride 7
 //	slpmtcrash -all              # every workload under SLPMT
+//	slpmtcrash -cores 2 -seed 3  # 2-core cluster, alternate key stream
 package main
 
 import (
@@ -27,6 +28,8 @@ func main() {
 		scheme   = flag.String("scheme", schemes.SLPMT, fmt.Sprintf("scheme %v", schemes.Names()))
 		n        = flag.Int("n", 60, "insert operations per run")
 		value    = flag.Int("value", 64, "value size in bytes")
+		cores    = flag.Int("cores", 1, "simulated cores (crash points sweep the machine-wide persist total)")
+		seed     = flag.Uint64("seed", 0, "seed for the deterministic operation stream")
 		stride   = flag.Uint64("stride", 7, "crash every stride-th persist event")
 		maxPts   = flag.Int("max", 0, "cap on crash points (0 = all)")
 		mixed    = flag.Bool("mixed", false, "interleave updates and deletes with the inserts")
@@ -46,6 +49,8 @@ func main() {
 			Scheme:    *scheme,
 			N:         *n,
 			ValueSize: *value,
+			Seed:      *seed,
+			Cores:     *cores,
 			Mixed:     *mixed,
 			Stride:    *stride,
 			MaxPoints: *maxPts,

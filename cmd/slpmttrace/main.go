@@ -8,6 +8,12 @@
 //	slpmttrace -workload rbtree -n 20                # clean run
 //	slpmttrace -workload rbtree -n 20 -crash 150     # crash at event 150
 //	slpmttrace -workload hashtable -crash 90 -recover
+//	slpmttrace -cores 2 -crash 120 -recover          # 2-core cluster: every
+//	                                                 # per-core log is dumped
+//
+// The -cores/-seed knobs match slpmtbench: cores > 1 shards the same
+// deterministic key stream round-robin across a cluster, and the crash
+// point counts machine-wide persist events.
 package main
 
 import (
@@ -33,44 +39,55 @@ func main() {
 		scheme   = flag.String("scheme", schemes.SLPMT, fmt.Sprintf("scheme %v", schemes.Names()))
 		n        = flag.Int("n", 20, "insert operations")
 		value    = flag.Int("value", 32, "value size in bytes")
+		cores    = flag.Int("cores", 1, "simulated cores (crash counts machine-wide persist events)")
+		seed     = flag.Uint64("seed", 0, "seed for the deterministic key stream")
 		crash    = flag.Uint64("crash", 0, "crash after this persist event (0 = run to completion)")
 		doRec    = flag.Bool("recover", false, "run recovery on the image and report")
 		maxRecs  = flag.Int("records", 16, "max log records to print")
 	)
 	flag.Parse()
+	if *cores < 1 {
+		*cores = 1
+	}
 
-	img, crashed, events := execute(*workload, *scheme, *n, *value, *crash)
+	img, crashed, events := execute(*workload, *scheme, *n, *value, *cores, *seed, *crash)
 	fmt.Printf("run: %s under %s, %d ops, %d persist events, crashed=%v\n\n",
 		*workload, *scheme, *n, events, crashed)
 
-	layout := mem.DefaultLayout(uint64(len(img.Data)))
+	layouts := mem.MultiLayout(uint64(len(img.Data)), *cores)
 
 	// Root directory.
 	fmt.Println("root directory:")
 	names := []string{"main", "meta", "count", "movesrc", "aux"}
 	for i, nm := range names {
-		v := img.ReadU64(layout.RootBase + mem.Addr(i*8))
+		v := img.ReadU64(layouts[0].RootBase + mem.Addr(i*8))
 		fmt.Printf("  slot %d (%-7s) = %#x (%d)\n", i, nm, v, v)
 	}
 
-	// Log header + records.
-	raw := img.Data[layout.LogBase : layout.LogBase+layout.LogSize]
-	hdr := logfmt.DecodeHeader(raw)
-	state := map[uint64]string{0: "idle", 1: "ACTIVE", 2: "committed"}[hdr.State]
-	mode := map[uint64]string{1: "undo", 2: "redo"}[hdr.Mode]
-	fmt.Printf("\nhardware log: txn seq=%d state=%s mode=%s watermark=%d\n",
-		hdr.Seq, state, mode, hdr.Watermark)
-	recs, err := logfmt.ParseRecords(raw, hdr.Seq)
-	if err != nil {
-		fmt.Printf("  record stream: %v\n", err)
-	}
-	fmt.Printf("  %d parseable records:\n", len(recs))
-	for i, r := range recs {
-		if i >= *maxRecs {
-			fmt.Printf("  ... %d more\n", len(recs)-i)
-			break
+	// Per-core log header + records.
+	for core, layout := range layouts {
+		raw := img.Data[layout.LogBase : layout.LogBase+layout.LogSize]
+		hdr := logfmt.DecodeHeader(raw)
+		state := map[uint64]string{0: "idle", 1: "ACTIVE", 2: "committed"}[hdr.State]
+		mode := map[uint64]string{1: "undo", 2: "redo"}[hdr.Mode]
+		tag := ""
+		if *cores > 1 {
+			tag = fmt.Sprintf(" (core %d)", core)
 		}
-		fmt.Printf("  [%3d] addr=%#08x len=%-2d old=% x\n", i, r.Addr, len(r.Data), head(r.Data, 16))
+		fmt.Printf("\nhardware log%s: txn seq=%d state=%s mode=%s watermark=%d\n",
+			tag, hdr.Seq, state, mode, hdr.Watermark)
+		recs, err := logfmt.ParseRecords(raw, hdr.Seq)
+		if err != nil {
+			fmt.Printf("  record stream: %v\n", err)
+		}
+		fmt.Printf("  %d parseable records:\n", len(recs))
+		for i, r := range recs {
+			if i >= *maxRecs {
+				fmt.Printf("  ... %d more\n", len(recs)-i)
+				break
+			}
+			fmt.Printf("  [%3d] addr=%#08x len=%-2d old=% x\n", i, r.Addr, len(r.Data), head(r.Data, 16))
+		}
 	}
 
 	if !*doRec {
@@ -83,7 +100,7 @@ func main() {
 		fmt.Println("  workload is not Recoverable")
 		os.Exit(1)
 	}
-	rep, heap, err := recovery.Recover(img, rec)
+	rep, heap, err := recovery.RecoverN(img, rec, *cores)
 	if err != nil {
 		fmt.Printf("  FAILED: %v\n", err)
 		os.Exit(1)
@@ -100,7 +117,10 @@ func head(p []byte, n int) []byte {
 	return p
 }
 
-func execute(workload, scheme string, n, value int, crash uint64) (img *pmem.Image, crashed bool, events uint64) {
+func execute(workload, scheme string, n, value, cores int, seed, crash uint64) (img *pmem.Image, crashed bool, events uint64) {
+	if cores > 1 {
+		return executeMulti(workload, scheme, n, value, cores, seed, crash)
+	}
 	w := workloads.MustNew(workload)
 	sys := slpmt.New(slpmt.Options{Scheme: scheme, ComputeCyclesPerOp: w.ComputeCost()})
 	sys.Mach.CrashAfter = crash
@@ -119,7 +139,7 @@ func execute(workload, scheme string, n, value int, crash uint64) (img *pmem.Ima
 		if err := w.Setup(sys); err != nil {
 			return err
 		}
-		load := ycsb.Load{N: n, ValueSize: value}
+		load := ycsb.Load{N: n, ValueSize: value, Seed: seed}
 		return load.Each(func(k uint64, v []byte) error { return w.Insert(sys, k, v) })
 	}
 	if err := run(); err != nil {
@@ -127,4 +147,55 @@ func execute(workload, scheme string, n, value int, crash uint64) (img *pmem.Ima
 		os.Exit(1)
 	}
 	return sys.Mach.Crash(), crashed, sys.Mach.PersistCount
+}
+
+// executeMulti runs the same deterministic stream sharded round-robin
+// across a cluster, crashing when the machine-wide persist total hits
+// the requested event (whichever core issues it).
+func executeMulti(workload, scheme string, n, value, cores int, seed, crash uint64) (img *pmem.Image, crashed bool, events uint64) {
+	w := workloads.MustNew(workload)
+	cl := slpmt.NewCluster(cores, slpmt.Options{Scheme: scheme, ComputeCyclesPerOp: w.ComputeCost()})
+	cl.Plat.CrashAfterTotal = crash
+	defer func() {
+		events = cl.Plat.PersistTotal
+	}()
+	run := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(machine.CrashSignal); !ok {
+					panic(r)
+				}
+				crashed = true
+			}
+		}()
+		if err := w.Setup(cl.Use(0)); err != nil {
+			return err
+		}
+		load := ycsb.Load{N: n, ValueSize: value, Seed: seed}
+		keys := load.Keys()
+		next := make([]int, cores)
+		for i := range next {
+			next[i] = i
+		}
+		var opErr error
+		cl.Interleave(func(core int, sys *slpmt.System) bool {
+			j := next[core]
+			if j >= len(keys) || opErr != nil {
+				return false
+			}
+			next[core] = j + cores
+			k := keys[j]
+			if e := w.Insert(sys, k, load.Value(k)); e != nil {
+				opErr = e
+				return false
+			}
+			return next[core] < len(keys)
+		})
+		return opErr
+	}
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "slpmttrace: %v\n", err)
+		os.Exit(1)
+	}
+	return cl.Plat.Crash(), crashed, cl.Plat.PersistTotal
 }

@@ -13,6 +13,7 @@ import (
 	"github.com/persistmem/slpmt"
 	"github.com/persistmem/slpmt/internal/machine"
 	"github.com/persistmem/slpmt/internal/stats"
+	"github.com/persistmem/slpmt/internal/trace"
 	"github.com/persistmem/slpmt/internal/workloads"
 	"github.com/persistmem/slpmt/internal/ycsb"
 )
@@ -44,6 +45,17 @@ type RunConfig struct {
 	// deterministically; Cycles is then the parallel phase's makespan
 	// (see RunMulti).
 	Cores int
+	// Trace, when non-nil, attaches this tracer to the run's machine and
+	// the result carries the reduced latency/WPQ metrics. The caller
+	// owns the tracer (full event detail); setup events are cleared so
+	// the ring holds the measured region. One tracer must not be shared
+	// across concurrently executing runs (see SetParallelism).
+	Trace *trace.Tracer
+	// Metrics, when Trace is nil, attaches an internal metrics-masked
+	// tracer (transaction lifecycle + WPQ kinds only) sized for
+	// reduction rather than export, populating Result.Summary and
+	// Result.WPQ without the caller managing a tracer.
+	Metrics bool
 }
 
 // Result is the outcome of one benchmark execution.
@@ -54,12 +66,46 @@ type Result struct {
 	Cycles uint64
 	// Counters is the counter delta over the measured region.
 	Counters stats.Counters
+	// Summary holds the trace-derived latency percentiles; zero unless
+	// the run was traced (Trace or Metrics set).
+	Summary trace.Summary
+	// WPQ is the time-bucketed WPQ occupancy/stall series; nil unless
+	// the run was traced. A pointer keeps Result comparable with ==.
+	WPQ *trace.WPQSeries
 	// VerifyErr is non-nil if the post-run invariant check failed.
 	VerifyErr error
 }
 
 // PMWriteBytes is the persistent-memory write traffic of the run.
 func (r Result) PMWriteBytes() uint64 { return r.Counters.PMWriteBytes() }
+
+// runTracer resolves the tracer a run should attach: the caller's
+// full-detail tracer, an internal metrics-masked one, or nil.
+func runTracer(cfg RunConfig) *trace.Tracer {
+	if cfg.Trace != nil {
+		return cfg.Trace
+	}
+	if cfg.Metrics {
+		tr := trace.New(trace.MetricsCapacity)
+		tr.SetMask(trace.MetricsMask())
+		return tr
+	}
+	return nil
+}
+
+// reduceTrace folds the tracer's events into the result's summary, WPQ
+// series, and occupancy gauges. No-op with a nil tracer.
+func reduceTrace(res *Result, tr *trace.Tracer, pm interface {
+	OccupancyStats() (uint64, uint64)
+}) {
+	if tr == nil {
+		return
+	}
+	evs := tr.Events()
+	res.Summary = trace.Summarize(evs, tr.Dropped())
+	res.WPQ = trace.BucketWPQ(evs, 16)
+	res.Counters.WPQOccMaxBytes, res.Counters.WPQOccAvgBytes = pm.OccupancyStats()
+}
 
 // Run executes one benchmark under one scheme and returns the measured
 // region's statistics.
@@ -71,11 +117,13 @@ func Run(cfg RunConfig) Result {
 	var mc machine.Config
 	mc.PM.Banks = cfg.Banks
 	mc.PM.WPQBytes = cfg.WPQBytes
+	tr := runTracer(cfg)
 	sys := slpmt.New(slpmt.Options{
 		Scheme:             cfg.Scheme,
 		Machine:            mc,
 		PMWriteNanos:       cfg.PMWriteNanos,
 		ComputeCyclesPerOp: w.ComputeCost(),
+		Trace:              tr,
 	})
 	if err := w.Setup(sys); err != nil {
 		panic(fmt.Sprintf("bench: setup %s: %v", cfg.Workload, err))
@@ -84,6 +132,13 @@ func Run(cfg RunConfig) Result {
 	load := ycsb.Load{N: cfg.N, ValueSize: cfg.ValueSize, Seed: cfg.Seed}
 	start := sys.Stats().Snapshot()
 	startCycles := sys.Cycles()
+	pm := sys.Mach.Machine().PM
+	if tr != nil {
+		// Drop setup events and restart the occupancy window at the
+		// measured region's boundary.
+		tr.Reset()
+		pm.ResetOccupancy(startCycles)
+	}
 	err := load.Each(func(key uint64, value []byte) error {
 		return w.Insert(sys, key, value)
 	})
@@ -98,6 +153,12 @@ func Run(cfg RunConfig) Result {
 		RunConfig: cfg,
 		Cycles:    sys.Cycles() - startCycles,
 		Counters:  sys.Stats().Delta(start),
+	}
+	if tr != nil {
+		// Retire entries that finished before the region's end so drain
+		// events and the occupancy integral cover the whole interval.
+		pm.QueueDepth(sys.Cycles())
+		reduceTrace(&res, tr, pm)
 	}
 	if cfg.Verify {
 		res.VerifyErr = w.Check(sys, load.Oracle())

@@ -26,11 +26,13 @@ func RunMulti(cfg RunConfig) Result {
 	var mc machine.Config
 	mc.PM.Banks = cfg.Banks
 	mc.PM.WPQBytes = cfg.WPQBytes
+	tr := runTracer(cfg)
 	cl := slpmt.NewCluster(cores, slpmt.Options{
 		Scheme:             cfg.Scheme,
 		Machine:            mc,
 		PMWriteNanos:       cfg.PMWriteNanos,
 		ComputeCyclesPerOp: w.ComputeCost(),
+		Trace:              tr,
 	})
 	if err := w.Setup(cl.Use(0)); err != nil {
 		panic(fmt.Sprintf("bench: setup %s: %v", cfg.Workload, err))
@@ -40,6 +42,13 @@ func RunMulti(cfg RunConfig) Result {
 	keys := load.Keys()
 	start := cl.Stats()
 	startClk := cl.SyncClocks()
+	// The occupancy window always restarts at the measured region on a
+	// multi-core run: the parallel phase's WPQ pressure is the scaling
+	// story, so the gauges are reported whether or not a tracer is on.
+	cl.Plat.PM.ResetOccupancy(startClk)
+	if tr != nil {
+		tr.Reset()
+	}
 
 	// Shard i runs keys[i], keys[i+cores], ... — every core sees an
 	// equal slice of the same deterministic stream.
@@ -66,6 +75,11 @@ func RunMulti(cfg RunConfig) Result {
 		RunConfig: cfg,
 		Cycles:    cl.MaxClk() - startClk,
 		Counters:  merged.Delta(start),
+	}
+	cl.Plat.PM.QueueDepth(cl.MaxClk())
+	res.Counters.WPQOccMaxBytes, res.Counters.WPQOccAvgBytes = cl.Plat.PM.OccupancyStats()
+	if tr != nil {
+		reduceTrace(&res, tr, cl.Plat.PM)
 	}
 	if cfg.Verify {
 		res.VerifyErr = w.Check(cl.Use(0), load.Oracle())

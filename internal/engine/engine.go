@@ -10,6 +10,7 @@ import (
 	"github.com/persistmem/slpmt/internal/machine"
 	"github.com/persistmem/slpmt/internal/mem"
 	"github.com/persistmem/slpmt/internal/signature"
+	"github.com/persistmem/slpmt/internal/trace"
 )
 
 // Write-set line classes (per-line, a line with any logged word is a
@@ -157,6 +158,7 @@ func (e *Engine) Begin() {
 		panic("engine: nested transactions are not supported")
 	}
 	e.seq++
+	e.m.Trace(trace.KTxBegin, 0, e.seq)
 	id := e.nextID
 	e.nextID = (e.nextID + 1) % NumTxIDs
 	// Circular ID reuse: if a retained transaction still owns this ID,
@@ -249,6 +251,11 @@ func (e *Engine) Store(addr mem.Addr, p []byte, kind isa.Kind, attr isa.Attr) {
 		e.m.Stats.Stores++
 	}
 	e.m.Tick(e.cfg.ComputeCyclesPerOp)
+	if kind == isa.StoreT {
+		e.m.Trace(trace.KStoreT, addr, uint64(len(p)))
+	} else {
+		e.m.Trace(trace.KStore, addr, uint64(len(p)))
+	}
 	bits := e.cfg.Caps.ResolveFor(kind, attr)
 	off := 0
 	mem.LineRange(addr, len(p), func(line mem.Addr, lineOff, n int) {
@@ -339,6 +346,7 @@ func (e *Engine) logStore(l *cache.Line, a mem.Addr, size int) {
 		data := e.scratchBytes(mem.LineSize)
 		e.m.ReadMem(line, data)
 		e.sink.add(logbuf.Record{Addr: line, Data: data})
+		e.m.Trace(trace.KLogAppend, line, mem.LineSize)
 		e.m.Stats.LogRecordsCreated++
 		if _, dup := e.cur.loggedWords[line]; dup {
 			e.m.Stats.LogDuplicates++
@@ -353,6 +361,7 @@ func (e *Engine) logStore(l *cache.Line, a mem.Addr, size int) {
 			data := e.scratchBytes(mem.WordSize)
 			e.m.ReadMem(wa, data)
 			e.sink.add(logbuf.Record{Addr: wa, Data: data})
+			e.m.Trace(trace.KLogAppend, wa, mem.WordSize)
 			e.m.Stats.LogRecordsCreated++
 			if _, dup := e.cur.loggedWords[wa]; dup {
 				e.m.Stats.LogDuplicates++
@@ -415,6 +424,8 @@ func (e *Engine) CoherenceStore(line mem.Addr) {
 // signatures.
 func (e *Engine) persistRetainedThrough(idx int) {
 	// Lazy drains are posted persists off the critical path (§III-C3).
+	e.m.Trace(trace.KLazyDrainStart, 0, uint64(idx+1))
+	defer e.m.Trace(trace.KLazyDrainEnd, 0, uint64(idx+1))
 	e.m.PushAsync()
 	defer e.m.PopAsync()
 	for i := 0; i <= idx; i++ {
@@ -555,6 +566,7 @@ func (e *Engine) Commit() {
 	if !e.cur.active {
 		panic("engine: Commit outside a transaction")
 	}
+	e.m.Trace(trace.KCommitStart, 0, e.cur.seq)
 	// Discard buffered records belonging to lazily persistent lines
 	// (§III-B2): their data will not persist at commit, so an undo
 	// record for them is unnecessary — the data is recoverable anyway.
@@ -585,6 +597,7 @@ func (e *Engine) Commit() {
 	}
 	e.cur.active = false
 	e.m.Stats.TxCommits++
+	e.m.Trace(trace.KTxCommit, 0, e.cur.seq)
 	e.mirrorBufferStats()
 }
 
@@ -757,6 +770,7 @@ func (e *Engine) Abort() {
 	e.cur.sig.Clear()
 	e.cur.active = false
 	e.m.Stats.TxAborts++
+	e.m.Trace(trace.KTxAbort, 0, e.cur.seq)
 }
 
 // WriteSetLines returns the current transaction's write-set line

@@ -41,6 +41,9 @@ func Scaling(out io.Writer, base bench.RunConfig) error {
 				cfg.Scheme = s
 				cfg.Workload = w
 				cfg.Cores = c
+				// Interval metrics feed the latency/occupancy tables
+				// below (observation-only: timing is unchanged).
+				cfg.Metrics = true
 				cfgs = append(cfgs, cfg)
 			}
 		}
@@ -75,22 +78,38 @@ func Scaling(out io.Writer, base bench.RunConfig) error {
 	ttr := bench.NewTable(
 		"Scaling: PM write traffic per op (bytes)",
 		cols...)
+	tlat := bench.NewTable(
+		"Scaling: commit latency percentiles (cycles, p50/p95/p99)",
+		cols...)
+	tocc := bench.NewTable(
+		"Scaling: WPQ occupancy (bytes, high-water/time-weighted mean)",
+		cols...)
 	for _, s := range ss {
 		for _, w := range ws {
 			rowS := []string{s, w}
 			rowT := []string{s, w}
+			rowL := []string{s, w}
+			rowO := []string{s, w}
 			one := byKey[s][w][1]
 			for _, c := range ScalingCores {
 				r := byKey[s][w][c]
 				rowS = append(rowS, bench.Fx(bench.Speedup(one, r)))
 				rowT = append(rowT, bench.F(float64(r.PMWriteBytes())/float64(opsOf(base))))
+				rowL = append(rowL, fmt.Sprintf("%d/%d/%d",
+					r.Summary.CommitP50, r.Summary.CommitP95, r.Summary.CommitP99))
+				rowO = append(rowO, fmt.Sprintf("%d/%d",
+					r.Counters.WPQOccMaxBytes, r.Counters.WPQOccAvgBytes))
 			}
 			tsp.AddRow(rowS...)
 			ttr.AddRow(rowT...)
+			tlat.AddRow(rowL...)
+			tocc.AddRow(rowO...)
 		}
 	}
 	fmt.Fprintln(out, tsp)
 	fmt.Fprintln(out, ttr)
+	fmt.Fprintln(out, tlat)
+	fmt.Fprintln(out, tocc)
 
 	fmt.Fprintln(out, "(cores share one structure, LLC, and PM write-pending queue; the")
 	fmt.Fprint(out, " deterministic interleaver makes every cell exactly reproducible)\n")

@@ -7,6 +7,7 @@ import (
 	"github.com/persistmem/slpmt/internal/mem"
 	"github.com/persistmem/slpmt/internal/pmem"
 	"github.com/persistmem/slpmt/internal/stats"
+	"github.com/persistmem/slpmt/internal/trace"
 )
 
 // Core is one simulated core: private L1/L2 caches, a logical clock,
@@ -29,7 +30,8 @@ type Core struct {
 	// Stats are this core's counters; Machine.MergedStats sums them.
 	Stats *stats.Counters
 
-	sh *Machine // shared L3 / PM / vol
+	sh *Machine      // shared L3 / PM / vol
+	tr *trace.Tracer // nil unless the machine was built with a tracer
 
 	// PersistCount counts durable-write events; with CrashAfter != 0
 	// the core panics with CrashSignal when the count reaches it —
@@ -74,6 +76,12 @@ type Core struct {
 
 // Machine returns the shared machine this core belongs to.
 func (c *Core) Machine() *Machine { return c.sh }
+
+// Trace emits a trace event stamped with this core's ID and clock. With
+// no tracer attached (the common case) the call is a single branch.
+func (c *Core) Trace(kind trace.Kind, addr mem.Addr, arg uint64) {
+	c.tr.Emit(uint8(c.ID), c.Clk, kind, uint64(addr), arg)
+}
 
 // Config returns the machine configuration.
 func (c *Core) Config() Config { return c.sh.cfg }
@@ -141,6 +149,7 @@ func (c *Core) AccessLine(addr mem.Addr, write bool) *cache.Line {
 	if l2 := c.L2.Lookup(la); l2 != nil {
 		c.Clk += c.L2.Latency()
 		c.Stats.L2Hits++
+		c.Trace(trace.KCacheMiss, la, 2)
 		line, _ := c.L2.Remove(la)
 		line.LogBits = cache.ReplicateLogBits(line.LogBits)
 		if write && line.State == cache.Shared {
@@ -161,6 +170,7 @@ func (c *Core) AccessLine(addr mem.Addr, write bool) *cache.Line {
 	if found, shared := c.sh.snoopFetch(c, la, write); found {
 		// Cache-to-cache transfer: a peer held the line; dirty copies
 		// were written back and, for a write, every copy invalidated.
+		c.Trace(trace.KCacheMiss, la, 5)
 		st := cache.Exclusive
 		if shared {
 			st = cache.Shared
@@ -177,6 +187,7 @@ func (c *Core) AccessLine(addr mem.Addr, write bool) *cache.Line {
 	if l3 := c.sh.L3.Lookup(la); l3 != nil {
 		c.Clk += c.sh.L3.Latency()
 		c.Stats.L3Hits++
+		c.Trace(trace.KCacheMiss, la, 3)
 		line, _ := c.sh.L3.Remove(la)
 		// L3 carries no SLPMT metadata: bits start zeroed (§III-B1).
 		line.Persist = false
@@ -190,6 +201,7 @@ func (c *Core) AccessLine(addr mem.Addr, write bool) *cache.Line {
 	// PM demand fill.
 	c.Clk += c.sh.PM.ReadCycles()
 	c.Stats.PMReadBytes += mem.LineSize
+	c.Trace(trace.KCacheMiss, la, 4)
 	return c.finishFill(cache.Line{Addr: la, State: cache.Exclusive}, write)
 }
 
@@ -234,12 +246,14 @@ func (c *Core) demoteToL3(v cache.Line) {
 	if c.OnL2Evict != nil {
 		c.OnL2Evict(&v)
 	}
+	c.Trace(trace.KCacheEvict, v.Addr, 2)
 	v.Persist = false
 	v.LogBits = 0
 	v.TxID = 0
 	_, victim, evicted := c.sh.L3.Insert(v)
 	if evicted {
 		c.Stats.L3Evicts++
+		c.Trace(trace.KCacheEvict, victim.Addr, 3)
 		if victim.State == cache.Modified {
 			c.writeback(victim.Addr)
 		}
@@ -291,8 +305,11 @@ func (c *Core) AckBarrier() {
 // device path according to the current section, charging the core's
 // stall. The WPQ is shared: each core arbitrates at its own clock.
 func (c *Core) persist(addr mem.Addr, data []byte) {
+	c.sh.PM.SetCore(c.ID)
 	c.PersistCount++
-	if c.CrashAfter != 0 && c.PersistCount == c.CrashAfter {
+	c.sh.PersistTotal++
+	if (c.CrashAfter != 0 && c.PersistCount == c.CrashAfter) ||
+		(c.sh.CrashAfterTotal != 0 && c.sh.PersistTotal == c.sh.CrashAfterTotal) {
 		// The write itself completes (it reached the persist domain);
 		// execution stops immediately after.
 		if c.asyncDepth > 0 {
@@ -300,7 +317,7 @@ func (c *Core) persist(addr mem.Addr, data []byte) {
 		} else {
 			c.sh.PM.Persist(c.Clk, addr, data)
 		}
-		panic(CrashSignal{At: c.PersistCount})
+		panic(CrashSignal{At: c.sh.PersistTotal})
 	}
 	var stall uint64
 	switch {
@@ -350,6 +367,7 @@ func (c *Core) coherenceWriteback(addr mem.Addr) {
 	c.Stats.PMWriteBytesData += mem.LineSize
 	c.Stats.PMWriteEntries++
 	c.Stats.CoherenceWritebacks++
+	c.Trace(trace.KCohWriteback, addr, 0)
 	if c.OnL3Writeback != nil {
 		c.OnL3Writeback(addr)
 	}

@@ -35,6 +35,7 @@ import (
 	"github.com/persistmem/slpmt/internal/mem"
 	"github.com/persistmem/slpmt/internal/pmem"
 	"github.com/persistmem/slpmt/internal/stats"
+	"github.com/persistmem/slpmt/internal/trace"
 )
 
 // Config describes the machine. Zero-valued cache levels get Table III
@@ -49,6 +50,12 @@ type Config struct {
 	// line is found in another core's private caches (0 = 40, the LLC
 	// latency — a directory-in-LLC lookup plus the remote probe).
 	CoherenceCycles uint64
+	// Trace, when non-nil, receives cycle-stamped events from every
+	// layer of the machine (caches, coherence, WPQ) and from the engines
+	// running on its cores. Tracing is observation-only: it never
+	// advances a clock or counter, so traced and untraced runs produce
+	// bit-identical results.
+	Trace *trace.Tracer
 }
 
 // DefaultConfig returns the paper's evaluation platform (Table III): a
@@ -102,6 +109,14 @@ type Machine struct {
 
 	vol []byte // functional program view of the PM address space
 
+	// PersistTotal counts durable-write events machine-wide (across all
+	// cores, in interleave order); with CrashAfterTotal != 0 the machine
+	// panics with CrashSignal when the total reaches it — the global
+	// crash-injection counter for multi-core campaigns, where per-core
+	// persist counts depend on the interleaving.
+	PersistTotal    uint64
+	CrashAfterTotal uint64
+
 	// OnRemoteStore is invoked when core src issues a bus write request
 	// (read-for-ownership or shared->modified upgrade) for a line. The
 	// cluster layer uses it to run the remote engines' lazy-persistency
@@ -129,6 +144,7 @@ func New(cfg Config) *Machine {
 		Layout: layouts[0],
 		vol:    make([]byte, dev.Size()),
 	}
+	dev.SetTracer(cfg.Trace)
 	m.cores = make([]*Core, cfg.Cores)
 	for i := range m.cores {
 		m.cores[i] = &Core{
@@ -139,6 +155,7 @@ func New(cfg Config) *Machine {
 			Layout: layouts[i],
 			Stats:  &stats.Counters{},
 			sh:     m,
+			tr:     cfg.Trace,
 		}
 	}
 	return m
@@ -215,16 +232,23 @@ func (m *Machine) snoopFetch(c *Core, la mem.Addr, write bool) (found, shared bo
 			if write {
 				lvl.Remove(la)
 				o.Stats.CoherenceInvalidations++
+				o.Trace(trace.KCohInval, la, 0)
 			} else {
 				l.State = cache.Shared
 				shared = true
 				o.Stats.CoherenceDowngrades++
+				o.Trace(trace.KCohDowngrade, la, 0)
 			}
 		}
 	}
 	if found {
 		c.Clk += m.cfg.CoherenceCycles
 		c.Stats.CoherenceSnoops++
+		var w uint64
+		if write {
+			w = 1
+		}
+		c.Trace(trace.KCohSnoop, la, w)
 	}
 	return found, shared
 }
@@ -252,6 +276,7 @@ func (m *Machine) snoopUpgrade(c *Core, la mem.Addr) {
 			if lvl.Peek(la) != nil {
 				lvl.Remove(la)
 				o.Stats.CoherenceInvalidations++
+				o.Trace(trace.KCohInval, la, 0)
 				found = true
 			}
 		}
@@ -259,5 +284,6 @@ func (m *Machine) snoopUpgrade(c *Core, la mem.Addr) {
 	if found {
 		c.Clk += m.cfg.CoherenceCycles
 		c.Stats.CoherenceSnoops++
+		c.Trace(trace.KCohSnoop, la, 1)
 	}
 }

@@ -17,7 +17,11 @@
 //     every speedup the paper reports.
 package pmem
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/persistmem/slpmt/internal/trace"
+)
 
 // Config parameterizes the device. Zero values are replaced by the
 // paper's defaults (Table III).
@@ -90,6 +94,7 @@ func (c Config) withDefaults() Config {
 type entry struct {
 	bytes  int
 	finish uint64 // cycle at which the entry has drained to the medium
+	core   uint8  // enqueuing core, for trace attribution
 }
 
 // Device is a simulated persistent memory module with an ADR persist
@@ -108,6 +113,17 @@ type Device struct {
 	// the machine layer against stats.Counters).
 	totalEnqueued uint64
 	totalStall    uint64
+
+	// Observation-only state: the tracer and the time-weighted occupancy
+	// integral. None of it feeds back into timing.
+	tr      *trace.Tracer
+	curCore uint8
+	occMax  int
+	// occIntegral accumulates usedBytes·dt between occupancy changes;
+	// the mean occupancy over [occBase, occLastT] is integral/(lastT-base).
+	occIntegral uint64
+	occLastT    uint64
+	occBase     uint64
 }
 
 // New returns a device with the given configuration.
@@ -122,6 +138,46 @@ func New(cfg Config) *Device {
 // Config returns the effective configuration.
 func (d *Device) Config() Config { return d.cfg }
 
+// SetTracer attaches a tracer to the device. A nil tracer (the default)
+// disables event emission; the device's timing is identical either way.
+func (d *Device) SetTracer(tr *trace.Tracer) { d.tr = tr }
+
+// SetCore records which core is driving the next Persist* calls, so WPQ
+// events carry the right core ID. The machine layer calls this at the
+// top of each core's persist path.
+func (d *Device) SetCore(id int) { d.curCore = uint8(id) }
+
+// occAdvance accounts the occupancy integral up to cycle t. Cores on a
+// multi-core machine arbitrate for the WPQ at interleaved clock values,
+// so t can be behind occLastT; the integral only ever moves forward.
+func (d *Device) occAdvance(t uint64) {
+	if t > d.occLastT {
+		d.occIntegral += uint64(d.usedBytes) * (t - d.occLastT)
+		d.occLastT = t
+	}
+}
+
+// OccupancyStats returns the WPQ high-water mark and the time-weighted
+// mean occupancy in bytes since creation (or the last ResetOccupancy).
+func (d *Device) OccupancyStats() (maxBytes, avgBytes uint64) {
+	maxBytes = uint64(d.occMax)
+	if span := d.occLastT - d.occBase; span > 0 {
+		avgBytes = d.occIntegral / span
+	}
+	return maxBytes, avgBytes
+}
+
+// ResetOccupancy drains retired entries as of cycle now and restarts the
+// occupancy statistics window there — used by harnesses to exclude setup
+// traffic from a measured interval.
+func (d *Device) ResetOccupancy(now uint64) {
+	d.drainUpTo(now)
+	d.occAdvance(now)
+	d.occIntegral = 0
+	d.occBase = d.occLastT
+	d.occMax = d.usedBytes
+}
+
 // Size returns the device capacity in bytes.
 func (d *Device) Size() uint64 { return d.cfg.Size }
 
@@ -134,12 +190,16 @@ func (d *Device) ReadCycles() uint64 { return d.cfg.ReadCycles }
 func (d *Device) drainUpTo(now uint64) {
 	i := 0
 	for i < len(d.queue) && d.queue[i].finish <= now {
-		d.usedBytes -= d.queue[i].bytes
+		e := d.queue[i]
+		d.occAdvance(e.finish)
+		d.usedBytes -= e.bytes
+		d.tr.Emit(e.core, e.finish, trace.KWPQDrain, 0, uint64(d.usedBytes))
 		i++
 	}
 	if i > 0 {
 		d.queue = append(d.queue[:0], d.queue[i:]...)
 	}
+	d.occAdvance(now)
 }
 
 // enqueue inserts an entry keeping the queue sorted by finish time.
@@ -148,12 +208,16 @@ func (d *Device) drainUpTo(now uint64) {
 // On a multi-core machine the cores arbitrate for the WPQ at their own
 // interleaved clock values, so a core that is behind in time can insert
 // an entry that finishes before already-queued ones.
-func (d *Device) enqueue(e entry) {
+func (d *Device) enqueue(e entry, t uint64) {
+	d.occAdvance(t)
 	d.queue = append(d.queue, e)
 	for i := len(d.queue) - 1; i > 0 && d.queue[i-1].finish > d.queue[i].finish; i-- {
 		d.queue[i-1], d.queue[i] = d.queue[i], d.queue[i-1]
 	}
 	d.usedBytes += e.bytes
+	if d.usedBytes > d.occMax {
+		d.occMax = d.usedBytes
+	}
 	d.lastFinish = e.finish
 	d.totalEnqueued++
 }
@@ -181,15 +245,21 @@ func (d *Device) Persist(now uint64, addr uint64, data []byte) (stall uint64) {
 	stall = d.cfg.EnqueueCycles
 	t := now + stall
 	d.drainUpTo(t)
+	var waited uint64
 	for d.usedBytes+n > d.cfg.WPQBytes {
 		// Wait for the oldest entry to drain.
 		wait := d.queue[0].finish - t
 		stall += wait
+		waited += wait
 		t = d.queue[0].finish
 		d.drainUpTo(t)
 	}
+	if waited > 0 {
+		d.tr.Emit(d.curCore, t, trace.KWPQStall, addr, waited)
+	}
 	fin := d.bankFinish(t)
-	d.enqueue(entry{bytes: n, finish: fin})
+	d.enqueue(entry{bytes: n, finish: fin, core: d.curCore}, t)
+	d.tr.Emit(d.curCore, t, trace.KWPQEnqueue, addr, uint64(d.usedBytes))
 	// Synchronous persist: the commit engine issues one coherence-level
 	// persist request per line and waits for the controller's completion
 	// acknowledgement before the next ordering-constrained operation, so
@@ -223,14 +293,20 @@ func (d *Device) PersistStream(now uint64, addr uint64, data []byte) (stall uint
 	stall = d.cfg.EnqueueCycles
 	t := now + stall
 	d.drainUpTo(t)
+	var waited uint64
 	for d.usedBytes+n > d.cfg.WPQBytes {
 		wait := d.queue[0].finish - t
 		stall += wait
+		waited += wait
 		t = d.queue[0].finish
 		d.drainUpTo(t)
 	}
+	if waited > 0 {
+		d.tr.Emit(d.curCore, t, trace.KWPQStall, addr, waited)
+	}
 	fin := d.bankFinish(t)
-	d.enqueue(entry{bytes: n, finish: fin})
+	d.enqueue(entry{bytes: n, finish: fin, core: d.curCore}, t)
+	d.tr.Emit(d.curCore, t, trace.KWPQEnqueue, addr, uint64(d.usedBytes))
 	d.totalStall += stall - d.cfg.EnqueueCycles
 	return stall
 }
@@ -296,7 +372,8 @@ func (d *Device) PersistAsync(now uint64, addr uint64, data []byte) (stall uint6
 		}
 	}
 	fin := d.bankFinish(tStart)
-	d.enqueue(entry{bytes: n, finish: fin})
+	d.enqueue(entry{bytes: n, finish: fin, core: d.curCore}, t)
+	d.tr.Emit(d.curCore, t, trace.KWPQEnqueue, addr, uint64(d.usedBytes))
 	return d.cfg.EnqueueCycles
 }
 
@@ -373,6 +450,10 @@ func (d *Device) Restore(img *Image) {
 	d.queue = d.queue[:0]
 	d.usedBytes = 0
 	d.lastFinish = 0
+	d.occIntegral = 0
+	d.occLastT = 0
+	d.occBase = 0
+	d.occMax = 0
 }
 
 // Stats returns (entries enqueued, cycles stalled on a full WPQ) since

@@ -21,6 +21,11 @@ type CampaignConfig struct {
 	N         int // operations per run
 	ValueSize int
 	Seed      uint64
+	// Cores runs each point on a multi-core cluster (insert stream
+	// sharded round-robin, crash point counted against the machine-wide
+	// persist total). 0 or 1 is the single-core campaign; Mixed is
+	// insert-only cross-core and therefore rejected with Cores > 1.
+	Cores int
 	// Mixed interleaves updates and deletes with the inserts (for
 	// workloads implementing Mutable); default is the paper's
 	// insert-only ycsb-load.
@@ -153,6 +158,9 @@ type runInfo struct {
 // execute runs the workload, crashing after the given persist event
 // (0 = run to completion).
 func execute(cfg CampaignConfig, crashAfter uint64) (info runInfo, totalPersists uint64, err error) {
+	if cfg.Cores > 1 {
+		return executeMulti(cfg, crashAfter)
+	}
 	w := workloads.MustNew(cfg.Workload)
 	sys := slpmt.New(slpmt.Options{
 		Scheme:             cfg.Scheme,
@@ -191,6 +199,70 @@ func execute(cfg CampaignConfig, crashAfter uint64) (info runInfo, totalPersists
 	return info, sys.Mach.PersistCount, nil
 }
 
+// executeMulti is execute on a Cores-wide cluster: the deterministic
+// insert stream is sharded round-robin across the cores and run under
+// the cluster interleaver, with the crash point counted against the
+// machine-wide persist total (so points land on whichever core issues
+// the Nth persist). The interleaver schedules at transaction
+// granularity — at most one operation is ever in flight — so the
+// single-core oracle bracket (before/after around the pending op) is
+// sound unchanged.
+func executeMulti(cfg CampaignConfig, crashAfter uint64) (info runInfo, totalPersists uint64, err error) {
+	w := workloads.MustNew(cfg.Workload)
+	cl := slpmt.NewCluster(cfg.Cores, slpmt.Options{
+		Scheme:             cfg.Scheme,
+		ComputeCyclesPerOp: w.ComputeCost(),
+	})
+	cl.Plat.CrashAfterTotal = crashAfter
+
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(machine.CrashSignal); !ok {
+				panic(r)
+			}
+			info.crashed = true
+			info.img = cl.Plat.Crash()
+		}
+		totalPersists = cl.Plat.PersistTotal
+	}()
+
+	if err := w.Setup(cl.Use(0)); err != nil {
+		return info, 0, fmt.Errorf("setup: %w", err)
+	}
+	ops := genOps(cfg)
+	oracle := map[uint64][]byte{}
+	next := make([]int, cfg.Cores)
+	for i := range next {
+		next[i] = i
+	}
+	var opErr error
+	cl.Interleave(func(core int, sys *slpmt.System) bool {
+		j := next[core]
+		if j >= len(ops) || opErr != nil {
+			return false
+		}
+		next[core] = j + cfg.Cores
+		op := ops[j]
+		info.before = cloneOracle(oracle)
+		applyOracle(oracle, op)
+		info.after = oracle
+		info.pendingKey = op.key
+		if err := apply(w, sys, op); err != nil {
+			opErr = fmt.Errorf("op on key %d: %w", op.key, err)
+			return false
+		}
+		info.before = info.after
+		info.pendingKey = 0
+		return next[core] < len(ops)
+	})
+	if opErr != nil {
+		return info, 0, opErr
+	}
+	cl.DrainLazy()
+	info.img = cl.Plat.Crash()
+	return info, cl.Plat.PersistTotal, nil
+}
+
 // verifyPoint recovers a crash image and verifies it against the
 // pre-operation committed state, accepting the in-flight transaction as
 // either durably committed or cleanly reverted.
@@ -198,7 +270,11 @@ func verifyPoint(cfg CampaignConfig, info runInfo, res *CampaignResult) error {
 	w := workloads.MustNew(cfg.Workload) // fresh instance: no volatile state survives
 	rec := w.(workloads.Recoverable)
 
-	rep, _, err := Recover(info.img, rec)
+	cores := cfg.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	rep, _, err := RecoverN(info.img, rec, cores)
 	if err != nil {
 		return err
 	}
@@ -224,6 +300,13 @@ func verifyPoint(cfg CampaignConfig, info runInfo, res *CampaignResult) error {
 // re-running setup — there is no structure to verify).
 func setupPersists(cfg CampaignConfig) (uint64, error) {
 	w := workloads.MustNew(cfg.Workload)
+	if cfg.Cores > 1 {
+		cl := slpmt.NewCluster(cfg.Cores, slpmt.Options{Scheme: cfg.Scheme})
+		if err := w.Setup(cl.Use(0)); err != nil {
+			return 0, err
+		}
+		return cl.Plat.PersistTotal, nil
+	}
 	sys := slpmt.New(slpmt.Options{Scheme: cfg.Scheme})
 	if err := w.Setup(sys); err != nil {
 		return 0, err
@@ -275,6 +358,9 @@ func (r *CampaignResult) accumulate(o *pointOutcome) {
 func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	if cfg.Stride == 0 {
 		cfg.Stride = 1
+	}
+	if cfg.Mixed && cfg.Cores > 1 {
+		return nil, fmt.Errorf("campaign: Mixed streams are not sharded across cores (cores=%d)", cfg.Cores)
 	}
 	// Reference run: count persist events and confirm a clean pass.
 	ref, total, err := execute(cfg, 0)

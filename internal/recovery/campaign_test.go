@@ -42,6 +42,41 @@ func TestCampaignParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestCampaignMultiCore crashes a 2-core cluster at machine-wide
+// persist points and verifies every recovered image: all per-core
+// hardware logs must apply and the shared structure must reflect
+// exactly the committed transactions (the in-flight one accepted
+// either way).
+func TestCampaignMultiCore(t *testing.T) {
+	res, err := recovery.RunCampaign(recovery.CampaignConfig{
+		Workload:  "hashtable",
+		Scheme:    "SLPMT",
+		N:         30,
+		ValueSize: 32,
+		Cores:     2,
+		Stride:    17,
+		MaxPoints: 24,
+	})
+	if err != nil {
+		t.Fatalf("2-core campaign: %v", err)
+	}
+	if res.PointsTested == 0 {
+		t.Fatal("2-core campaign tested no points")
+	}
+	t.Logf("2-core campaign: %+v", *res)
+}
+
+// TestCampaignMultiCoreRejectsMixed pins the documented restriction.
+func TestCampaignMultiCoreRejectsMixed(t *testing.T) {
+	_, err := recovery.RunCampaign(recovery.CampaignConfig{
+		Workload: "hashtable", Scheme: "SLPMT", N: 10, ValueSize: 16,
+		Cores: 2, Mixed: true,
+	})
+	if err == nil {
+		t.Fatal("Mixed+Cores>1 must be rejected")
+	}
+}
+
 // TestCampaignParallelMixed exercises the parallel path on the mixed
 // (insert/update/delete) stream, where in-flight transactions are more
 // varied.

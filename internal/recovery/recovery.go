@@ -63,7 +63,12 @@ func (r *Report) String() string {
 // transaction are applied in reverse; redo records of a committed
 // transaction are replayed in order.
 func ApplyLog(img *pmem.Image) (*Report, error) {
-	layout := mem.DefaultLayout(uint64(len(img.Data)))
+	return applyLogRegion(img, mem.DefaultLayout(uint64(len(img.Data))))
+}
+
+// applyLogRegion applies one core's hardware log, addressed by its
+// layout, to the image.
+func applyLogRegion(img *pmem.Image, layout mem.Layout) (*Report, error) {
 	raw := img.Data[layout.LogBase : layout.LogBase+layout.LogSize]
 	hdr := logfmt.DecodeHeader(raw)
 	rep := &Report{LogSeq: hdr.Seq, LogState: hdr.State, Mode: hdr.Mode}
@@ -98,9 +103,33 @@ func ApplyLog(img *pmem.Image) (*Report, error) {
 // over the image, returning the report. The returned heap is the
 // reconstructed allocator (positioned over the image's layout).
 func Recover(img *pmem.Image, w workloads.Recoverable) (*Report, *txheap.Heap, error) {
-	rep, err := ApplyLog(img)
-	if err != nil {
-		return rep, nil, err
+	return RecoverN(img, w, 1)
+}
+
+// RecoverN is Recover for an image taken from a machine with the given
+// core count: every core's private hardware log is applied (core 0
+// first; at most one log can be mid-transaction per core, and the logs
+// address disjoint write sets under the interleaver's
+// transaction-granularity scheduling). The report carries core 0's
+// header fields and the record total across all logs; the heap is
+// rebuilt over the multi-core address map, whose heap region is
+// smaller than the single-core one.
+func RecoverN(img *pmem.Image, w workloads.Recoverable, cores int) (*Report, *txheap.Heap, error) {
+	if cores < 1 {
+		cores = 1
+	}
+	layouts := mem.MultiLayout(uint64(len(img.Data)), cores)
+	var rep *Report
+	for i, layout := range layouts {
+		r, err := applyLogRegion(img, layout)
+		if err != nil {
+			return r, nil, fmt.Errorf("recovery: core %d log: %w", i, err)
+		}
+		if rep == nil {
+			rep = r
+		} else {
+			rep.RecordsApplied += r.RecordsApplied
+		}
 	}
 	if err := w.Recover(img); err != nil {
 		return rep, nil, fmt.Errorf("recovery: structure fix-up: %w", err)
@@ -109,8 +138,7 @@ func Recover(img *pmem.Image, w workloads.Recoverable) (*Report, *txheap.Heap, e
 	if err != nil {
 		return rep, nil, fmt.Errorf("recovery: reachability: %w", err)
 	}
-	layout := mem.DefaultLayout(uint64(len(img.Data)))
-	heap := txheap.New(nil, layout, 0)
+	heap := txheap.New(nil, layouts[0], 0)
 	rep.Heap = heap.Rebuild(reach)
 	return rep, heap, nil
 }

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fill sets field i of a Counters to uint64(i+1) via reflection, so
+// every field holds a distinct non-zero value.
+func fill(t *testing.T) (*Counters, int) {
+	t.Helper()
+	var c Counters
+	v := reflect.ValueOf(&c).Elem()
+	n := v.NumField()
+	for i := 0; i < n; i++ {
+		f := v.Field(i)
+		if f.Kind() != reflect.Uint64 {
+			t.Fatalf("Counters field %s is %s, want uint64", v.Type().Field(i).Name, f.Kind())
+		}
+		f.SetUint(uint64(i + 1))
+	}
+	return &c, n
+}
+
+// TestEveryFieldHasACanonicalRow pins the hand-maintained canonicalRows
+// list to the struct: each field must surface under exactly one dotted
+// name. Adding a Counters field without extending canonicalRows (or Add
+// or Delta, below) fails here instead of silently dropping the counter
+// from every report.
+func TestEveryFieldHasACanonicalRow(t *testing.T) {
+	c, n := fill(t)
+	rows := canonicalRows(c)
+	if len(rows) != n {
+		t.Fatalf("canonicalRows has %d entries for %d struct fields", len(rows), n)
+	}
+	seenName := map[string]bool{}
+	seenVal := map[uint64]bool{}
+	for _, r := range rows {
+		if seenName[r.Name] {
+			t.Errorf("duplicate row name %q", r.Name)
+		}
+		seenName[r.Name] = true
+		if r.Value == 0 || r.Value > uint64(n) {
+			t.Errorf("row %q carries value %d, not one of the distinct field values", r.Name, r.Value)
+		}
+		if seenVal[r.Value] {
+			t.Errorf("row %q repeats value %d: two rows read the same field", r.Name, r.Value)
+		}
+		seenVal[r.Value] = true
+	}
+}
+
+// TestAddCoversEveryField: accumulating a fully distinct Counters into a
+// zero value must leave every field non-zero (additive fields copy the
+// value; gauges merge by max, which over zero is also a copy).
+func TestAddCoversEveryField(t *testing.T) {
+	c, n := fill(t)
+	var sum Counters
+	sum.Add(c)
+	v := reflect.ValueOf(sum)
+	for i := 0; i < n; i++ {
+		if v.Field(i).Uint() == 0 {
+			t.Errorf("Add drops field %s", v.Type().Field(i).Name)
+		}
+	}
+}
+
+// TestDeltaCoversEveryField: the delta against a zero snapshot must
+// return every field unchanged (subtraction by zero for the additive
+// fields, pass-through for the gauges).
+func TestDeltaCoversEveryField(t *testing.T) {
+	c, n := fill(t)
+	d := c.Delta(Counters{})
+	v := reflect.ValueOf(d)
+	for i := 0; i < n; i++ {
+		if got := v.Field(i).Uint(); got != uint64(i+1) {
+			t.Errorf("Delta mangles field %s: got %d, want %d", v.Type().Field(i).Name, got, i+1)
+		}
+	}
+}

@@ -39,6 +39,15 @@ type Counters struct {
 	PMReadBytes      uint64 // demand fills from PM
 	WPQStallCycles   uint64 // cycles the core stalled on a full WPQ
 
+	// WPQ occupancy gauges (bytes). Unlike the event counters these are
+	// not additive: Add merges them by maximum and Delta passes the
+	// current value through unchanged, because a high-water mark or a
+	// time-weighted mean cannot be meaningfully subtracted. They are
+	// populated from pmem.Device.OccupancyStats by harnesses that measure
+	// occupancy (multi-core runs and traced single-core runs).
+	WPQOccMaxBytes uint64 // high-water mark of WPQ occupancy
+	WPQOccAvgBytes uint64 // time-weighted mean WPQ occupancy
+
 	// Logging activity.
 	LogRecordsCreated   uint64 // records inserted into the log buffer
 	LogRecordsCoalesced uint64 // pairwise coalesce operations performed
@@ -102,6 +111,14 @@ func (c *Counters) Add(o *Counters) {
 	c.PMWriteEntries += o.PMWriteEntries
 	c.PMReadBytes += o.PMReadBytes
 	c.WPQStallCycles += o.WPQStallCycles
+	// Gauges merge by maximum: the cores of one machine observe the same
+	// shared WPQ, so summing would double-count.
+	if o.WPQOccMaxBytes > c.WPQOccMaxBytes {
+		c.WPQOccMaxBytes = o.WPQOccMaxBytes
+	}
+	if o.WPQOccAvgBytes > c.WPQOccAvgBytes {
+		c.WPQOccAvgBytes = o.WPQOccAvgBytes
+	}
 	c.LogRecordsCreated += o.LogRecordsCreated
 	c.LogRecordsCoalesced += o.LogRecordsCoalesced
 	c.LogRecordsDiscarded += o.LogRecordsDiscarded
@@ -158,6 +175,9 @@ func (c *Counters) Delta(since Counters) Counters {
 	d.PMWriteEntries -= since.PMWriteEntries
 	d.PMReadBytes -= since.PMReadBytes
 	d.WPQStallCycles -= since.WPQStallCycles
+	// Gauges pass through: the current high-water mark / mean is the
+	// reading for the interval (harnesses reset the device's occupancy
+	// window at the interval start instead of subtracting).
 	d.LogRecordsCreated -= since.LogRecordsCreated
 	d.LogRecordsCoalesced -= since.LogRecordsCoalesced
 	d.LogRecordsDiscarded -= since.LogRecordsDiscarded
@@ -265,6 +285,8 @@ func canonicalRows(c *Counters) []Row {
 		{"pm.write.entries", c.PMWriteEntries},
 		{"pm.read.bytes", c.PMReadBytes},
 		{"pm.wpq.stall.cycles", c.WPQStallCycles},
+		{"pm.wpq.occ.max", c.WPQOccMaxBytes},
+		{"pm.wpq.occ.avg", c.WPQOccAvgBytes},
 		{"log.records.created", c.LogRecordsCreated},
 		{"log.records.coalesced", c.LogRecordsCoalesced},
 		{"log.records.discarded", c.LogRecordsDiscarded},

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Summary reduces a trace's transaction-lifecycle events to latency
+// percentiles. Latencies are in cycles. Commit latency is the full
+// begin-to-commit-complete span (the transaction's durability
+// latency); lazy-drain latency is the posted drain section's span. The
+// struct is flat and comparable so harness Results carrying it stay
+// comparable.
+type Summary struct {
+	Events  int
+	Dropped uint64
+
+	Commits                         int
+	CommitP50, CommitP95, CommitP99 uint64
+
+	LazyDrains                int
+	LazyP50, LazyP95, LazyP99 uint64
+}
+
+// Summarize pairs begin/commit and lazy-drain start/end events per
+// core and returns the latency percentiles. dropped is the tracer's
+// ring-overflow count, carried through for reporting.
+func Summarize(events []Event, dropped uint64) Summary {
+	s := Summary{Events: len(events), Dropped: dropped}
+	txStart := map[uint8]uint64{}
+	lazyStart := map[uint8]uint64{}
+	var commits, lazies []uint64
+	for _, e := range events {
+		switch e.Kind {
+		case KTxBegin:
+			txStart[e.Core] = e.Cycle
+		case KTxCommit:
+			if c, ok := txStart[e.Core]; ok {
+				commits = append(commits, e.Cycle-c)
+				delete(txStart, e.Core)
+			}
+		case KTxAbort:
+			delete(txStart, e.Core)
+		case KLazyDrainStart:
+			lazyStart[e.Core] = e.Cycle
+		case KLazyDrainEnd:
+			if c, ok := lazyStart[e.Core]; ok {
+				lazies = append(lazies, e.Cycle-c)
+				delete(lazyStart, e.Core)
+			}
+		}
+	}
+	s.Commits = len(commits)
+	s.CommitP50, s.CommitP95, s.CommitP99 = percentiles(commits)
+	s.LazyDrains = len(lazies)
+	s.LazyP50, s.LazyP95, s.LazyP99 = percentiles(lazies)
+	return s
+}
+
+// percentiles returns the p50/p95/p99 of xs by nearest-rank on the
+// sorted sample (0s for an empty sample). xs is sorted in place.
+func percentiles(xs []uint64) (p50, p95, p99 uint64) {
+	if len(xs) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	at := func(q int) uint64 { return xs[(q*len(xs)+99)/100-1] }
+	return at(50), at(95), at(99)
+}
+
+// String renders the summary as one report line per histogram.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "commit latency (cycles): p50=%d p95=%d p99=%d over %d commits\n",
+		s.CommitP50, s.CommitP95, s.CommitP99, s.Commits)
+	if s.LazyDrains > 0 {
+		fmt.Fprintf(&b, "lazy-drain latency (cycles): p50=%d p95=%d p99=%d over %d drains\n",
+			s.LazyP50, s.LazyP95, s.LazyP99, s.LazyDrains)
+	}
+	if s.Dropped > 0 {
+		fmt.Fprintf(&b, "(ring overflow: %d events dropped; histograms cover the tail)\n",
+			s.Dropped)
+	}
+	return b.String()
+}
+
+// WPQBucket is one time bucket of the WPQ-occupancy/stall series.
+type WPQBucket struct {
+	StartCycle, EndCycle uint64
+	// OccMax and OccAvg are the maximum and mean occupancy (bytes)
+	// over the bucket's enqueue/drain samples.
+	OccMax, OccAvg uint64
+	// StallCycles sums the WPQ-full stalls charged inside the bucket.
+	StallCycles uint64
+	Enqueues    uint64
+	Drains      uint64
+}
+
+// WPQSeries is the time-bucketed WPQ activity of one run.
+type WPQSeries struct {
+	Buckets []WPQBucket
+}
+
+// BucketWPQ folds the WPQ events into n equal time buckets spanning
+// the trace's WPQ activity. Returns nil if the trace holds no WPQ
+// events.
+func BucketWPQ(events []Event, n int) *WPQSeries {
+	if n <= 0 {
+		n = 16
+	}
+	lo, hi := uint64(0), uint64(0)
+	seen := false
+	for _, e := range events {
+		switch e.Kind {
+		case KWPQEnqueue, KWPQDrain, KWPQStall:
+			if !seen || e.Cycle < lo {
+				lo = e.Cycle
+			}
+			if e.Cycle > hi {
+				hi = e.Cycle
+			}
+			seen = true
+		}
+	}
+	if !seen {
+		return nil
+	}
+	width := (hi - lo + uint64(n)) / uint64(n) // ceil so hi lands in the last bucket
+	if width == 0 {
+		width = 1
+	}
+	buckets := make([]WPQBucket, n)
+	sums := make([]uint64, n)
+	samples := make([]uint64, n)
+	for i := range buckets {
+		buckets[i].StartCycle = lo + uint64(i)*width
+		buckets[i].EndCycle = lo + uint64(i+1)*width
+	}
+	for _, e := range events {
+		var i int
+		switch e.Kind {
+		case KWPQEnqueue, KWPQDrain, KWPQStall:
+			i = int((e.Cycle - lo) / width)
+			if i >= n {
+				i = n - 1
+			}
+		default:
+			continue
+		}
+		b := &buckets[i]
+		switch e.Kind {
+		case KWPQEnqueue:
+			b.Enqueues++
+		case KWPQDrain:
+			b.Drains++
+		case KWPQStall:
+			b.StallCycles += e.Arg
+			continue
+		}
+		if e.Arg > b.OccMax {
+			b.OccMax = e.Arg
+		}
+		sums[i] += e.Arg
+		samples[i]++
+	}
+	for i := range buckets {
+		if samples[i] > 0 {
+			buckets[i].OccAvg = sums[i] / samples[i]
+		}
+	}
+	return &WPQSeries{Buckets: buckets}
+}
+
+// String renders the series as an aligned text table.
+func (s *WPQSeries) String() string {
+	if s == nil || len(s.Buckets) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s  %9s  %9s  %12s  %8s  %8s\n",
+		"cycles", "occ.max", "occ.avg", "stall.cycles", "enqueues", "drains")
+	for _, bk := range s.Buckets {
+		fmt.Fprintf(&b, "%-22s  %9d  %9d  %12d  %8d  %8d\n",
+			fmt.Sprintf("[%d,%d)", bk.StartCycle, bk.EndCycle),
+			bk.OccMax, bk.OccAvg, bk.StallCycles, bk.Enqueues, bk.Drains)
+	}
+	return b.String()
+}

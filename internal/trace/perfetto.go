@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PerfettoOptions parameterizes the Chrome/Perfetto trace_event export.
+type PerfettoOptions struct {
+	// CyclesPerUs converts simulated cycles to trace microseconds.
+	// 0 selects 2000 (the platform's 2 GHz clock).
+	CyclesPerUs float64
+}
+
+// pfEvent is one Chrome trace_event entry. Span events use Ph "X"
+// (complete: ts+dur), instants "i", counters "C", metadata "M".
+type pfEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// pfDoc is the top-level trace document.
+type pfDoc struct {
+	TraceEvents     []pfEvent `json:"traceEvents"`
+	DisplayTimeUnit string    `json:"displayTimeUnit"`
+}
+
+// Track layout: one process for the machine; thread tid = core ID + 1
+// for each core's events; the WPQ occupancy counter lives on the
+// process track.
+const (
+	pfPid    = 1
+	wpqTrack = "WPQ occupancy (bytes)"
+)
+
+// WritePerfetto renders events as Chrome trace_event JSON loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing: per-core tracks with
+// transaction/commit/lazy-drain spans and instant events, plus a WPQ
+// occupancy counter track reconstructed from the enqueue/drain stream.
+func WritePerfetto(w io.Writer, events []Event, opts PerfettoOptions) error {
+	cyclesPerUs := opts.CyclesPerUs
+	if cyclesPerUs <= 0 {
+		cyclesPerUs = 2000
+	}
+	ts := func(cycle uint64) float64 { return float64(cycle) / cyclesPerUs }
+
+	// Sort by cycle (stable: emission order breaks ties) so span pairing
+	// and the counter series are chronological.
+	evs := make([]Event, len(events))
+	copy(evs, events)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Cycle < evs[j].Cycle })
+
+	doc := pfDoc{DisplayTimeUnit: "ms"}
+	doc.TraceEvents = append(doc.TraceEvents, pfEvent{
+		Name: "process_name", Ph: "M", Pid: pfPid,
+		Args: map[string]any{"name": "slpmt machine"},
+	})
+
+	// Span pairing state, per core. Lazy-drain sections do not nest and
+	// transaction/commit spans match on the sequence number; ring
+	// overflow can orphan a start or an end — unmatched ends are
+	// dropped, unmatched starts are closed at the last event's cycle.
+	type open struct {
+		cycle uint64
+		arg   uint64
+	}
+	txOpen := map[uint8]open{}
+	commitOpen := map[uint8]open{}
+	lazyOpen := map[uint8]open{}
+	coresSeen := map[uint8]bool{}
+	lastCycle := uint64(0)
+
+	span := func(core uint8, name, cat string, from, to uint64, args map[string]any) {
+		doc.TraceEvents = append(doc.TraceEvents, pfEvent{
+			Name: name, Cat: cat, Ph: "X",
+			Ts: ts(from), Dur: ts(to) - ts(from),
+			Pid: pfPid, Tid: int(core) + 1, Args: args,
+		})
+	}
+	instant := func(e Event, name, cat string, args map[string]any) {
+		doc.TraceEvents = append(doc.TraceEvents, pfEvent{
+			Name: name, Cat: cat, Ph: "i", Ts: ts(e.Cycle),
+			Pid: pfPid, Tid: int(e.Core) + 1, S: "t", Args: args,
+		})
+	}
+
+	for _, e := range evs {
+		coresSeen[e.Core] = true
+		if e.Cycle > lastCycle {
+			lastCycle = e.Cycle
+		}
+		switch e.Kind {
+		case KTxBegin:
+			txOpen[e.Core] = open{e.Cycle, e.Arg}
+		case KCommitStart:
+			commitOpen[e.Core] = open{e.Cycle, e.Arg}
+		case KTxCommit, KTxAbort:
+			if o, ok := commitOpen[e.Core]; ok && e.Kind == KTxCommit {
+				span(e.Core, "commit", "tx", o.cycle, e.Cycle,
+					map[string]any{"seq": o.arg})
+			}
+			delete(commitOpen, e.Core)
+			if o, ok := txOpen[e.Core]; ok {
+				name := fmt.Sprintf("tx %d", o.arg)
+				args := map[string]any{"seq": o.arg}
+				if e.Kind == KTxAbort {
+					args["aborted"] = true
+				}
+				span(e.Core, name, "tx", o.cycle, e.Cycle, args)
+				delete(txOpen, e.Core)
+			}
+		case KLazyDrainStart:
+			lazyOpen[e.Core] = open{e.Cycle, e.Arg}
+		case KLazyDrainEnd:
+			if o, ok := lazyOpen[e.Core]; ok {
+				span(e.Core, "lazy drain", "lazy", o.cycle, e.Cycle,
+					map[string]any{"retained_txns": o.arg})
+				delete(lazyOpen, e.Core)
+			}
+		case KStore, KStoreT, KLogAppend:
+			instant(e, e.Kind.String(), "mem",
+				map[string]any{"addr": e.Addr, "bytes": e.Arg})
+		case KCacheMiss, KCacheEvict:
+			instant(e, e.Kind.String(), "cache",
+				map[string]any{"addr": e.Addr, "level": e.Arg})
+		case KCohSnoop, KCohInval, KCohDowngrade, KCohWriteback:
+			instant(e, e.Kind.String(), "coh", map[string]any{"addr": e.Addr})
+		case KWPQEnqueue, KWPQDrain:
+			doc.TraceEvents = append(doc.TraceEvents, pfEvent{
+				Name: wpqTrack, Ph: "C", Ts: ts(e.Cycle), Pid: pfPid,
+				Args: map[string]any{"bytes": e.Arg},
+			})
+		case KWPQStall:
+			instant(e, "wpq.stall", "wpq",
+				map[string]any{"addr": e.Addr, "stall_cycles": e.Arg})
+		}
+	}
+	// Close spans the ring's tail cut off.
+	for core, o := range txOpen {
+		span(core, fmt.Sprintf("tx %d", o.arg), "tx", o.cycle, lastCycle,
+			map[string]any{"seq": o.arg, "truncated": true})
+	}
+	for core, o := range lazyOpen {
+		span(core, "lazy drain", "lazy", o.cycle, lastCycle,
+			map[string]any{"retained_txns": o.arg, "truncated": true})
+	}
+
+	// Thread names, in core order for a stable document.
+	cores := make([]int, 0, len(coresSeen))
+	for c := range coresSeen {
+		cores = append(cores, int(c))
+	}
+	sort.Ints(cores)
+	for _, c := range cores {
+		doc.TraceEvents = append(doc.TraceEvents, pfEvent{
+			Name: "thread_name", Ph: "M", Pid: pfPid, Tid: c + 1,
+			Args: map[string]any{"name": fmt.Sprintf("core %d", c)},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// decodePerfetto unmarshals an exported document for schema checks.
+func decodePerfetto(t *testing.T, data []byte) (events []map[string]any) {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	raw, ok := doc["traceEvents"].([]any)
+	if !ok {
+		t.Fatal("document missing traceEvents array")
+	}
+	for i, r := range raw {
+		m, ok := r.(map[string]any)
+		if !ok {
+			t.Fatalf("traceEvents[%d] is not an object", i)
+		}
+		events = append(events, m)
+	}
+	return events
+}
+
+func TestPerfettoSchema(t *testing.T) {
+	evs := []Event{
+		{Cycle: 0, Kind: KTxBegin, Core: 0, Arg: 1},
+		{Cycle: 10, Kind: KStore, Core: 0, Addr: 0x1000, Arg: 8},
+		{Cycle: 20, Kind: KCommitStart, Core: 0, Arg: 1},
+		{Cycle: 30, Kind: KWPQEnqueue, Core: 0, Addr: 0x1000, Arg: 64},
+		{Cycle: 40, Kind: KTxCommit, Core: 0, Arg: 1},
+		{Cycle: 15, Kind: KTxBegin, Core: 1, Arg: 2},
+		{Cycle: 45, Kind: KWPQDrain, Core: 1, Arg: 0},
+		{Cycle: 50, Kind: KTxCommit, Core: 1, Arg: 2},
+	}
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, evs, PerfettoOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := decodePerfetto(t, buf.Bytes())
+
+	threads := map[float64]string{}
+	counterSamples := 0
+	txSpans := 0
+	for _, m := range out {
+		ph, _ := m["ph"].(string)
+		switch ph {
+		case "M":
+			if m["name"] == "thread_name" {
+				args := m["args"].(map[string]any)
+				threads[m["tid"].(float64)] = args["name"].(string)
+			}
+		case "C":
+			if m["name"] != wpqTrack {
+				t.Errorf("unexpected counter track %v", m["name"])
+			}
+			args := m["args"].(map[string]any)
+			if _, ok := args["bytes"]; !ok {
+				t.Error("counter sample missing bytes arg")
+			}
+			counterSamples++
+		case "X":
+			if m["cat"] == "tx" {
+				txSpans++
+			}
+			if _, ok := m["ts"].(float64); !ok {
+				t.Error("span missing ts")
+			}
+		}
+	}
+	if threads[1] != "core 0" || threads[2] != "core 1" {
+		t.Fatalf("per-core tracks missing: %v", threads)
+	}
+	if counterSamples != 2 {
+		t.Fatalf("WPQ counter samples = %d, want 2", counterSamples)
+	}
+	// One tx span per core plus one commit sub-span (core 0).
+	if txSpans != 3 {
+		t.Fatalf("tx spans = %d, want 3", txSpans)
+	}
+}
+
+func TestPerfettoTimeConversion(t *testing.T) {
+	evs := []Event{
+		{Cycle: 0, Kind: KTxBegin, Core: 0, Arg: 1},
+		{Cycle: 4000, Kind: KTxCommit, Core: 0, Arg: 1},
+	}
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, evs, PerfettoOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range decodePerfetto(t, buf.Bytes()) {
+		if m["ph"] == "X" && m["cat"] == "tx" {
+			// 4000 cycles at 2 GHz = 2 µs.
+			if dur := m["dur"].(float64); dur != 2 {
+				t.Fatalf("dur = %v µs, want 2", dur)
+			}
+			return
+		}
+	}
+	t.Fatal("no tx span exported")
+}
+
+func TestPerfettoClosesTruncatedSpans(t *testing.T) {
+	evs := []Event{
+		{Cycle: 100, Kind: KTxBegin, Core: 0, Arg: 9},
+		{Cycle: 200, Kind: KStore, Core: 0, Addr: 1, Arg: 8},
+	}
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, evs, PerfettoOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range decodePerfetto(t, buf.Bytes()) {
+		if m["ph"] == "X" {
+			args := m["args"].(map[string]any)
+			if args["truncated"] == true {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("orphaned tx begin must close as a truncated span")
+	}
+}

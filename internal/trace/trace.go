@@ -1,0 +1,282 @@
+// Package trace is the simulator's cycle-level event tracer: a
+// preallocated ring buffer of fixed-width binary records stamped with
+// the emitting core and its simulated cycle. It is the observability
+// layer under every profiling consumer — the Perfetto exporter
+// (perfetto.go) and the interval-metrics reducer (metrics.go).
+//
+// Overhead contract. Tracing must never perturb the simulation: the
+// tracer only observes (it reads clocks, never advances them), so a
+// traced run produces bit-identical cycles and counters to an untraced
+// one. The disabled path is a nil-receiver fast path — every
+// instrumentation site calls Emit on a possibly-nil *Tracer, and the
+// method returns after a single branch, with zero allocations (see
+// bench_test.go for the enforcement). Golden outputs therefore stay
+// byte-identical when no tracer is attached.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Kind identifies an event class.
+type Kind uint8
+
+// Event kinds. Arg semantics per kind are noted on the right.
+const (
+	KNone           Kind = iota
+	KTxBegin             // arg = transaction sequence number
+	KCommitStart         // arg = transaction sequence number
+	KTxCommit            // arg = transaction sequence number
+	KTxAbort             // arg = transaction sequence number
+	KStore               // addr, arg = store size in bytes
+	KStoreT              // addr, arg = store size in bytes
+	KLogAppend           // addr = logged word/line, arg = payload bytes
+	KLazyDrainStart      // arg = retained transactions drained
+	KLazyDrainEnd        // arg = retained transactions drained
+	KCacheMiss           // addr = line, arg = serving level (2=L2, 3=L3, 4=PM, 5=peer cache)
+	KCacheEvict          // addr = line, arg = level evicted from (2=L2->L3, 3=L3->PM)
+	KCohSnoop            // addr = line, arg = 1 for a write request
+	KCohInval            // addr = line (remote copy invalidated)
+	KCohDowngrade        // addr = line (remote copy downgraded to Shared)
+	KCohWriteback        // addr = line (dirty remote copy written back)
+	KWPQEnqueue          // addr, arg = WPQ occupancy in bytes after enqueue
+	KWPQDrain            // arg = WPQ occupancy in bytes after the drain
+	KWPQStall            // addr, arg = cycles stalled waiting for WPQ space
+	numKinds
+)
+
+// kindNames are the display names used by the exporters.
+var kindNames = [numKinds]string{
+	KNone:           "none",
+	KTxBegin:        "tx",
+	KCommitStart:    "commit",
+	KTxCommit:       "tx.commit",
+	KTxAbort:        "tx.abort",
+	KStore:          "store",
+	KStoreT:         "storeT",
+	KLogAppend:      "log.append",
+	KLazyDrainStart: "lazy.drain",
+	KLazyDrainEnd:   "lazy.drain.end",
+	KCacheMiss:      "cache.miss",
+	KCacheEvict:     "cache.evict",
+	KCohSnoop:       "coh.snoop",
+	KCohInval:       "coh.inval",
+	KCohDowngrade:   "coh.downgrade",
+	KCohWriteback:   "coh.writeback",
+	KWPQEnqueue:     "wpq.enqueue",
+	KWPQDrain:       "wpq.drain",
+	KWPQStall:       "wpq.stall",
+}
+
+// String returns the kind's display name.
+func (k Kind) String() string {
+	if k < numKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one fixed-width trace record.
+type Event struct {
+	Cycle uint64 // emitting core's simulated cycle
+	Addr  uint64 // simulated PM address, when meaningful
+	Arg   uint64 // kind-specific payload (see the Kind constants)
+	Kind  Kind
+	Core  uint8 // emitting core ID
+}
+
+// Mask builds a kind-filter bitmask accepting exactly the given kinds.
+func Mask(kinds ...Kind) uint64 {
+	var m uint64
+	for _, k := range kinds {
+		m |= 1 << uint(k)
+	}
+	return m
+}
+
+// AllKinds is the mask accepting every event kind.
+const AllKinds = ^uint64(0)
+
+// MetricsMask accepts only the kinds the interval-metrics reducer
+// consumes: transaction lifecycle, lazy-drain spans, and WPQ activity.
+// It keeps a metrics-only tracer small even on long runs by dropping
+// the high-rate per-access events (stores, cache, coherence).
+func MetricsMask() uint64 {
+	return Mask(KTxBegin, KCommitStart, KTxCommit, KTxAbort,
+		KLazyDrainStart, KLazyDrainEnd,
+		KWPQEnqueue, KWPQDrain, KWPQStall)
+}
+
+// Default ring capacities (events; one event is 32 bytes in memory).
+const (
+	// DefaultCapacity suits full-detail tracing of CLI-sized runs.
+	DefaultCapacity = 1 << 20
+	// MetricsCapacity suits the filtered metrics stream of one
+	// benchmark run.
+	MetricsCapacity = 1 << 17
+)
+
+// Tracer is a preallocated ring buffer of events. When the ring wraps,
+// the oldest events are overwritten and counted as dropped. A nil
+// *Tracer is valid and means "tracing disabled": every method is safe
+// to call and Emit returns after one branch. Not safe for concurrent
+// use (the simulator is single-threaded per machine).
+type Tracer struct {
+	buf     []Event
+	head    int // next slot to write
+	full    bool
+	dropped uint64
+	mask    uint64
+}
+
+// New returns a tracer with the given ring capacity (<= 0 selects
+// DefaultCapacity), accepting every kind.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{buf: make([]Event, capacity), mask: AllKinds}
+}
+
+// SetMask installs a kind filter (see Mask); events of masked-out kinds
+// are rejected in Emit's fast path.
+func (t *Tracer) SetMask(m uint64) { t.mask = m }
+
+// Emit records one event. The nil-receiver/mask check is the entire
+// disabled path; the record body lives in a separate method so this
+// one stays small enough to inline at every instrumentation site.
+func (t *Tracer) Emit(core uint8, cycle uint64, kind Kind, addr, arg uint64) {
+	if t == nil || t.mask&(1<<uint(kind)) == 0 {
+		return
+	}
+	t.record(core, cycle, kind, addr, arg)
+}
+
+// record writes the event into the ring, overwriting the oldest entry
+// when full.
+func (t *Tracer) record(core uint8, cycle uint64, kind Kind, addr, arg uint64) {
+	if t.full {
+		t.dropped++
+	}
+	t.buf[t.head] = Event{Cycle: cycle, Addr: addr, Arg: arg, Kind: kind, Core: core}
+	t.head++
+	if t.head == len(t.buf) {
+		t.head = 0
+		t.full = true
+	}
+}
+
+// Len returns the number of events currently held.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	if t.full {
+		return len(t.buf)
+	}
+	return t.head
+}
+
+// Dropped returns how many events were overwritten by ring wrap-around.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Events returns the held events oldest-first (a copy).
+func (t *Tracer) Events() []Event {
+	if t == nil || t.Len() == 0 {
+		return nil
+	}
+	out := make([]Event, 0, t.Len())
+	if t.full {
+		out = append(out, t.buf[t.head:]...)
+	}
+	return append(out, t.buf[:t.head]...)
+}
+
+// Reset discards every held event and the drop count, keeping the ring
+// and the mask. Harnesses call it at the measured-region boundary.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.head = 0
+	t.full = false
+	t.dropped = 0
+}
+
+// Binary stream format: an 8-byte magic, a little-endian uint64 event
+// count, then count fixed-width 26-byte records (cycle, addr, arg,
+// kind, core).
+const (
+	binMagic   = "SLPTRC01"
+	recordSize = 8 + 8 + 8 + 1 + 1
+)
+
+// WriteBinary serializes the held events (oldest-first) to w.
+func (t *Tracer) WriteBinary(w io.Writer) error {
+	return WriteBinary(w, t.Events())
+}
+
+// WriteBinary serializes events to w in the tracer's binary format.
+func WriteBinary(w io.Writer, events []Event) error {
+	var hdr [16]byte
+	copy(hdr[:8], binMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(events)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 64*recordSize)
+	for i, e := range events {
+		var rec [recordSize]byte
+		binary.LittleEndian.PutUint64(rec[0:], e.Cycle)
+		binary.LittleEndian.PutUint64(rec[8:], e.Addr)
+		binary.LittleEndian.PutUint64(rec[16:], e.Arg)
+		rec[24] = uint8(e.Kind)
+		rec[25] = e.Core
+		buf = append(buf, rec[:]...)
+		if len(buf) == cap(buf) || i == len(events)-1 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	return nil
+}
+
+// ReadBinary parses a binary trace stream produced by WriteBinary.
+func ReadBinary(r io.Reader) ([]Event, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if string(hdr[:8]) != binMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[:8])
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:])
+	const maxEvents = 1 << 28 // refuse absurd headers before allocating
+	if count > maxEvents {
+		return nil, fmt.Errorf("trace: unreasonable event count %d", count)
+	}
+	events := make([]Event, count)
+	var rec [recordSize]byte
+	for i := range events {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: short record %d: %w", i, err)
+		}
+		events[i] = Event{
+			Cycle: binary.LittleEndian.Uint64(rec[0:]),
+			Addr:  binary.LittleEndian.Uint64(rec[8:]),
+			Arg:   binary.LittleEndian.Uint64(rec[16:]),
+			Kind:  Kind(rec[24]),
+			Core:  rec[25],
+		}
+	}
+	return events, nil
+}

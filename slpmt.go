@@ -44,6 +44,7 @@ import (
 	"github.com/persistmem/slpmt/internal/pmem"
 	"github.com/persistmem/slpmt/internal/schemes"
 	"github.com/persistmem/slpmt/internal/stats"
+	"github.com/persistmem/slpmt/internal/trace"
 	"github.com/persistmem/slpmt/internal/txheap"
 )
 
@@ -84,6 +85,10 @@ type Options struct {
 	ComputeCyclesPerOp uint64
 	// AllocCycles is the modelled cost of a heap operation.
 	AllocCycles uint64
+	// Trace, when non-nil, attaches a cycle-level event tracer to the
+	// simulated machine (see internal/trace). Tracing is observation
+	// only: it never changes timing or counters.
+	Trace *trace.Tracer
 }
 
 // Schemes returns the available scheme names.
@@ -132,6 +137,9 @@ func (opts Options) resolve() (string, engine.Config, machine.Config) {
 	mc := opts.Machine
 	if opts.PMWriteNanos != 0 {
 		mc.PM.WriteCycles = opts.PMWriteNanos * pmem.CyclesPerNs
+	}
+	if opts.Trace != nil {
+		mc.Trace = opts.Trace
 	}
 	return name, cfg, mc
 }
