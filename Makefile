@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check bench microbench fmt vet
+.PHONY: all build test race check bench microbench fmt vet sanitize
 
 all: build
 
@@ -12,17 +12,29 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the packages that exercise the parallel
-# experiment runner.
+# Race-detector pass: full tests over the root package (cluster), the
+# bench harness, the machine, and the tracer, plus the targeted subset
+# that exercises the parallel experiment runner.
 race:
-	$(GO) test -race ./internal/bench/ ./internal/experiments/ \
+	$(GO) test -race . ./internal/bench/ ./internal/machine/ ./internal/trace/
+	$(GO) test -race ./internal/experiments/ \
 		./internal/recovery/ -run 'Parallel|ForEach|Grid|RunAll|Collector|Smoke'
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# Static analysis: go vet plus the repo's own analyzer suite
+# (determinism, noalloc + compiler escape cross-check, trace coverage;
+# see internal/analyze and cmd/slpmtvet).
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/slpmtvet
+
+# Replay a traced 2-core run through the persist-order sanitizer
+# (internal/trace/sanitize.go): log-before-data, commit-marker order,
+# WPQ FIFO, lazy-drain obligations. Zero violations required.
+sanitize:
+	$(GO) run ./cmd/slpmtbench -workload hashtable -cores 2 -n 300 -value 64 -sanitize
 
 # Full gate: formatting, vet, build, tests, race subset.
 check:

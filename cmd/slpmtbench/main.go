@@ -35,6 +35,16 @@
 // trace.ReadBinary):
 //
 //	slpmtbench -workload hashtable -cores 2 -trace out.json
+//
+// -sanitize runs one -workload/-scheme execution under the persist-order
+// sanitizer (trace.Sanitize): the run is traced with the sanitizer's
+// kind mask and the event stream is replayed against the paper's §III
+// ordering rules (log records durable before their data lines, commit
+// marker ordering per log mode, WPQ FIFO retirement, lazy-drain
+// completion before conflicting stores). Violations print to stdout and
+// make the command exit nonzero:
+//
+//	slpmtbench -workload hashtable -cores 2 -sanitize
 package main
 
 import (
@@ -74,14 +84,20 @@ func run() error {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 		tracePth = flag.String("trace", "", "trace one run of -workload/-scheme and export events to this path (.json = Perfetto, .bin = binary)")
-		workload = flag.String("workload", "hashtable", "workload for -trace mode")
-		scheme   = flag.String("scheme", "SLPMT", "scheme for -trace mode")
+		sanitize = flag.Bool("sanitize", false, "replay one run of -workload/-scheme through the persist-order sanitizer (exit nonzero on violations)")
+		workload = flag.String("workload", "hashtable", "workload for -trace/-sanitize mode")
+		scheme   = flag.String("scheme", "SLPMT", "scheme for -trace/-sanitize mode")
 	)
 	flag.Parse()
 
 	bench.SetParallelism(*parallel)
 	base := bench.RunConfig{N: *n, ValueSize: *value, Seed: *seed, Verify: true, Cores: *cores}
 
+	if *sanitize {
+		base.Scheme = *scheme
+		base.Workload = *workload
+		return runSanitized(os.Stdout, base)
+	}
 	if *tracePth != "" {
 		base.Scheme = *scheme
 		base.Workload = *workload
@@ -171,6 +187,41 @@ func runTraced(out io.Writer, cfg bench.RunConfig, path string) error {
 		return err
 	}
 	fmt.Fprintf(out, "\nwrote %s (%d events)\n", path, tr.Len())
+	return nil
+}
+
+// runSanitized executes one benchmark with a sanitizer-masked tracer
+// and replays the event stream through the persist-order checker. Any
+// violation (or a truncated stream, which would make the replay
+// unsound) is an error.
+func runSanitized(out io.Writer, cfg bench.RunConfig) error {
+	tr := trace.New(trace.DefaultCapacity)
+	tr.SetMask(trace.SanitizeMask())
+	cfg.Trace = tr
+	r := bench.Run(cfg)
+	if r.VerifyErr != nil {
+		return fmt.Errorf("%s/%s failed verification: %v", cfg.Scheme, cfg.Workload, r.VerifyErr)
+	}
+
+	rep := trace.Sanitize(tr.Events(), tr.Dropped())
+	cores := cfg.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	fmt.Fprintf(out, "sanitized run: %s/%s n=%d value=%dB cores=%d seed=%d\n",
+		cfg.Scheme, cfg.Workload, r.N, r.ValueSize, cores, cfg.Seed)
+	fmt.Fprintf(out, "events: %d replayed, %d transactions, %d aborts\n",
+		rep.Events, rep.Transactions, rep.Aborts)
+	if rep.Truncated {
+		return fmt.Errorf("trace ring overflowed (%d events dropped); the replay is unsound — reduce -n", tr.Dropped())
+	}
+	if !rep.Clean() {
+		for _, v := range rep.Violations {
+			fmt.Fprintf(out, "violation: %s\n", v)
+		}
+		return fmt.Errorf("%d persist-order violations", rep.Total)
+	}
+	fmt.Fprintln(out, "persist-order sanitizer: 0 violations")
 	return nil
 }
 

@@ -1,0 +1,72 @@
+// Command slpmtvet runs the simulator's custom static-analysis suite
+// (internal/analyze) over the module in the current directory:
+//
+//   - determinism: no wall-clock reads, global math/rand, goroutine
+//     spawns/selects, or unsorted map iteration in simulator-core
+//     packages (internal/{engine,machine,cache,pmem,bench,experiments})
+//   - noalloc: //slpmt:noalloc-annotated functions contain no
+//     allocation sites (make/new/append/closures/literals/boxing)
+//   - noalloc-escape: the compiler's own -gcflags=-m escape analysis
+//     agrees nothing heap-allocates inside annotated functions
+//   - trace-coverage: every trace.Kind is emitted, named, and
+//     Perfetto-mapped; every stats.Counters field has a canonical row
+//
+// Usage:
+//
+//	slpmtvet [-escape=false] [packages...]
+//
+// With no package patterns, ./... is analyzed. Exits 1 if any
+// diagnostic survives (findings are waivable line-by-line with
+// //slpmt:<analyzer>-ok <reason> comments). Run it via `make vet`,
+// which also runs go vet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/persistmem/slpmt/internal/analyze"
+)
+
+func main() {
+	escape := flag.Bool("escape", true, "cross-check //slpmt:noalloc functions against go build -gcflags=-m")
+	flag.Parse()
+
+	patterns := flag.Args()
+	dir, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	m, err := analyze.Load(dir, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	diags := analyze.Run(m,
+		[]*analyze.Analyzer{analyze.Determinism, analyze.Noalloc},
+		[]*analyze.ModuleAnalyzer{analyze.TraceCoverage},
+		analyze.Options{},
+	)
+	if *escape {
+		esc, err := analyze.CheckEscapes(m, patterns...)
+		if err != nil {
+			fatal(err)
+		}
+		diags = append(diags, esc...)
+	}
+
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "slpmtvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+	fmt.Println("slpmtvet: ok")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "slpmtvet:", err)
+	os.Exit(2)
+}

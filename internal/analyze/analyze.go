@@ -1,0 +1,136 @@
+// Package analyze is the simulator's custom static-analysis suite: a
+// hand-rolled go/analysis-style driver (stdlib go/ast + go/types only,
+// per the repo's zero-dependency rule) with passes enforcing the
+// contracts the figures depend on — deterministic replay, zero-alloc
+// hot paths, and complete trace/stats plumbing. cmd/slpmtvet runs the
+// suite over the module; the golden-file fixtures under testdata/src
+// pin each pass's diagnostics.
+//
+// Findings can be waived at a specific line with a directive comment
+//
+//	//slpmt:<analyzer>-ok <reason>
+//
+// placed on the flagged line or the line directly above it. The reason
+// is free text but should say why the construct is safe (for the
+// determinism pass, typically "collected keys are sorted below").
+package analyze
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is a per-package pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// AppliesTo filters packages by import path; nil applies the pass to
+	// every module package.
+	AppliesTo func(pkgPath string) bool
+	Run       func(*Pass)
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Module   *Module
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless a suppression directive for
+// this analyzer covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Module.Fset.Position(pos)
+	if p.Module.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ModuleAnalyzer is a whole-module pass: it sees every package at once
+// (the trace-coverage pass matches constants declared in one package
+// against call sites in all the others).
+type ModuleAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(*ModulePass)
+}
+
+// ModulePass is a module analyzer's view of the loaded module.
+type ModulePass struct {
+	Analyzer *ModuleAnalyzer
+	Module   *Module
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless a suppression directive for
+// this analyzer covers the line.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Module.Fset.Position(pos)
+	if p.Module.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Options adjusts a driver run.
+type Options struct {
+	// AllPackages ignores the analyzers' AppliesTo filters — the fixture
+	// tests use it, since fixture packages live under a synthetic module
+	// path that no production filter matches.
+	AllPackages bool
+}
+
+// Run executes the per-package and module passes over m and returns the
+// surviving diagnostics in stable (position, analyzer) order.
+func Run(m *Module, pkgAnalyzers []*Analyzer, modAnalyzers []*ModuleAnalyzer, opts Options) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range pkgAnalyzers {
+		for _, pkg := range m.Packages {
+			if !opts.AllPackages && a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			a.Run(&Pass{Analyzer: a, Module: m, Pkg: pkg, diags: &diags})
+		}
+	}
+	for _, a := range modAnalyzers {
+		a.Run(&ModulePass{Analyzer: a, Module: m, diags: &diags})
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,102 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// simCorePackages are the import-path suffixes whose code feeds the
+// simulated clock, the counters, or the rendered results — where any
+// nondeterminism silently corrupts every figure.
+var simCorePackages = []string{
+	"internal/engine",
+	"internal/machine",
+	"internal/cache",
+	"internal/pmem",
+	"internal/bench",
+	"internal/experiments",
+}
+
+func inSimCore(path string) bool {
+	for _, s := range simCorePackages {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// wallClockFuncs are the package-time functions that read the host
+// clock. time.Duration arithmetic and the unit constants are fine.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// globalRandAllowed are the math/rand package-level functions that do
+// NOT touch the shared global source: constructors for explicitly
+// seeded generators, which are deterministic by construction.
+var globalRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Determinism forbids the constructs that make a simulation run depend
+// on anything but its inputs: host-clock reads, the globally seeded
+// math/rand source, goroutine spawns and selects (scheduling order),
+// and iteration over maps (randomized order) — the last waivable with
+// //slpmt:determinism-ok when the loop's effect is order-independent
+// or the collected keys are sorted before use.
+var Determinism = &Analyzer{
+	Name:      "determinism",
+	Doc:       "forbid wall-clock reads, global math/rand, goroutine scheduling, and unsorted map iteration in simulator-core packages",
+	AppliesTo: inSimCore,
+	Run:       runDeterminism,
+}
+
+func runDeterminism(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkPkgFuncUse(p, n)
+			case *ast.GoStmt:
+				p.Reportf(n.Pos(), "go statement: goroutine scheduling is not deterministic; keep simulator work single-threaded or waive with //slpmt:determinism-ok and a sorting/merging argument")
+			case *ast.SelectStmt:
+				p.Reportf(n.Pos(), "select statement: case choice depends on goroutine scheduling")
+			case *ast.RangeStmt:
+				if t := p.Pkg.Info.Types[n.X].Type; t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						p.Reportf(n.Pos(), "range over map: iteration order is randomized; sort the keys first or waive with //slpmt:determinism-ok if the loop is order-independent")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkPkgFuncUse flags selector references to wall-clock time
+// functions and to math/rand's global-source functions.
+func checkPkgFuncUse(p *Pass, sel *ast.SelectorExpr) {
+	obj := p.Pkg.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. on *rand.Rand or time.Duration) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			p.Reportf(sel.Pos(), "time.%s reads the host clock; simulated time must come from the machine's cycle counters", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !globalRandAllowed[fn.Name()] {
+			p.Reportf(sel.Pos(), "%s.%s uses the global random source; construct a seeded *rand.Rand instead", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package analyze
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// FuncRange is the source extent of one //slpmt:noalloc function, used
+// to attribute compiler escape-analysis output.
+type FuncRange struct {
+	File      string // absolute path
+	Name      string
+	StartLine int
+	EndLine   int
+}
+
+// NoallocRanges collects the extents of every annotated function in the
+// module.
+func NoallocRanges(m *Module) []FuncRange {
+	var out []FuncRange
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !noallocAnnotated(fd) {
+					continue
+				}
+				start := m.Fset.Position(fd.Pos())
+				end := m.Fset.Position(fd.End())
+				out = append(out, FuncRange{
+					File:      start.Filename,
+					Name:      fd.Name.Name,
+					StartLine: start.Line,
+					EndLine:   end.Line,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// escapeLineRe matches one `file:line:col: message` compiler diagnostic.
+var escapeLineRe = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// CheckEscapes cross-checks the static noalloc pass against the
+// compiler's actual escape analysis: it rebuilds the module with
+// -gcflags=-m (the build cache replays the diagnostics on unchanged
+// packages, so repeated runs are cheap) and reports any value the
+// compiler heap-allocates inside an annotated function's extent. This
+// catches what syntax cannot — a value the analyzer thinks is fine but
+// the compiler decides must escape.
+func CheckEscapes(m *Module, patterns ...string) ([]Diagnostic, error) {
+	ranges := NoallocRanges(m)
+	if len(ranges) == 0 {
+		return nil, nil
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = m.Dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out.String())
+	}
+
+	var diags []Diagnostic
+	for _, line := range strings.Split(out.String(), "\n") {
+		sub := escapeLineRe.FindStringSubmatch(line)
+		if sub == nil {
+			continue
+		}
+		msg := sub[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := sub[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(m.Dir, file)
+		}
+		ln, _ := strconv.Atoi(sub[2])
+		col, _ := strconv.Atoi(sub[3])
+		pos := token.Position{Filename: file, Line: ln, Column: col}
+		if m.suppressed("noalloc-escape", pos) {
+			continue
+		}
+		for _, r := range ranges {
+			if r.File == file && ln >= r.StartLine && ln <= r.EndLine {
+				diags = append(diags, Diagnostic{
+					Pos:      pos,
+					Analyzer: "noalloc-escape",
+					Message:  fmt.Sprintf("%s is //slpmt:noalloc but the compiler reports: %s", r.Name, msg),
+				})
+			}
+		}
+	}
+	return diags, nil
+}

@@ -1,0 +1,223 @@
+package analyze
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// Module is a loaded, type-checked module: every package matched by the
+// load patterns (plus their in-module dependencies), parsed from source
+// with comments, over one shared FileSet. Out-of-module dependencies
+// are satisfied from the compiler's export data, so loading needs no
+// third-party machinery — just the go tool that built the tree.
+type Module struct {
+	Dir  string // module root directory
+	Path string // module path (go.mod)
+	Fset *token.FileSet
+
+	Packages []*Package
+	byPath   map[string]*Package
+
+	// suppress maps file -> line -> analyzer names waived on that line
+	// by //slpmt:<name>-ok directives.
+	suppress map[string]map[int]map[string]bool
+}
+
+// Package is one type-checked module package.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Lookup returns the loaded package with the exact import path.
+func (m *Module) Lookup(path string) *Package { return m.byPath[path] }
+
+// LookupSuffix returns the loaded package whose import path ends with
+// the given suffix ("internal/trace" works for the real module and the
+// fixture module alike).
+func (m *Module) LookupSuffix(suffix string) *Package {
+	for _, p := range m.Packages {
+		if p.Path == suffix || strings.HasSuffix(p.Path, "/"+suffix) {
+			return p
+		}
+	}
+	return nil
+}
+
+// suppressed reports whether a //slpmt:<name>-ok directive covers the
+// position: on the same line (trailing comment) or the line above.
+func (m *Module) suppressed(analyzer string, pos token.Position) bool {
+	lines := m.suppress[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer]
+}
+
+var directiveRe = regexp.MustCompile(`^//slpmt:([a-z-]+)-ok(\s|$)`)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// Load runs `go list -export -deps -json patterns...` in dir and
+// type-checks every main-module package from source, in dependency
+// order (which `go list -deps` guarantees), against export data for
+// everything else. Cross-package type identity holds module-wide:
+// a module package importing another resolves to the source-checked
+// *types.Package, not a shadow loaded from export data.
+func Load(dir string, patterns ...string) (*Module, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	var pkgs []listPkg
+	exports := map[string]string{} // import path -> export data file
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	m := &Module{
+		Dir:      dir,
+		Fset:     token.NewFileSet(),
+		byPath:   map[string]*Package{},
+		suppress: map[string]map[int]map[string]bool{},
+	}
+
+	// The gc importer satisfies out-of-module imports from export data.
+	gcImp := importer.ForCompiler(m.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+	imp := &chainImporter{module: m, fallback: gcImp}
+
+	for _, p := range pkgs {
+		if p.Standard || p.Module == nil || !p.Module.Main {
+			continue
+		}
+		if m.Path == "" {
+			m.Path = p.Module.Path
+		}
+		if m.Dir == "" || dir == "" {
+			m.Dir = p.Dir
+		}
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			full := filepath.Join(p.Dir, name)
+			f, err := parser.ParseFile(m.Fset, full, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+			m.indexDirectives(full, f)
+		}
+		info := &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Defs:  map[*ast.Ident]types.Object{},
+			Uses:  map[*ast.Ident]types.Object{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, m.Fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+		}
+		pkg := &Package{Path: p.ImportPath, Dir: p.Dir, Files: files, Types: tpkg, Info: info}
+		m.Packages = append(m.Packages, pkg)
+		m.byPath[p.ImportPath] = pkg
+	}
+	if len(m.Packages) == 0 {
+		return nil, fmt.Errorf("no main-module packages matched %v in %s", patterns, dir)
+	}
+	return m, nil
+}
+
+// indexDirectives records every //slpmt:<name>-ok comment by file/line.
+func (m *Module) indexDirectives(filename string, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			sub := directiveRe.FindStringSubmatch(c.Text)
+			if sub == nil {
+				continue
+			}
+			line := m.Fset.Position(c.Pos()).Line
+			lines := m.suppress[filename]
+			if lines == nil {
+				lines = map[int]map[string]bool{}
+				m.suppress[filename] = lines
+			}
+			if lines[line] == nil {
+				lines[line] = map[string]bool{}
+			}
+			lines[line][sub[1]] = true
+		}
+	}
+}
+
+// chainImporter resolves module packages to their source-checked form
+// and everything else through the export-data importer.
+type chainImporter struct {
+	module   *Module
+	fallback types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p := c.module.byPath[path]; p != nil {
+		return p.Types, nil
+	}
+	return c.fallback.Import(path)
+}

@@ -1,0 +1,121 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Noalloc rejects allocation sites inside functions annotated
+// //slpmt:noalloc (the engine store path, trace.Emit, the WPQ enqueue
+// path — the per-operation hot loops whose zero-alloc property PR 1's
+// benchmarks enforce dynamically). The static pass catches the
+// introduction of make/new, growth-capable append, closures, slice/map
+// literals, and implicit interface boxing; the -gcflags=-m escape
+// cross-check (escape.go) confirms what the compiler actually decided.
+var Noalloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "reject allocation sites in //slpmt:noalloc-annotated functions",
+	Run:  runNoalloc,
+}
+
+// noallocAnnotated reports whether the function declaration carries the
+// //slpmt:noalloc annotation in its doc comment.
+func noallocAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == "//slpmt:noalloc" || strings.HasPrefix(c.Text, "//slpmt:noalloc ") {
+			return true
+		}
+	}
+	return false
+}
+
+func runNoalloc(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !noallocAnnotated(fd) {
+				continue
+			}
+			checkNoallocBody(p, fd)
+		}
+	}
+}
+
+func checkNoallocBody(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "%s is //slpmt:noalloc but contains a function literal (closure capture allocates)", fd.Name.Name)
+			return false // the literal's own body runs elsewhere
+		case *ast.CompositeLit:
+			if t := info.Types[n].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					p.Reportf(n.Pos(), "%s is //slpmt:noalloc but builds a %s literal", fd.Name.Name, t.Underlying())
+				}
+			}
+		case *ast.CallExpr:
+			checkNoallocCall(p, fd, n)
+		}
+		return true
+	})
+}
+
+func checkNoallocCall(p *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := p.Pkg.Info
+	// Builtins that allocate or may grow their operand.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				p.Reportf(call.Pos(), "%s is //slpmt:noalloc but calls %s", fd.Name.Name, b.Name())
+			case "append":
+				p.Reportf(call.Pos(), "%s is //slpmt:noalloc but calls append (growth reallocates)", fd.Name.Name)
+			}
+			return
+		}
+	}
+	// Conversions to an interface type box the operand.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if at := info.Types[call.Args[0]].Type; at != nil && !types.IsInterface(at) {
+				p.Reportf(call.Pos(), "%s is //slpmt:noalloc but converts %s to interface %s (boxing allocates)", fd.Name.Name, at, tv.Type)
+			}
+		}
+		return
+	}
+	// Implicit boxing at call boundaries: a concrete argument passed for
+	// an interface parameter (fmt-style APIs are the classic offender).
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && call.Ellipsis.IsValid() && i == len(call.Args)-1:
+			pt = params.At(params.Len() - 1).Type() // s... passes the slice itself
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		p.Reportf(arg.Pos(), "%s is //slpmt:noalloc but passes %s for interface parameter %s (boxing allocates)", fd.Name.Name, at, pt)
+	}
+}

@@ -1,0 +1,49 @@
+// Package determfix seeds one violation of every determinism rule,
+// plus the allowed forms next to each; the fixture test pins the
+// analyzer's findings line-for-line against the want comments.
+package determfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want "time.Now reads the host clock"
+	return time.Since(start) // want "time.Since reads the host clock"
+}
+
+func unitArithmetic(d time.Duration) time.Duration {
+	return d + 3*time.Millisecond // constants and Duration math are fine
+}
+
+func globalRand() int {
+	return rand.Intn(8) // want "rand.Intn uses the global random source"
+}
+
+func seededRand() int {
+	r := rand.New(rand.NewSource(1)) // explicit seed: deterministic
+	return r.Intn(8)
+}
+
+func spawn(ch chan int) {
+	go func() { ch <- 1 }() // want "go statement"
+	select {                // want "select statement"
+	case <-ch:
+	default:
+	}
+}
+
+func mapRange(m map[int]int) int {
+	s := 0
+	for _, v := range m { // want "range over map"
+		s += v
+	}
+	for k := range m { //slpmt:determinism-ok keys feed a commutative sum
+		s += k
+	}
+	for _, v := range []int{1, 2} { // slices iterate in order
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,13 @@
+// Package emitter exercises cross-package emit-site detection: the
+// trace-coverage pass must see these calls even though they are not in
+// the trace package itself.
+package emitter
+
+import "fixtures/internal/trace"
+
+// Run emits every kind that is supposed to have an emit site.
+func Run() {
+	trace.Emit(trace.KGood, 1)
+	trace.Emit(trace.KNoName, 2)
+	trace.Emit(trace.KNoPerfetto, 3)
+}

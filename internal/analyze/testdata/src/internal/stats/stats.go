@@ -1,0 +1,23 @@
+// Package stats is a miniature of the real stats package for the
+// trace-coverage counter-rows check: one field is missing its row.
+package stats
+
+// Counters is the fixture counter block.
+type Counters struct {
+	Loads  uint64
+	Stores uint64
+	Orphan uint64 // want "has no canonicalRows entry"
+}
+
+// Row is one rendered metric.
+type Row struct {
+	Name  string
+	Value uint64
+}
+
+func canonicalRows(c *Counters) []Row {
+	return []Row{
+		{"mem.loads", c.Loads},
+		{"mem.stores", c.Stores},
+	}
+}

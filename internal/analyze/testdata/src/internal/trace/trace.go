@@ -1,0 +1,40 @@
+// Package trace is a miniature of the real trace package — just enough
+// surface (Kind, kindNames, WritePerfetto) for the trace-coverage
+// analyzer — with one deliberate hole per coverage rule.
+package trace
+
+// Kind tags one event.
+type Kind uint8
+
+const (
+	KNone       Kind = iota // sentinel, exempt
+	KGood                   // emitted (by emitter), named, mapped
+	KNoEmit                 // want "has no emit site"
+	KNoName                 // want "has no kindNames entry"
+	KNoPerfetto             // want "not handled by the Perfetto exporter"
+)
+
+var kindNames = map[Kind]string{
+	KGood:       "good",
+	KNoEmit:     "noemit",
+	KNoPerfetto: "noperfetto",
+}
+
+// Name returns the display name.
+func (k Kind) Name() string { return kindNames[k] }
+
+// Emit records one event.
+func Emit(k Kind, arg uint64) {}
+
+// WritePerfetto renders one event kind.
+func WritePerfetto(k Kind) string {
+	switch k {
+	case KGood:
+		return "good"
+	case KNoEmit:
+		return "noemit"
+	case KNoName:
+		return "noname"
+	}
+	return ""
+}

@@ -1,0 +1,79 @@
+// Package noallocfix seeds one violation of every noalloc rule inside
+// //slpmt:noalloc-annotated functions, plus allocation-free shapes that
+// must stay silent.
+package noallocfix
+
+//slpmt:noalloc
+func makesSlice(n int) []byte {
+	return make([]byte, n) // want "calls make"
+}
+
+//slpmt:noalloc
+func news() *int {
+	return new(int) // want "calls new"
+}
+
+//slpmt:noalloc
+func appends(s []int, v int) []int {
+	return append(s, v) // want "calls append"
+}
+
+//slpmt:noalloc
+func closes(n int) func() int {
+	return func() int { return n } // want "function literal"
+}
+
+//slpmt:noalloc
+func sliceLit() []int {
+	return []int{1, 2, 3} // want "builds a []int literal"
+}
+
+//slpmt:noalloc
+func mapLit() map[int]int {
+	return map[int]int{1: 2} // want "builds a map[int]int literal"
+}
+
+//slpmt:noalloc
+func converts(n int) any {
+	return any(n) // want "converts int to interface"
+}
+
+func take(v any) {}
+
+func variadic(vs ...any) {}
+
+//slpmt:noalloc
+func passes(n int) {
+	take(n) // want "passes int for interface parameter"
+}
+
+//slpmt:noalloc
+func passesVariadic(n int) {
+	variadic(n) // want "passes int for interface parameter"
+}
+
+//slpmt:noalloc
+func passesSlice(vs []any) {
+	variadic(vs...) // forwarding the slice itself does not box
+}
+
+//slpmt:noalloc
+func passesNil() {
+	take(nil) // untyped nil needs no box
+}
+
+// fine is annotated and clean: no diagnostics expected.
+//
+//slpmt:noalloc
+func fine(s []byte) int {
+	t := 0
+	for _, b := range s {
+		t += int(b)
+	}
+	return t
+}
+
+// unannotated may allocate freely.
+func unannotated(n int) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,214 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TraceCoverage statically enforces the observability plumbing that PR
+// 3 checked with reflection at test time: every exported trace.Kind
+// constant must have at least one emit site somewhere in the module, a
+// display name in the kindNames table, and a case in the Perfetto
+// exporter's event switch; and every stats.Counters field must have a
+// canonical row so no counter silently vanishes from the reports.
+var TraceCoverage = &ModuleAnalyzer{
+	Name: "trace-coverage",
+	Doc:  "every trace.Kind emitted, named, and Perfetto-mapped; every stats.Counters field rendered",
+	Run:  runTraceCoverage,
+}
+
+func runTraceCoverage(p *ModulePass) {
+	checkKindCoverage(p)
+	checkCounterRows(p)
+}
+
+// kindConst describes one exported trace.Kind constant.
+type kindConst struct {
+	name string
+	obj  types.Object
+}
+
+func checkKindCoverage(p *ModulePass) {
+	tracePkg := p.Module.LookupSuffix("internal/trace")
+	if tracePkg == nil {
+		return // nothing to check (fixture modules without a trace package)
+	}
+	kindType, ok := tracePkg.Types.Scope().Lookup("Kind").(*types.TypeName)
+	if !ok {
+		return
+	}
+
+	// Exported Kind constants, except the explicit no-op sentinel.
+	var kinds []kindConst
+	scope := tracePkg.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || c.Name() == "KNone" {
+			continue
+		}
+		if types.Identical(c.Type(), kindType.Type()) {
+			kinds = append(kinds, kindConst{name: c.Name(), obj: c})
+		}
+	}
+	if len(kinds) == 0 {
+		return
+	}
+
+	// Emit sites: Kind constants appearing as arguments of any call to a
+	// function or method named Trace or Emit, anywhere in the module.
+	emitted := map[string]bool{}
+	for _, pkg := range p.Module.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name := calleeName(call); name != "Trace" && name != "Emit" {
+					return true
+				}
+				for _, arg := range call.Args {
+					if kn := kindRef(pkg.Info, tracePkg.Types, arg); kn != "" {
+						emitted[kn] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// kindNames entries (display names) and WritePerfetto case labels.
+	named := map[string]bool{}
+	mapped := map[string]bool{}
+	for _, f := range tracePkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ValueSpec:
+				for i, id := range n.Names {
+					if id.Name != "kindNames" || i >= len(n.Values) {
+						continue
+					}
+					cl, ok := n.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					for _, elt := range cl.Elts {
+						if kv, ok := elt.(*ast.KeyValueExpr); ok {
+							if kn := kindRef(tracePkg.Info, tracePkg.Types, kv.Key); kn != "" {
+								named[kn] = true
+							}
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if n.Name.Name != "WritePerfetto" || n.Body == nil {
+					return true
+				}
+				ast.Inspect(n.Body, func(m ast.Node) bool {
+					cc, ok := m.(*ast.CaseClause)
+					if !ok {
+						return true
+					}
+					for _, expr := range cc.List {
+						if kn := kindRef(tracePkg.Info, tracePkg.Types, expr); kn != "" {
+							mapped[kn] = true
+						}
+					}
+					return true
+				})
+				return false
+			}
+			return true
+		})
+	}
+
+	for _, k := range kinds {
+		if !emitted[k.name] {
+			p.Reportf(k.obj.Pos(), "trace kind %s has no emit site (no Trace/Emit call passes it)", k.name)
+		}
+		if !named[k.name] {
+			p.Reportf(k.obj.Pos(), "trace kind %s has no kindNames entry", k.name)
+		}
+		if !mapped[k.name] {
+			p.Reportf(k.obj.Pos(), "trace kind %s is not handled by the Perfetto exporter (no WritePerfetto case)", k.name)
+		}
+	}
+}
+
+// calleeName returns the called function or method's bare name.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// kindRef resolves expr to the name of an exported Kind constant of the
+// trace package, or "".
+func kindRef(info *types.Info, tracePkg *types.Package, expr ast.Expr) string {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	if !ok || c.Pkg() == nil || c.Pkg().Path() != tracePkg.Path() {
+		return ""
+	}
+	if named, ok := c.Type().(*types.Named); !ok || named.Obj().Name() != "Kind" {
+		return ""
+	}
+	return c.Name()
+}
+
+// checkCounterRows verifies canonicalRows renders every Counters field.
+func checkCounterRows(p *ModulePass) {
+	statsPkg := p.Module.LookupSuffix("internal/stats")
+	if statsPkg == nil {
+		return
+	}
+	ctrObj, ok := statsPkg.Types.Scope().Lookup("Counters").(*types.TypeName)
+	if !ok {
+		return
+	}
+	st, ok := ctrObj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+
+	// Fields referenced as selectors inside canonicalRows.
+	rendered := map[string]bool{}
+	for _, f := range statsPkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "canonicalRows" || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if sel, ok := n.(*ast.SelectorExpr); ok {
+					if v, ok := statsPkg.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+						rendered[v.Name()] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(rendered) == 0 {
+		p.Reportf(ctrObj.Pos(), "stats.canonicalRows not found or empty; every Counters field needs a canonical row")
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !rendered[f.Name()] {
+			p.Reportf(f.Pos(), "stats.Counters field %s has no canonicalRows entry (it would vanish from every report)", f.Name())
+		}
+	}
+}

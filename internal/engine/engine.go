@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"slices"
 
 	"github.com/persistmem/slpmt/internal/cache"
 	"github.com/persistmem/slpmt/internal/isa"
@@ -75,6 +76,27 @@ type Engine struct {
 	// arena resets at Begin instead of allocating per word.
 	scratch    []byte
 	scratchOff int
+
+	// lazyKeyBuf and wsKeyBuf are reusable scratch slices for iterating
+	// the per-transaction line maps in address order: map iteration
+	// order is randomized, and the persist sequence it would produce
+	// leaks into the event trace (WPQ enqueue addresses), breaking
+	// replay determinism. Two buffers because a commit walks the lazy
+	// set and the write set in overlapping scopes.
+	lazyKeyBuf []mem.Addr
+	wsKeyBuf   []mem.Addr
+}
+
+// sortedKeys collects m's line addresses into buf (reused across calls)
+// and returns them sorted, so map-backed persist loops run in a
+// deterministic address order.
+func sortedKeys[V any](buf []mem.Addr, m map[mem.Addr]V) []mem.Addr {
+	buf = buf[:0]
+	for la := range m { //slpmt:determinism-ok collected keys are sorted below
+		buf = append(buf, la)
+	}
+	slices.Sort(buf)
+	return buf
 }
 
 // New wires an engine to a machine. The machine's eviction hooks are
@@ -275,6 +297,8 @@ func (e *Engine) StoreU64(addr mem.Addr, v uint64, kind isa.Kind, attr isa.Attr)
 }
 
 // storeOne handles the part of a store that lies within one cache line.
+//
+//slpmt:noalloc
 func (e *Engine) storeOne(a mem.Addr, data []byte, bits isa.Bits) {
 	line := mem.LineAddr(a)
 	// Lazy-persistency conflict detection: before updating data in a
@@ -330,6 +354,8 @@ func (e *Engine) storeOne(a mem.Addr, data []byte, bits isa.Bits) {
 // words it touches (word granularity) or the whole line (line
 // granularity). Old values are captured before the store's data is
 // written.
+//
+//slpmt:noalloc
 func (e *Engine) logStore(l *cache.Line, a mem.Addr, size int) {
 	line := mem.LineAddr(a)
 	var mask uint8
@@ -343,7 +369,7 @@ func (e *Engine) logStore(l *cache.Line, a mem.Addr, size int) {
 		return
 	}
 	if e.cfg.Granularity == Line {
-		data := e.scratchBytes(mem.LineSize)
+		data := e.scratchBytes(mem.LineSize) //slpmt:noalloc-escape-ok arena growth is amortized; steady state reuses the block
 		e.m.ReadMem(line, data)
 		e.sink.add(logbuf.Record{Addr: line, Data: data})
 		e.m.Trace(trace.KLogAppend, line, mem.LineSize)
@@ -358,7 +384,7 @@ func (e *Engine) logStore(l *cache.Line, a mem.Addr, size int) {
 				continue
 			}
 			wa := line + mem.Addr(w*mem.WordSize)
-			data := e.scratchBytes(mem.WordSize)
+			data := e.scratchBytes(mem.WordSize) //slpmt:noalloc-escape-ok arena growth is amortized; steady state reuses the block
 			e.m.ReadMem(wa, data)
 			e.sink.add(logbuf.Record{Addr: wa, Data: data})
 			e.m.Trace(trace.KLogAppend, wa, mem.WordSize)
@@ -430,7 +456,8 @@ func (e *Engine) persistRetainedThrough(idx int) {
 	defer e.m.PopAsync()
 	for i := 0; i <= idx; i++ {
 		r := &e.retained[i]
-		for la := range r.lazy {
+		e.lazyKeyBuf = sortedKeys(e.lazyKeyBuf, r.lazy)
+		for _, la := range e.lazyKeyBuf {
 			if e.m.PersistLine(la) {
 				e.m.Stats.LazyLinePersists++
 			} else {
@@ -570,7 +597,8 @@ func (e *Engine) Commit() {
 	// Discard buffered records belonging to lazily persistent lines
 	// (§III-B2): their data will not persist at commit, so an undo
 	// record for them is unnecessary — the data is recoverable anyway.
-	for la := range e.cur.lazyLines {
+	e.lazyKeyBuf = sortedKeys(e.lazyKeyBuf, e.cur.lazyLines)
+	for _, la := range e.lazyKeyBuf {
 		if n := e.sink.discardLine(la); n > 0 {
 			e.m.Stats.LogRecordsDiscarded += uint64(n)
 		}
@@ -585,6 +613,11 @@ func (e *Engine) Commit() {
 	// it from the recycle pool.
 	if len(e.cur.lazyLines) > 0 {
 		e.m.Stats.LazyLinesDeferred += uint64(len(e.cur.lazyLines))
+		// lazyKeyBuf still holds the sorted lazy set from the discard
+		// walk above (the commit stages do not touch it).
+		for _, la := range e.lazyKeyBuf {
+			e.m.Trace(trace.KLazyDefer, la, e.cur.seq)
+		}
 		e.retained = append(e.retained, retainedTx{
 			id:   e.cur.id,
 			seq:  e.cur.seq,
@@ -636,8 +669,9 @@ func (e *Engine) commitUndo() {
 // commitRedo: log-free lines -> logs -> commit record -> logged lines.
 func (e *Engine) commitRedo() {
 	// 1. Log-free lines must reach PM before the logged data (Fig. 4).
-	for la, cls := range e.cur.writeLines {
-		if cls&wsLogged != 0 {
+	e.wsKeyBuf = sortedKeys(e.wsKeyBuf, e.cur.writeLines)
+	for _, la := range e.wsKeyBuf {
+		if e.cur.writeLines[la]&wsLogged != 0 {
 			continue
 		}
 		if _, lazy := e.cur.lazyLines[la]; lazy {
@@ -653,9 +687,10 @@ func (e *Engine) commitRedo() {
 	e.m.PopStream()
 	e.m.AckBarrier()
 	e.writeCommitMarker()
-	// 3. Logged data lines (in-place update is now safe).
-	for la, cls := range e.cur.writeLines {
-		if cls&wsLogged == 0 {
+	// 3. Logged data lines (in-place update is now safe; wsKeyBuf still
+	// holds the sorted write set from stage 1).
+	for _, la := range e.wsKeyBuf {
+		if e.cur.writeLines[la]&wsLogged == 0 {
 			continue
 		}
 		if _, lazy := e.cur.lazyLines[la]; lazy {
@@ -717,6 +752,8 @@ func (e *Engine) writeCommitMarker() {
 		Mode:      mode,
 		Watermark: e.w.nextOff,
 	})
+	// Addr encodes the log mode for the sanitizer: 0 undo, 1 redo.
+	e.m.Trace(trace.KCommitMarker, mem.Addr(mode-logfmt.ModeUndo), e.cur.seq)
 }
 
 // Abort revokes the transaction (§V-B): buffered records and cached
@@ -747,8 +784,9 @@ func (e *Engine) Abort() {
 	// Invalidate the transaction's logged lines and restore their
 	// volatile contents from (now reverted) PM. Log-free lines keep
 	// their updates; the caller's recovery reverts them structurally.
-	for la, cls := range e.cur.writeLines {
-		if cls&wsLogged == 0 {
+	e.wsKeyBuf = sortedKeys(e.wsKeyBuf, e.cur.writeLines)
+	for _, la := range e.wsKeyBuf {
+		if e.cur.writeLines[la]&wsLogged == 0 {
 			continue
 		}
 		e.m.DropLine(la)
@@ -777,9 +815,10 @@ func (e *Engine) Abort() {
 // addresses (tests and the compiler's trace replay use this).
 func (e *Engine) WriteSetLines() []mem.Addr {
 	out := make([]mem.Addr, 0, len(e.cur.writeLines))
-	for la := range e.cur.writeLines {
+	for la := range e.cur.writeLines { //slpmt:determinism-ok collected keys are sorted below
 		out = append(out, la)
 	}
+	slices.Sort(out)
 	return out
 }
 

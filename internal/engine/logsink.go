@@ -7,6 +7,7 @@ import (
 	"github.com/persistmem/slpmt/internal/logfmt"
 	"github.com/persistmem/slpmt/internal/machine"
 	"github.com/persistmem/slpmt/internal/mem"
+	"github.com/persistmem/slpmt/internal/trace"
 )
 
 // logWriter appends serialized records to the durable log area, packing
@@ -78,6 +79,9 @@ func (w *logWriter) append(r logbuf.Record) {
 	w.bytesPersisted += uint64(need)
 	w.m.Stats.LogRecordsPersisted++
 	w.m.Stats.LogBytesPersisted += uint64(need)
+	// The record has entered the durable log stream; its end offset lets
+	// the persist-order sanitizer match it against later watermark syncs.
+	w.m.Trace(trace.KLogPersist, r.Addr, w.nextOff)
 	w.flushFull()
 }
 
@@ -109,6 +113,9 @@ func (w *logWriter) sync() {
 		line := logfmt.EncodeHeader(w.hdr)
 		w.m.PersistLogLine(w.base, line[:])
 	}
+	// Records at offsets <= the watermark are now durably visible; data
+	// lines depending on them may persist from here on.
+	w.m.Trace(trace.KLogSync, w.base, w.hdr.Watermark)
 }
 
 // logSink is the hardware path from record creation to persistent

@@ -79,6 +79,8 @@ func (c *Core) Machine() *Machine { return c.sh }
 
 // Trace emits a trace event stamped with this core's ID and clock. With
 // no tracer attached (the common case) the call is a single branch.
+//
+//slpmt:noalloc
 func (c *Core) Trace(kind trace.Kind, addr mem.Addr, arg uint64) {
 	c.tr.Emit(uint8(c.ID), c.Clk, kind, uint64(addr), arg)
 }
@@ -267,7 +269,7 @@ func (c *Core) PushAsync() { c.asyncDepth++ }
 // PopAsync leaves an asynchronous-persist section.
 func (c *Core) PopAsync() {
 	if c.asyncDepth == 0 {
-		panic("machine: PopAsync without PushAsync")
+		panicUnbalanced("PopAsync", "PushAsync")
 	}
 	c.asyncDepth--
 }
@@ -284,9 +286,17 @@ func (c *Core) PushStream() {
 // PopStream leaves a streamed-persist section.
 func (c *Core) PopStream() {
 	if c.streamDepth == 0 {
-		panic("machine: PopStream without PushStream")
+		panicUnbalanced("PopStream", "PushStream")
 	}
 	c.streamDepth--
+}
+
+// panicUnbalanced is kept out of line so the pop fast paths stay
+// allocation-free when inlined into //slpmt:noalloc callers.
+//
+//go:noinline
+func panicUnbalanced(pop, push string) {
+	panic("machine: " + pop + " without " + push)
 }
 
 // AckBarrier is the ordering/durability point at the end of a streamed

@@ -222,22 +222,38 @@ func (d *Device) enqueue(e entry, t uint64) {
 	d.totalEnqueued++
 }
 
+// panicOutOfRange and panicTooLarge keep the message formatting (which
+// allocates) out of the annotated persist hot paths: the compiler only
+// sets up the fmt call inside these never-inlined helpers.
+//
+//go:noinline
+func (d *Device) panicOutOfRange(op string, addr uint64, n int) {
+	panic(fmt.Sprintf("pmem: %s out of range: addr=%#x n=%d size=%#x", op, addr, n, d.cfg.Size))
+}
+
+//go:noinline
+func (d *Device) panicTooLarge(n int) {
+	panic(fmt.Sprintf("pmem: persist entry larger than WPQ: %d > %d", n, d.cfg.WPQBytes))
+}
+
 // Persist makes data durable at address addr. It returns the number of
 // cycles the enqueuing core stalls: the fixed enqueue latency plus any
 // wait for WPQ space. now is the current core cycle.
 //
 // The write is durable upon return (ADR). n must fit in one WPQ entry
 // (<= 64 bytes is typical; larger writes should be split by the caller).
+//
+//slpmt:noalloc
 func (d *Device) Persist(now uint64, addr uint64, data []byte) (stall uint64) {
 	n := len(data)
 	if n == 0 {
 		return 0
 	}
 	if addr+uint64(n) > d.cfg.Size {
-		panic(fmt.Sprintf("pmem: persist out of range: addr=%#x n=%d size=%#x", addr, n, d.cfg.Size))
+		d.panicOutOfRange("persist", addr, n)
 	}
 	if n > d.cfg.WPQBytes {
-		panic(fmt.Sprintf("pmem: persist entry larger than WPQ: %d > %d", n, d.cfg.WPQBytes))
+		d.panicTooLarge(n)
 	}
 	// Durable immediately: inside the persist domain.
 	copy(d.durable[addr:], data)
@@ -278,16 +294,18 @@ func (d *Device) Persist(now uint64, addr uint64, data []byte) (stall uint64) {
 // core pays the enqueue latency and any wait for WPQ space, but not the
 // per-line completion or acknowledgement. Callers needing an
 // end-of-stream durability point add one AckCycles barrier.
+//
+//slpmt:noalloc
 func (d *Device) PersistStream(now uint64, addr uint64, data []byte) (stall uint64) {
 	n := len(data)
 	if n == 0 {
 		return 0
 	}
 	if addr+uint64(n) > d.cfg.Size {
-		panic(fmt.Sprintf("pmem: persist out of range: addr=%#x n=%d size=%#x", addr, n, d.cfg.Size))
+		d.panicOutOfRange("persist", addr, n)
 	}
 	if n > d.cfg.WPQBytes {
-		panic(fmt.Sprintf("pmem: persist entry larger than WPQ: %d > %d", n, d.cfg.WPQBytes))
+		d.panicTooLarge(n)
 	}
 	copy(d.durable[addr:], data)
 	stall = d.cfg.EnqueueCycles
@@ -342,13 +360,15 @@ func (d *Device) bankFinish(t uint64) uint64 {
 // off the program's critical path (§III-B2, §III-C3). The implicit
 // buffering beyond the WPQ capacity models the dirty lines parking in
 // the cache hierarchy until the queue can take them.
+//
+//slpmt:noalloc
 func (d *Device) PersistAsync(now uint64, addr uint64, data []byte) (stall uint64) {
 	n := len(data)
 	if n == 0 {
 		return 0
 	}
 	if addr+uint64(n) > d.cfg.Size {
-		panic(fmt.Sprintf("pmem: persist out of range: addr=%#x n=%d size=%#x", addr, n, d.cfg.Size))
+		d.panicOutOfRange("persist", addr, n)
 	}
 	copy(d.durable[addr:], data)
 	t := now + d.cfg.EnqueueCycles

@@ -42,6 +42,16 @@ const (
 	wpqTrack = "WPQ occupancy (bytes)"
 )
 
+// sortedCores returns the keys of a per-core span map in core order.
+func sortedCores[V any](m map[uint8]V) []uint8 {
+	out := make([]uint8, 0, len(m))
+	for c := range m { //slpmt:determinism-ok collected keys are sorted below
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // WritePerfetto renders events as Chrome trace_event JSON loadable in
 // Perfetto (ui.perfetto.dev) or chrome://tracing: per-core tracks with
 // transaction/commit/lazy-drain spans and instant events, plus a WPQ
@@ -129,6 +139,22 @@ func WritePerfetto(w io.Writer, events []Event, opts PerfettoOptions) error {
 		case KStore, KStoreT, KLogAppend:
 			instant(e, e.Kind.String(), "mem",
 				map[string]any{"addr": e.Addr, "bytes": e.Arg})
+		case KLogPersist:
+			instant(e, e.Kind.String(), "log",
+				map[string]any{"addr": e.Addr, "stream_off": e.Arg})
+		case KLogSync:
+			instant(e, e.Kind.String(), "log",
+				map[string]any{"watermark": e.Arg})
+		case KCommitMarker:
+			mode := "undo"
+			if e.Addr == 1 {
+				mode = "redo"
+			}
+			instant(e, e.Kind.String(), "tx",
+				map[string]any{"seq": e.Arg, "mode": mode})
+		case KLazyDefer:
+			instant(e, e.Kind.String(), "lazy",
+				map[string]any{"addr": e.Addr, "seq": e.Arg})
 		case KCacheMiss, KCacheEvict:
 			instant(e, e.Kind.String(), "cache",
 				map[string]any{"addr": e.Addr, "level": e.Arg})
@@ -144,12 +170,15 @@ func WritePerfetto(w io.Writer, events []Event, opts PerfettoOptions) error {
 				map[string]any{"addr": e.Addr, "stall_cycles": e.Arg})
 		}
 	}
-	// Close spans the ring's tail cut off.
-	for core, o := range txOpen {
+	// Close spans the ring's tail cut off, in core order so the exported
+	// document is deterministic (map iteration order is not).
+	for _, core := range sortedCores(txOpen) {
+		o := txOpen[core]
 		span(core, fmt.Sprintf("tx %d", o.arg), "tx", o.cycle, lastCycle,
 			map[string]any{"seq": o.arg, "truncated": true})
 	}
-	for core, o := range lazyOpen {
+	for _, core := range sortedCores(lazyOpen) {
+		o := lazyOpen[core]
 		span(core, "lazy drain", "lazy", o.cycle, lastCycle,
 			map[string]any{"retained_txns": o.arg, "truncated": true})
 	}

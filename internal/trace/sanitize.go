@@ -1,0 +1,421 @@
+package trace
+
+import "fmt"
+
+// Sanitize replays an SLPTRC01 event stream and checks the paper's §III
+// persist-ordering contracts against what the simulator actually did.
+// It is the dynamic counterpart to the static slpmtvet passes: the
+// analyzers prove properties of the code, the sanitizer proves
+// properties of one execution.
+//
+// Rules checked, per transaction and per core:
+//
+//  1. log-before-data: a data line with log records may persist (enter
+//     the WPQ) only after a log sync whose durable watermark covers
+//     every record for that line (Figure 4, both modes: the log entry
+//     is durable before the in-place update).
+//  2. marker-order: the commit marker is written only after the log
+//     sync covering the whole record stream. In undo mode no write-set
+//     line may persist after the marker (logs -> data -> marker); in
+//     redo mode no logged line may persist before it (data persists
+//     follow the marker).
+//  3. wpq-fifo: WPQ entries retire in finish-time order (drain cycles
+//     are non-decreasing within a drain batch) and every drain matches
+//     an outstanding enqueue of the same core, byte for byte.
+//  4. lazy-conflict: a store that hits a line left volatile by a
+//     retained transaction (§III-C3) must force that transaction's lazy
+//     drain to complete before the storing core proceeds.
+//
+// The replay works on emission order, which the single-threaded
+// simulator makes deterministic. Violations detected inside a
+// transaction that subsequently aborts are discarded: the abort path
+// legitimately rewrites logged data outside the commit ordering.
+//
+// The checker is resilient to a stream that starts mid-run (the bench
+// harness resets the ring at the measured-region boundary): WPQ
+// residue from before the cut is skipped until the occupancy replay
+// locks on, and lazy obligations deferred before the cut are simply
+// not checked. If the ring overflowed (dropped events), Report.
+// Truncated is set and the replay is best-effort.
+
+// sanLineSize mirrors mem.LineSize without importing the package (trace
+// is a leaf dependency of the whole simulator).
+const sanLineSize = 64
+
+// MaxViolations bounds Report.Violations; Total keeps the full count.
+const MaxViolations = 100
+
+// Violation is one persist-ordering breach found by Sanitize.
+type Violation struct {
+	Index  int    // event index in the replayed stream
+	Cycle  uint64 // emitting core's cycle at the event
+	Core   uint8  // core the violation is attributed to
+	Seq    uint64 // transaction sequence when tx-scoped, else 0
+	Rule   string // "log-before-data", "marker-order", "wpq-fifo", "lazy-conflict"
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("event %d cycle %d core %d seq %d [%s]: %s",
+		v.Index, v.Cycle, v.Core, v.Seq, v.Rule, v.Detail)
+}
+
+// Report is the result of one sanitizer replay.
+type Report struct {
+	Events       int
+	Transactions int  // committed transactions replayed
+	Aborts       int  // aborted transactions replayed (violations discarded)
+	Truncated    bool // ring overflow dropped events; replay is best-effort
+	Total        int  // violations found (Violations holds at most MaxViolations)
+	Violations   []Violation
+}
+
+// Clean reports whether the replay found no violations.
+func (r *Report) Clean() bool { return r.Total == 0 }
+
+// sanRetained is one committed transaction whose lazy lines are still
+// volatile — an obligation the next conflicting store must see cleared.
+type sanRetained struct {
+	seq   uint64
+	lines []uint64
+}
+
+// sanCore is the per-core replay state.
+type sanCore struct {
+	inTx       bool
+	seq        uint64
+	commitSeen bool
+	lastMode   int // 0 undo, 1 redo, -1 unknown (before the first marker)
+	watermark  uint64
+	logged     map[uint64]struct{} // lines with log records this tx
+	logOff     map[uint64]uint64   // line -> highest record-end stream offset
+	storeLines map[uint64]struct{} // lines stored this tx
+	txViol     []Violation         // buffered until commit (dropped on abort)
+
+	defers   []uint64      // lazy lines deferred by the committing tx
+	retained []sanRetained // committed txs with volatile lazy data (FIFO)
+
+	pendingLazy []uint64 // lines whose obligations must clear before the next program event
+	wpqFifo     []uint64 // outstanding WPQ enqueue sizes (bytes)
+	wpqSynced   bool     // occupancy replay locked on (pre-cut residue skipped)
+}
+
+func newSanCore() *sanCore {
+	return &sanCore{
+		lastMode:   -1,
+		logged:     map[uint64]struct{}{},
+		logOff:     map[uint64]uint64{},
+		storeLines: map[uint64]struct{}{},
+	}
+}
+
+// sanitizer is the whole-stream replay state.
+type sanitizer struct {
+	rep   Report
+	cores map[uint8]*sanCore
+	// obligations counts, per line, the retained transactions (across
+	// all cores) whose lazy copy of the line is still volatile.
+	obligations map[uint64]int
+	occ         int64 // replayed WPQ occupancy (bytes); -1 before lock-on
+	prevDrain   bool  // previous event was a KWPQDrain (batch tracking)
+	prevDrainAt uint64
+}
+
+// Sanitize replays events (oldest first, as Tracer.Events returns them)
+// and reports every persist-ordering violation. dropped is the tracer's
+// ring-overflow count; pass Tracer.Dropped().
+func Sanitize(events []Event, dropped uint64) *Report {
+	s := &sanitizer{
+		cores:       map[uint8]*sanCore{},
+		obligations: map[uint64]int{},
+		occ:         -1,
+	}
+	s.rep.Events = len(events)
+	s.rep.Truncated = dropped > 0
+	for i, e := range events {
+		s.step(i, e)
+	}
+	return &s.rep
+}
+
+func (s *sanitizer) core(id uint8) *sanCore {
+	cs, ok := s.cores[id]
+	if !ok {
+		cs = newSanCore()
+		s.cores[id] = cs
+	}
+	return cs
+}
+
+// violate records a non-transaction-scoped violation.
+func (s *sanitizer) violate(i int, e Event, core uint8, seq uint64, rule, detail string) {
+	s.rep.Total++
+	if len(s.rep.Violations) < MaxViolations {
+		s.rep.Violations = append(s.rep.Violations, Violation{
+			Index: i, Cycle: e.Cycle, Core: core, Seq: seq, Rule: rule, Detail: detail,
+		})
+	}
+}
+
+// violateTx buffers a violation against cs's current transaction: it
+// reaches the report at commit and is dropped on abort.
+func (s *sanitizer) violateTx(i int, e Event, core uint8, cs *sanCore, rule, detail string) {
+	if !cs.inTx {
+		s.violate(i, e, core, 0, rule, detail)
+		return
+	}
+	cs.txViol = append(cs.txViol, Violation{
+		Index: i, Cycle: e.Cycle, Core: core, Seq: cs.seq, Rule: rule, Detail: detail,
+	})
+}
+
+// eachLine calls fn for every cache line the [addr, addr+n) range touches.
+func eachLine(addr, n uint64, fn func(line uint64)) {
+	if n == 0 {
+		n = 1
+	}
+	for l := addr &^ (sanLineSize - 1); l <= (addr+n-1)&^(sanLineSize-1); l += sanLineSize {
+		fn(l)
+	}
+}
+
+// programLevel reports whether the kind marks the emitting core's
+// program making progress (as opposed to the persist machinery working
+// on its behalf). Lazy-conflict postconditions are checked at these
+// points: the forced drain runs synchronously inside the conflicting
+// store, so by the core's next program event the obligation must be gone.
+func programLevel(k Kind) bool {
+	switch k {
+	case KTxBegin, KCommitStart, KTxCommit, KTxAbort, KStore, KStoreT, KLogAppend:
+		return true
+	}
+	return false
+}
+
+func (s *sanitizer) step(i int, e Event) {
+	cs := s.core(e.Core)
+
+	// Rule 4 postcondition: obligations recorded at this core's previous
+	// conflicting store must have been drained by now.
+	if len(cs.pendingLazy) > 0 && programLevel(e.Kind) {
+		for _, line := range cs.pendingLazy {
+			if s.obligations[line] > 0 {
+				s.violate(i, e, e.Core, cs.seq, "lazy-conflict",
+					fmt.Sprintf("store to line %#x proceeded while a retained transaction's lazy copy is still volatile", line))
+			}
+		}
+		cs.pendingLazy = cs.pendingLazy[:0]
+	}
+
+	// Rule 3 batch monotonicity: within one consecutive run of drains,
+	// retirement cycles never go backwards (the WPQ pops its queue in
+	// finish-time order).
+	if e.Kind == KWPQDrain {
+		if s.prevDrain && e.Cycle < s.prevDrainAt {
+			s.violate(i, e, e.Core, 0, "wpq-fifo",
+				fmt.Sprintf("drain at cycle %d after drain at cycle %d in the same batch", e.Cycle, s.prevDrainAt))
+		}
+		s.prevDrain, s.prevDrainAt = true, e.Cycle
+	} else {
+		s.prevDrain = false
+	}
+
+	switch e.Kind {
+	case KTxBegin:
+		cs.inTx = true
+		cs.seq = e.Arg
+		cs.commitSeen = false
+		cs.watermark = 0
+		clear(cs.logged)
+		clear(cs.logOff)
+		clear(cs.storeLines)
+		cs.txViol = cs.txViol[:0]
+		cs.defers = cs.defers[:0]
+
+	case KTxCommit:
+		s.rep.Transactions++
+		for _, v := range cs.txViol {
+			s.rep.Total++
+			if len(s.rep.Violations) < MaxViolations {
+				s.rep.Violations = append(s.rep.Violations, v)
+			}
+		}
+		cs.txViol = cs.txViol[:0]
+		if len(cs.defers) > 0 {
+			lines := make([]uint64, len(cs.defers))
+			copy(lines, cs.defers)
+			for _, l := range lines {
+				s.obligations[l]++
+			}
+			cs.retained = append(cs.retained, sanRetained{seq: cs.seq, lines: lines})
+			cs.defers = cs.defers[:0]
+		}
+		cs.inTx = false
+
+	case KTxAbort:
+		s.rep.Aborts++
+		cs.txViol = cs.txViol[:0]
+		cs.defers = cs.defers[:0]
+		cs.inTx = false
+
+	case KStore, KStoreT:
+		eachLine(e.Addr, e.Arg, func(line uint64) {
+			if cs.inTx {
+				cs.storeLines[line] = struct{}{}
+			}
+			if s.obligations[line] > 0 {
+				cs.pendingLazy = append(cs.pendingLazy, line)
+			}
+		})
+
+	case KLogAppend:
+		if cs.inTx {
+			cs.logged[e.Addr&^(sanLineSize-1)] = struct{}{}
+		}
+
+	case KLogPersist:
+		if cs.inTx {
+			line := e.Addr &^ (sanLineSize - 1)
+			if e.Arg > cs.logOff[line] {
+				cs.logOff[line] = e.Arg
+			}
+		}
+
+	case KLogSync:
+		if e.Arg > cs.watermark {
+			cs.watermark = e.Arg
+		}
+
+	case KCommitMarker:
+		cs.lastMode = int(e.Addr)
+		if cs.inTx {
+			for line, off := range cs.logOff { //slpmt:determinism-ok violation set is order-independent (replay tool)
+				if off > cs.watermark {
+					s.violateTx(i, e, e.Core, cs,
+						"marker-order",
+						fmt.Sprintf("commit marker written with log records for line %#x beyond the durable watermark (%d > %d)", line, off, cs.watermark))
+				}
+			}
+			cs.commitSeen = true
+		}
+
+	case KLazyDefer:
+		if cs.inTx {
+			cs.defers = append(cs.defers, e.Addr)
+		}
+
+	case KLazyDrainEnd:
+		n := int(e.Arg)
+		if n > len(cs.retained) {
+			n = len(cs.retained) // stream cut mid-run: obligations before the cut are unknown
+		}
+		for _, r := range cs.retained[:n] {
+			for _, l := range r.lines {
+				if s.obligations[l] > 0 {
+					s.obligations[l]--
+				}
+			}
+		}
+		cs.retained = append(cs.retained[:0], cs.retained[n:]...)
+
+	case KWPQEnqueue:
+		s.replayEnqueue(i, e, cs)
+	case KWPQDrain:
+		s.replayDrain(i, e)
+	}
+}
+
+// replayEnqueue applies one WPQ enqueue to the occupancy replay and
+// runs the persist-side ordering rules (1 and 2) for the entering line.
+func (s *sanitizer) replayEnqueue(i int, e Event, cs *sanCore) {
+	line := e.Addr &^ (sanLineSize - 1)
+
+	// Rule 1: a logged data line may enter the WPQ only once the owning
+	// transaction's log records for it sit below the durable watermark.
+	// The line may be logged by any core's transaction (shared lines
+	// reach the device through whichever core evicts them).
+	for _, oc := range s.cores { //slpmt:determinism-ok violation buffers are per-core; order does not affect the report
+		if !oc.inTx {
+			continue
+		}
+		if _, ok := oc.logged[line]; !ok {
+			continue
+		}
+		if off := oc.logOff[line]; off > oc.watermark {
+			s.violateTx(i, e, e.Core, oc, "log-before-data",
+				fmt.Sprintf("line %#x persisted with log records beyond the durable watermark (%d > %d)", line, off, oc.watermark))
+		}
+	}
+
+	// Rule 2, mode-specific halves, for the enqueuing core's own
+	// transaction (the commit engine runs on the owning core).
+	if cs.inTx {
+		if cs.commitSeen && cs.lastMode == 0 {
+			if _, ok := cs.storeLines[line]; ok {
+				s.violateTx(i, e, e.Core, cs, "marker-order",
+					fmt.Sprintf("undo commit: write-set line %#x persisted after the commit marker", line))
+			}
+		}
+		if !cs.commitSeen && cs.lastMode == 1 {
+			if _, ok := cs.logged[line]; ok {
+				s.violateTx(i, e, e.Core, cs, "marker-order",
+					fmt.Sprintf("redo commit: logged line %#x persisted before the commit marker", line))
+			}
+		}
+	}
+
+	// Rule 3 occupancy replay. The first observed event sets the
+	// baseline (the stream may start with entries already queued).
+	if s.occ < 0 {
+		s.occ = int64(e.Arg)
+		return
+	}
+	delta := int64(e.Arg) - s.occ
+	s.occ = int64(e.Arg)
+	if delta <= 0 {
+		s.violate(i, e, e.Core, 0, "wpq-fifo",
+			fmt.Sprintf("enqueue did not raise WPQ occupancy (%d -> %d)", s.occ-delta, e.Arg))
+		return
+	}
+	cs.wpqFifo = append(cs.wpqFifo, uint64(delta))
+}
+
+// replayDrain applies one WPQ drain to the occupancy replay and matches
+// it against the draining core's outstanding enqueues.
+func (s *sanitizer) replayDrain(i int, e Event) {
+	cs := s.core(e.Core)
+	if s.occ < 0 {
+		s.occ = int64(e.Arg)
+		return
+	}
+	delta := s.occ - int64(e.Arg)
+	s.occ = int64(e.Arg)
+	if delta <= 0 {
+		s.violate(i, e, e.Core, 0, "wpq-fifo",
+			fmt.Sprintf("drain did not lower WPQ occupancy (%d -> %d)", s.occ+delta, e.Arg))
+		return
+	}
+	if len(cs.wpqFifo) == 0 {
+		return // residue enqueued before the stream cut
+	}
+	// Match in FIFO order; the device's bank model can legitimately
+	// retire same-core entries slightly out of enqueue order, so fall
+	// back to the first size match before declaring a violation.
+	if cs.wpqFifo[0] == uint64(delta) {
+		cs.wpqFifo = cs.wpqFifo[1:]
+		cs.wpqSynced = true
+		return
+	}
+	for j := 1; j < len(cs.wpqFifo); j++ {
+		if cs.wpqFifo[j] == uint64(delta) {
+			cs.wpqFifo = append(cs.wpqFifo[:j], cs.wpqFifo[j+1:]...)
+			cs.wpqSynced = true
+			return
+		}
+	}
+	if !cs.wpqSynced {
+		return // still skipping pre-cut residue for this core
+	}
+	s.violate(i, e, e.Core, 0, "wpq-fifo",
+		fmt.Sprintf("drained %d bytes with no matching outstanding enqueue on core %d", delta, e.Core))
+}

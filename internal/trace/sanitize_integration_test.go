@@ -1,0 +1,56 @@
+package trace_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/persistmem/slpmt/internal/bench"
+	"github.com/persistmem/slpmt/internal/trace"
+	_ "github.com/persistmem/slpmt/internal/workloads/all"
+)
+
+// TestSanitizeRealRuns replays sanitizer-masked traces of real benchmark
+// executions and requires them clean: the simulator must actually obey
+// the persist-ordering rules the sanitizer encodes, across log modes,
+// schemes with and without lazy persistency, and core counts.
+func TestSanitizeRealRuns(t *testing.T) {
+	cases := []struct {
+		scheme string
+		cores  int
+	}{
+		{"FG", 1},
+		{"EDE", 1},
+		{"SLPMT", 1},
+		{"SLPMT", 2},
+		{"SLPMT-redo", 1},
+		{"SLPMT-redo", 2},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%s-%dc", tc.scheme, tc.cores), func(t *testing.T) {
+			tr := trace.New(trace.DefaultCapacity)
+			tr.SetMask(trace.SanitizeMask())
+			bench.Run(bench.RunConfig{
+				Scheme:   tc.scheme,
+				Workload: "hashtable",
+				N:        300,
+				Cores:    tc.cores,
+				Trace:    tr,
+			})
+			rep := trace.Sanitize(tr.Events(), tr.Dropped())
+			if rep.Truncated {
+				t.Fatalf("trace ring overflowed (%d dropped); enlarge the capacity", tr.Dropped())
+			}
+			if rep.Transactions == 0 {
+				t.Fatal("no transactions replayed; emit sites missing?")
+			}
+			if !rep.Clean() {
+				max := len(rep.Violations)
+				if max > 10 {
+					max = 10
+				}
+				t.Fatalf("%d persist-order violations, first %d: %v",
+					rep.Total, max, rep.Violations[:max])
+			}
+		})
+	}
+}

@@ -33,6 +33,10 @@ const (
 	KStore               // addr, arg = store size in bytes
 	KStoreT              // addr, arg = store size in bytes
 	KLogAppend           // addr = logged word/line, arg = payload bytes
+	KLogPersist          // addr = logged word/line, arg = log-stream offset after the record
+	KLogSync             // addr = log header base, arg = durable watermark offset
+	KCommitMarker        // addr = log mode (0 undo, 1 redo), arg = transaction sequence number
+	KLazyDefer           // addr = line left volatile at commit, arg = transaction sequence number
 	KLazyDrainStart      // arg = retained transactions drained
 	KLazyDrainEnd        // arg = retained transactions drained
 	KCacheMiss           // addr = line, arg = serving level (2=L2, 3=L3, 4=PM, 5=peer cache)
@@ -57,6 +61,10 @@ var kindNames = [numKinds]string{
 	KStore:          "store",
 	KStoreT:         "storeT",
 	KLogAppend:      "log.append",
+	KLogPersist:     "log.persist",
+	KLogSync:        "log.sync",
+	KCommitMarker:   "commit.marker",
+	KLazyDefer:      "lazy.defer",
 	KLazyDrainStart: "lazy.drain",
 	KLazyDrainEnd:   "lazy.drain.end",
 	KCacheMiss:      "cache.miss",
@@ -109,6 +117,20 @@ func MetricsMask() uint64 {
 		KWPQEnqueue, KWPQDrain, KWPQStall)
 }
 
+// SanitizeMask accepts exactly the kinds the persist-order sanitizer
+// (Sanitize) replays: the transaction lifecycle, the log/commit-marker
+// durability events, lazy-persistency deferral and drains, stores, and
+// the WPQ stream. It drops the cache/coherence events, which the
+// sanitizer does not consume, so a sanitizer-only tracer overflows far
+// later than a full-detail one.
+func SanitizeMask() uint64 {
+	return Mask(KTxBegin, KCommitStart, KTxCommit, KTxAbort,
+		KStore, KStoreT,
+		KLogAppend, KLogPersist, KLogSync, KCommitMarker,
+		KLazyDefer, KLazyDrainStart, KLazyDrainEnd,
+		KWPQEnqueue, KWPQDrain, KWPQStall)
+}
+
 // Default ring capacities (events; one event is 32 bytes in memory).
 const (
 	// DefaultCapacity suits full-detail tracing of CLI-sized runs.
@@ -147,6 +169,8 @@ func (t *Tracer) SetMask(m uint64) { t.mask = m }
 // Emit records one event. The nil-receiver/mask check is the entire
 // disabled path; the record body lives in a separate method so this
 // one stays small enough to inline at every instrumentation site.
+//
+//slpmt:noalloc
 func (t *Tracer) Emit(core uint8, cycle uint64, kind Kind, addr, arg uint64) {
 	if t == nil || t.mask&(1<<uint(kind)) == 0 {
 		return
@@ -156,6 +180,8 @@ func (t *Tracer) Emit(core uint8, cycle uint64, kind Kind, addr, arg uint64) {
 
 // record writes the event into the ring, overwriting the oldest entry
 // when full.
+//
+//slpmt:noalloc
 func (t *Tracer) record(core uint8, cycle uint64, kind Kind, addr, arg uint64) {
 	if t.full {
 		t.dropped++

@@ -1,7 +1,7 @@
 #!/bin/sh
-# check.sh - the repo's pre-merge gate: formatting, vet, build, full
-# test suite, and a race-detector pass over the concurrent packages
-# (the bench worker pool and everything built on it).
+# check.sh - the repo's pre-merge gate: formatting, vet (go vet plus
+# the slpmtvet analyzer suite), build, full test suite, race-detector
+# passes, and a persist-order sanitizer replay of a 2-core run.
 #
 # Usage: scripts/check.sh   (or: make check)
 set -eu
@@ -19,14 +19,21 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== slpmtvet (determinism / noalloc / trace coverage) =="
+go run ./cmd/slpmtvet
+
 echo "== go build =="
 go build ./...
 
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (concurrent packages) =="
-go test -race ./internal/bench/ ./internal/experiments/ \
+echo "== go test -race =="
+go test -race . ./internal/bench/ ./internal/machine/ ./internal/trace/
+go test -race ./internal/experiments/ \
 	./internal/recovery/ -run 'Parallel|ForEach|Grid|RunAll|Collector|Smoke'
+
+echo "== persist-order sanitizer =="
+go run ./cmd/slpmtbench -workload hashtable -cores 2 -n 300 -value 64 -sanitize
 
 echo "ALL CHECKS PASSED"
