@@ -2,7 +2,8 @@
 
 GO ?= go
 
-.PHONY: all build test race check bench microbench fmt vet sanitize
+.PHONY: all build test race check bench microbench fmt vet sanitize \
+	baseline compare report
 
 all: build
 
@@ -54,3 +55,33 @@ bench:
 microbench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/engine/ ./internal/ycsb/ \
 		./internal/trace/
+
+# Experiments gated by the perf-regression baseline (default flag
+# parameters: n=1000, value=256, seed=0 — what `-compare baselines/`
+# reproduces).
+BASELINE_EXPERIMENTS := headline scaling fig8
+
+# Regenerate the committed perf-regression baselines. Run after an
+# intentional model change (and eyeball the diff before committing).
+baseline:
+	@mkdir -p baselines
+	@for e in $(BASELINE_EXPERIMENTS); do \
+		$(GO) run ./cmd/slpmtbench -experiment $$e -json || exit 1; \
+		mv BENCH_$$e.json baselines/BENCH_$$e.json; \
+	done
+	@echo "refreshed baselines/: $(BASELINE_EXPERIMENTS)"
+
+# Perf-regression gate: rerun the gated experiments and diff every
+# metric (cycles, traffic, percentiles, cycles_by_cause) against the
+# committed baselines with per-metric tolerances. Nonzero exit on
+# drift.
+compare:
+	@for e in $(BASELINE_EXPERIMENTS); do \
+		$(GO) run ./cmd/slpmtbench -experiment $$e -json -compare baselines/ || exit 1; \
+	done
+
+# Self-contained HTML run report rendered from the committed baselines
+# (swap in fresh BENCH_*.json files to report on a local run).
+report:
+	$(GO) run ./cmd/slpmtreport -o report.html baselines/BENCH_headline.json \
+		baselines/BENCH_scaling.json baselines/BENCH_fig8.json

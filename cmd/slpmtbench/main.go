@@ -23,8 +23,24 @@
 // core counts.
 // -parallel sets the worker count for the experiment grids (0 =
 // GOMAXPROCS; results are identical at any setting). -json additionally
-// writes a machine-readable BENCH_<experiment>.json per experiment, and
+// writes a machine-readable BENCH_<experiment>.json per experiment
+// (including the cycles_by_cause attribution breakdown), and
 // -cpuprofile / -memprofile capture pprof profiles of the sweep.
+//
+// -compare diffs each experiment's fresh BENCH json against the
+// committed baseline in the given directory (see baselines/) with
+// per-metric tolerances, prints the delta table, and exits nonzero on
+// drift — the CI perf-regression gate:
+//
+//	slpmtbench -experiment headline -json -compare baselines/
+//
+// -flame switches to single-run profiling mode: one run of -workload
+// under -scheme executes with the cycle-attribution profiler attached,
+// the per-cause breakdown prints to stdout, and folded stacks
+// (scheme;workload;coreN;group;cause count) are written to the given
+// path for flamegraph tools:
+//
+//	slpmtbench -workload hashtable -cores 2 -flame out.folded
 //
 // -trace switches to single-run tracing mode: instead of an experiment
 // grid, one run of -workload under -scheme executes with the cycle-level
@@ -48,19 +64,20 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
-	"sort"
 	"strings"
 	"time"
 
 	"github.com/persistmem/slpmt/internal/bench"
 	"github.com/persistmem/slpmt/internal/experiments"
+	"github.com/persistmem/slpmt/internal/profile"
+	"github.com/persistmem/slpmt/internal/report"
 	"github.com/persistmem/slpmt/internal/trace"
 	_ "github.com/persistmem/slpmt/internal/workloads/all"
 )
@@ -85,8 +102,10 @@ func run() error {
 		memProf  = flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 		tracePth = flag.String("trace", "", "trace one run of -workload/-scheme and export events to this path (.json = Perfetto, .bin = binary)")
 		sanitize = flag.Bool("sanitize", false, "replay one run of -workload/-scheme through the persist-order sanitizer (exit nonzero on violations)")
-		workload = flag.String("workload", "hashtable", "workload for -trace/-sanitize mode")
-		scheme   = flag.String("scheme", "SLPMT", "scheme for -trace/-sanitize mode")
+		flamePth = flag.String("flame", "", "profile one run of -workload/-scheme, print the cycle-attribution breakdown, and write folded stacks to this path")
+		compare  = flag.String("compare", "", "diff each experiment's BENCH json against <dir>/BENCH_<experiment>.json and exit nonzero on regressions (implies -json)")
+		workload = flag.String("workload", "hashtable", "workload for -trace/-sanitize/-flame mode")
+		scheme   = flag.String("scheme", "SLPMT", "scheme for -trace/-sanitize/-flame mode")
 	)
 	flag.Parse()
 
@@ -103,6 +122,12 @@ func run() error {
 		base.Workload = *workload
 		return runTraced(os.Stdout, base, *tracePth)
 	}
+	if *flamePth != "" {
+		base.Scheme = *scheme
+		base.Workload = *workload
+		return runFlame(os.Stdout, base, *flamePth)
+	}
+	jsonDocs := *jsonOut || *compare != ""
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -124,13 +149,26 @@ func run() error {
 		names = experiments.Names()
 		trailingBlank = true
 	}
+	regressed := 0
 	for _, name := range names {
-		if err := runOne(name, base, *jsonOut); err != nil {
+		if err := runOne(name, base, jsonDocs); err != nil {
 			return err
+		}
+		if *compare != "" {
+			ok, err := compareOne(os.Stdout, *compare, name)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				regressed++
+			}
 		}
 		if trailingBlank {
 			fmt.Println()
 		}
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d experiment(s) drifted past tolerance of the baselines in %s", regressed, *compare)
 	}
 
 	if *memProf != "" {
@@ -231,6 +269,9 @@ func runOne(name string, base bench.RunConfig, jsonOut bool) error {
 	if !jsonOut {
 		return experiments.Run(os.Stdout, name, base)
 	}
+	// Machine-readable documents carry the cycle-attribution breakdown
+	// (observation-only: the numbers match an unprofiled run exactly).
+	base.Profile = true
 	col := &bench.Collector{}
 	bench.SetCollector(col)
 	defer bench.SetCollector(nil)
@@ -244,129 +285,70 @@ func runOne(name string, base bench.RunConfig, jsonOut bool) error {
 	if err != nil {
 		return err
 	}
-	return writeReport(name, wall, &before, &after, col.Results())
-}
-
-// benchResult is the machine-readable form of one bench.Run outcome.
-type benchResult struct {
-	Scheme           string `json:"scheme"`
-	Workload         string `json:"workload"`
-	N                int    `json:"n"`
-	ValueSize        int    `json:"value_size"`
-	PMWriteNanos     uint64 `json:"pm_write_nanos,omitempty"`
-	Banks            int    `json:"banks,omitempty"`
-	WPQBytes         int    `json:"wpq_bytes,omitempty"`
-	Seed             uint64 `json:"seed,omitempty"`
-	Cores            int    `json:"cores,omitempty"`
-	Cycles           uint64 `json:"cycles"`
-	PMWriteBytesData uint64 `json:"pm_write_bytes_data"`
-	PMWriteBytesLog  uint64 `json:"pm_write_bytes_log"`
-	PMWriteBytes     uint64 `json:"pm_write_bytes"`
-	TxCommits        uint64 `json:"tx_commits"`
-	VerifyOK         bool   `json:"verify_ok"`
-
-	// Interval metrics, present when the run carried a tracer (the
-	// scaling experiment always does; see bench.RunConfig.Metrics).
-	CommitLatencyP50 uint64 `json:"commit_latency_p50,omitempty"`
-	CommitLatencyP95 uint64 `json:"commit_latency_p95,omitempty"`
-	CommitLatencyP99 uint64 `json:"commit_latency_p99,omitempty"`
-	LazyDrainP50     uint64 `json:"lazy_drain_p50,omitempty"`
-	LazyDrainP95     uint64 `json:"lazy_drain_p95,omitempty"`
-	LazyDrainP99     uint64 `json:"lazy_drain_p99,omitempty"`
-	WPQOccMaxBytes   uint64 `json:"wpq_occ_max_bytes,omitempty"`
-	WPQOccAvgBytes   uint64 `json:"wpq_occ_avg_bytes,omitempty"`
-}
-
-// benchReport is the top-level BENCH_<experiment>.json document.
-type benchReport struct {
-	Experiment  string        `json:"experiment"`
-	Parallel    int           `json:"parallel"`
-	WallMillis  float64       `json:"wall_ms"`
-	Runs        int           `json:"runs"`
-	TotalOps    uint64        `json:"total_ops"`
-	AllocsPerOp float64       `json:"allocs_per_op"`
-	BytesPerOp  float64       `json:"bytes_per_op"`
-	Results     []benchResult `json:"results"`
-}
-
-func writeReport(name string, wall time.Duration, before, after *runtime.MemStats, results []bench.Result) error {
-	rep := benchReport{
-		Experiment: name,
-		Parallel:   bench.Parallelism(),
-		WallMillis: float64(wall.Microseconds()) / 1000,
-		Runs:       len(results),
-		Results:    make([]benchResult, 0, len(results)),
-	}
-	for _, r := range results {
-		rep.TotalOps += uint64(r.N)
-		rep.Results = append(rep.Results, benchResult{
-			Scheme:           r.Scheme,
-			Workload:         r.Workload,
-			N:                r.N,
-			ValueSize:        r.ValueSize,
-			PMWriteNanos:     r.PMWriteNanos,
-			Banks:            r.Banks,
-			WPQBytes:         r.WPQBytes,
-			Seed:             r.Seed,
-			Cores:            r.Cores,
-			Cycles:           r.Cycles,
-			PMWriteBytesData: r.Counters.PMWriteBytesData,
-			PMWriteBytesLog:  r.Counters.PMWriteBytesLog,
-			PMWriteBytes:     r.PMWriteBytes(),
-			TxCommits:        r.Counters.TxCommits,
-			VerifyOK:         r.VerifyErr == nil,
-			CommitLatencyP50: r.Summary.CommitP50,
-			CommitLatencyP95: r.Summary.CommitP95,
-			CommitLatencyP99: r.Summary.CommitP99,
-			LazyDrainP50:     r.Summary.LazyP50,
-			LazyDrainP95:     r.Summary.LazyP95,
-			LazyDrainP99:     r.Summary.LazyP99,
-			WPQOccMaxBytes:   r.Counters.WPQOccMaxBytes,
-			WPQOccAvgBytes:   r.Counters.WPQOccAvgBytes,
-		})
-	}
-	// The collector sees results in completion order, which varies with
-	// the worker schedule; sort on the full config for stable files.
-	sort.Slice(rep.Results, func(i, j int) bool {
-		a, b := rep.Results[i], rep.Results[j]
-		if a.Scheme != b.Scheme {
-			return a.Scheme < b.Scheme
-		}
-		if a.Workload != b.Workload {
-			return a.Workload < b.Workload
-		}
-		if a.N != b.N {
-			return a.N < b.N
-		}
-		if a.ValueSize != b.ValueSize {
-			return a.ValueSize < b.ValueSize
-		}
-		if a.PMWriteNanos != b.PMWriteNanos {
-			return a.PMWriteNanos < b.PMWriteNanos
-		}
-		if a.Banks != b.Banks {
-			return a.Banks < b.Banks
-		}
-		if a.WPQBytes != b.WPQBytes {
-			return a.WPQBytes < b.WPQBytes
-		}
-		if a.Cores != b.Cores {
-			return a.Cores < b.Cores
-		}
-		return a.Seed < b.Seed
-	})
-	if rep.TotalOps > 0 {
-		rep.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(rep.TotalOps)
-		rep.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(rep.TotalOps)
-	}
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	path := "BENCH_" + name + ".json"
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	rep := report.FromResults(name, bench.Parallelism(), wall,
+		after.Mallocs-before.Mallocs, after.TotalAlloc-before.TotalAlloc, col.Results())
+	path := report.Filename(name)
+	if err := rep.Write(path); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d results, %.0f ms wall)\n", path, rep.Runs, rep.WallMillis)
+	return nil
+}
+
+// compareOne diffs the experiment's just-written BENCH json against the
+// committed baseline in dir, printing the delta table.
+func compareOne(out io.Writer, dir, name string) (bool, error) {
+	basePath := filepath.Join(dir, report.Filename(name))
+	baseline, err := report.Load(basePath)
+	if err != nil {
+		return false, fmt.Errorf("baseline %s: %w (run 'make baseline' to regenerate the committed baselines)", basePath, err)
+	}
+	cand, err := report.Load(report.Filename(name))
+	if err != nil {
+		return false, err
+	}
+	c := report.Compare(baseline, cand)
+	fmt.Fprint(out, c.String())
+	return c.Pass(), nil
+}
+
+// runFlame executes one profiled benchmark, prints the cycle
+// attribution, and writes folded stacks (scheme;workload;core;group;
+// cause count) for flamegraph tools.
+func runFlame(out io.Writer, cfg bench.RunConfig, path string) error {
+	cfg.Profile = true
+	r := bench.Run(cfg)
+	if r.VerifyErr != nil {
+		return fmt.Errorf("%s/%s failed verification: %v", cfg.Scheme, cfg.Workload, r.VerifyErr)
+	}
+	cores := cfg.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	fmt.Fprintf(out, "profiled run: %s/%s n=%d value=%dB cores=%d seed=%d\n",
+		cfg.Scheme, cfg.Workload, r.N, r.ValueSize, cores, cfg.Seed)
+	fmt.Fprintf(out, "cycles: %d\n", r.Cycles)
+	if err := r.Causes.Conserved(); err != nil {
+		return fmt.Errorf("attribution broke conservation: %w", err)
+	}
+	merged := r.Causes.Merged()
+	total := merged.Sum()
+	fmt.Fprintf(out, "attributed core-cycles: %d (conservation holds on all %d cores)\n\n", total, cores)
+	for _, name := range r.Causes.SortedNames() {
+		c, _ := profile.ByName(name)
+		v := merged[c]
+		fmt.Fprintf(out, "%6.2f%%  %-13s %12d  %s\n",
+			100*float64(v)/float64(total), name, v, report.CauseHelp(name))
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := profile.WriteFolded(f, cfg.Scheme+";"+cfg.Workload, r.Causes); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nwrote %s\n", path)
 	return nil
 }

@@ -1,0 +1,67 @@
+// Command slpmtreport renders one or more machine-readable
+// BENCH_<experiment>.json documents (written by slpmtbench -json) into
+// a single self-contained HTML run report: per-run summary tables,
+// scheme-vs-scheme speedup deltas, commit- and lazy-drain latency
+// percentiles, WPQ occupancy charts, and the cycle-attribution
+// breakdowns with share bars. The output embeds all styling inline —
+// no scripts, no external assets — so it can be archived as a CI
+// artifact and opened anywhere.
+//
+// Usage:
+//
+//	slpmtreport -o report.html BENCH_headline.json BENCH_scaling.json
+//	slpmtreport baselines/BENCH_*.json > report.html
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/persistmem/slpmt/internal/report"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "slpmtreport: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(stdout io.Writer, args []string) error {
+	fs := flag.NewFlagSet("slpmtreport", flag.ContinueOnError)
+	out := fs.String("o", "", "output path (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("no BENCH json files given (usage: slpmtreport [-o report.html] BENCH_*.json)")
+	}
+	reports := make([]report.Report, 0, len(paths))
+	for _, p := range paths {
+		rep, err := report.Load(p)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := report.RenderHTML(w, reports); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d experiments)\n", *out, len(reports))
+	}
+	return nil
+}

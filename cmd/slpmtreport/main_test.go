@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRenderBaseline renders the committed scaling baseline — the
+// acceptance path: a valid, self-contained HTML document with every
+// section present.
+func TestRenderBaseline(t *testing.T) {
+	src := filepath.Join("..", "..", "baselines", "BENCH_scaling.json")
+	if _, err := os.Stat(src); err != nil {
+		t.Skipf("no committed baseline: %v", err)
+	}
+	out := filepath.Join(t.TempDir(), "report.html")
+	if err := run(os.Stdout, []string{"-o", out, src}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(data)
+	for _, want := range []string{
+		"<!DOCTYPE html>", "</html>", "experiment: scaling",
+		"cycle attribution", "WPQ occupancy", "scheme vs scheme",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	for _, banned := range []string{"<script", "http://", "https://"} {
+		if strings.Contains(html, banned) {
+			t.Errorf("report is not self-contained: found %q", banned)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(os.Stdout, nil); err == nil {
+		t.Error("no-args invocation succeeded")
+	}
+	if err := run(os.Stdout, []string{"no-such-file.json"}); err == nil {
+		t.Error("missing input succeeded")
+	}
+}

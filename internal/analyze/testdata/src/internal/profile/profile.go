@@ -1,0 +1,41 @@
+// Package profile is a miniature of the real profile package — just
+// enough surface (Cause, causeNames, causeKinds) for the
+// cause-coverage analyzer — with one deliberate hole per coverage
+// rule.
+package profile
+
+import "fixtures/internal/trace"
+
+// Cause tags one attribution bucket.
+type Cause uint8
+
+const (
+	CauseNone   Cause = iota // sentinel, exempt
+	CauseGood                // named, kind-mapped, documented in report
+	CauseNoName              // want "has no causeNames entry"
+	CauseNoKind              // want "maps to no trace kind"
+	CauseNoHelp              // want "has no causeHelp entry"
+
+	numCauses
+)
+
+var causeNames = [numCauses]string{
+	CauseNone:   "none",
+	CauseGood:   "good",
+	CauseNoKind: "nokind",
+	CauseNoHelp: "nohelp",
+}
+
+var causeKinds = [numCauses][]trace.Kind{
+	CauseNone:   {trace.KNone},
+	CauseGood:   {trace.KGood},
+	CauseNoName: {trace.KGood},
+	CauseNoKind: {}, // empty: the cause has no witnessing trace kind
+	CauseNoHelp: {trace.KGood},
+}
+
+// String returns the canonical name.
+func (c Cause) String() string { return causeNames[c] }
+
+// Kinds returns the witnessing trace kinds.
+func (c Cause) Kinds() []trace.Kind { return causeKinds[c] }

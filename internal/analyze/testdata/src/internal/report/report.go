@@ -1,0 +1,16 @@
+// Package report is a miniature of the real report package for the
+// cause-coverage check's causeHelp rule: one cause is deliberately
+// missing its explanation (the diagnostic lands on the constant in the
+// profile fixture).
+package report
+
+import "fixtures/internal/profile"
+
+var causeHelp = map[profile.Cause]string{
+	profile.CauseGood:   "the good cause",
+	profile.CauseNoName: "documented but unnamed",
+	profile.CauseNoKind: "documented but unwitnessed",
+}
+
+// CauseHelp returns the explanation for a cause.
+func CauseHelp(c profile.Cause) string { return causeHelp[c] }

@@ -13,13 +13,14 @@ import (
 // canonical row so no counter silently vanishes from the reports.
 var TraceCoverage = &ModuleAnalyzer{
 	Name: "trace-coverage",
-	Doc:  "every trace.Kind emitted, named, and Perfetto-mapped; every stats.Counters field rendered",
+	Doc:  "every trace.Kind emitted, named, and Perfetto-mapped; every stats.Counters field rendered; every profile.Cause named, kind-mapped, and documented in the report renderer",
 	Run:  runTraceCoverage,
 }
 
 func runTraceCoverage(p *ModulePass) {
 	checkKindCoverage(p)
 	checkCounterRows(p)
+	checkCauseCoverage(p)
 }
 
 // kindConst describes one exported trace.Kind constant.
@@ -163,6 +164,142 @@ func kindRef(info *types.Info, tracePkg *types.Package, expr ast.Expr) string {
 		return ""
 	}
 	if named, ok := c.Type().(*types.Named); !ok || named.Obj().Name() != "Kind" {
+		return ""
+	}
+	return c.Name()
+}
+
+// checkCauseCoverage mirrors checkKindCoverage for the attribution
+// taxonomy: every exported profile.Cause constant (except the CauseNone
+// sentinel) must have a canonical name in causeNames, map to at least
+// one witnessing trace.Kind in causeKinds, and carry an explanation in
+// the report renderer's causeHelp table — so a cause added to the
+// profiler can neither vanish from the reports nor render unexplained.
+func checkCauseCoverage(p *ModulePass) {
+	profPkg := p.Module.LookupSuffix("internal/profile")
+	if profPkg == nil {
+		return // nothing to check (fixture modules without a profile package)
+	}
+	causeType, ok := profPkg.Types.Scope().Lookup("Cause").(*types.TypeName)
+	if !ok {
+		return
+	}
+
+	// Exported Cause constants, except the explicit no-attribution
+	// sentinel.
+	var causes []kindConst
+	scope := profPkg.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || c.Name() == "CauseNone" {
+			continue
+		}
+		if types.Identical(c.Type(), causeType.Type()) {
+			causes = append(causes, kindConst{name: c.Name(), obj: c})
+		}
+	}
+	if len(causes) == 0 {
+		return
+	}
+
+	// causeNames entries and non-empty causeKinds entries, in the
+	// profile package itself.
+	named := map[string]bool{}
+	kindMapped := map[string]bool{}
+	for _, f := range profPkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, id := range vs.Names {
+				if (id.Name != "causeNames" && id.Name != "causeKinds") || i >= len(vs.Values) {
+					continue
+				}
+				cl, ok := vs.Values[i].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				for _, elt := range cl.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					cn := causeRef(profPkg.Info, profPkg.Types, kv.Key)
+					if cn == "" {
+						continue
+					}
+					if id.Name == "causeNames" {
+						named[cn] = true
+					} else if val, ok := kv.Value.(*ast.CompositeLit); ok && len(val.Elts) > 0 {
+						kindMapped[cn] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// causeHelp entries in the report renderer.
+	helped := map[string]bool{}
+	if repPkg := p.Module.LookupSuffix("internal/report"); repPkg != nil {
+		for _, f := range repPkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				vs, ok := n.(*ast.ValueSpec)
+				if !ok {
+					return true
+				}
+				for i, id := range vs.Names {
+					if id.Name != "causeHelp" || i >= len(vs.Values) {
+						continue
+					}
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					for _, elt := range cl.Elts {
+						if kv, ok := elt.(*ast.KeyValueExpr); ok {
+							if cn := causeRef(repPkg.Info, profPkg.Types, kv.Key); cn != "" {
+								helped[cn] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for _, c := range causes {
+		if !named[c.name] {
+			p.Reportf(c.obj.Pos(), "profile cause %s has no causeNames entry", c.name)
+		}
+		if !kindMapped[c.name] {
+			p.Reportf(c.obj.Pos(), "profile cause %s maps to no trace kind (empty or missing causeKinds entry)", c.name)
+		}
+		if !helped[c.name] {
+			p.Reportf(c.obj.Pos(), "profile cause %s has no causeHelp entry in internal/report (it would render unexplained)", c.name)
+		}
+	}
+}
+
+// causeRef resolves expr to the name of an exported Cause constant of
+// the profile package, or "".
+func causeRef(info *types.Info, profPkg *types.Package, expr ast.Expr) string {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	if !ok || c.Pkg() == nil || c.Pkg().Path() != profPkg.Path() {
+		return ""
+	}
+	if named, ok := c.Type().(*types.Named); !ok || named.Obj().Name() != "Cause" {
 		return ""
 	}
 	return c.Name()

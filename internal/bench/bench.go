@@ -12,6 +12,7 @@ import (
 
 	"github.com/persistmem/slpmt"
 	"github.com/persistmem/slpmt/internal/machine"
+	"github.com/persistmem/slpmt/internal/profile"
 	"github.com/persistmem/slpmt/internal/stats"
 	"github.com/persistmem/slpmt/internal/trace"
 	"github.com/persistmem/slpmt/internal/workloads"
@@ -56,6 +57,11 @@ type RunConfig struct {
 	// reduction rather than export, populating Result.Summary and
 	// Result.WPQ without the caller managing a tracer.
 	Metrics bool
+	// Profile attaches a cycle-attribution profile to the run's machine
+	// and populates Result.Causes with the measured region's breakdown.
+	// Observation-only: cycles, counters and non-KCharge trace events
+	// are identical with or without it.
+	Profile bool
 }
 
 // Result is the outcome of one benchmark execution.
@@ -72,6 +78,10 @@ type Result struct {
 	// WPQ is the time-bucketed WPQ occupancy/stall series; nil unless
 	// the run was traced. A pointer keeps Result comparable with ==.
 	WPQ *trace.WPQSeries
+	// Causes is the cycle-attribution breakdown of the measured region,
+	// snapshotted before verification; nil unless Profile was set. A
+	// pointer keeps Result comparable with ==.
+	Causes *profile.Breakdown
 	// VerifyErr is non-nil if the post-run invariant check failed.
 	VerifyErr error
 }
@@ -118,12 +128,17 @@ func Run(cfg RunConfig) Result {
 	mc.PM.Banks = cfg.Banks
 	mc.PM.WPQBytes = cfg.WPQBytes
 	tr := runTracer(cfg)
+	var prof *profile.Profile
+	if cfg.Profile {
+		prof = profile.New(1)
+	}
 	sys := slpmt.New(slpmt.Options{
 		Scheme:             cfg.Scheme,
 		Machine:            mc,
 		PMWriteNanos:       cfg.PMWriteNanos,
 		ComputeCyclesPerOp: w.ComputeCost(),
 		Trace:              tr,
+		Profile:            prof,
 	})
 	if err := w.Setup(sys); err != nil {
 		panic(fmt.Sprintf("bench: setup %s: %v", cfg.Workload, err))
@@ -138,6 +153,10 @@ func Run(cfg RunConfig) Result {
 		// measured region's boundary.
 		tr.Reset()
 		pm.ResetOccupancy(startCycles)
+	}
+	if prof != nil {
+		// Drop setup charges: the breakdown covers the measured region.
+		prof.Reset()
 	}
 	err := load.Each(func(key uint64, value []byte) error {
 		return w.Insert(sys, key, value)
@@ -159,6 +178,10 @@ func Run(cfg RunConfig) Result {
 		// events and the occupancy integral cover the whole interval.
 		pm.QueueDepth(sys.Cycles())
 		reduceTrace(&res, tr, pm)
+	}
+	if prof != nil {
+		// Snapshot before verification advances the clock further.
+		res.Causes = prof.Breakdown([]uint64{res.Cycles})
 	}
 	if cfg.Verify {
 		res.VerifyErr = w.Check(sys, load.Oracle())

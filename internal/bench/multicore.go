@@ -5,6 +5,7 @@ import (
 
 	"github.com/persistmem/slpmt"
 	"github.com/persistmem/slpmt/internal/machine"
+	"github.com/persistmem/slpmt/internal/profile"
 	"github.com/persistmem/slpmt/internal/workloads"
 	"github.com/persistmem/slpmt/internal/ycsb"
 )
@@ -27,12 +28,17 @@ func RunMulti(cfg RunConfig) Result {
 	mc.PM.Banks = cfg.Banks
 	mc.PM.WPQBytes = cfg.WPQBytes
 	tr := runTracer(cfg)
+	var prof *profile.Profile
+	if cfg.Profile {
+		prof = profile.New(cores)
+	}
 	cl := slpmt.NewCluster(cores, slpmt.Options{
 		Scheme:             cfg.Scheme,
 		Machine:            mc,
 		PMWriteNanos:       cfg.PMWriteNanos,
 		ComputeCyclesPerOp: w.ComputeCost(),
 		Trace:              tr,
+		Profile:            prof,
 	})
 	if err := w.Setup(cl.Use(0)); err != nil {
 		panic(fmt.Sprintf("bench: setup %s: %v", cfg.Workload, err))
@@ -48,6 +54,9 @@ func RunMulti(cfg RunConfig) Result {
 	cl.Plat.PM.ResetOccupancy(startClk)
 	if tr != nil {
 		tr.Reset()
+	}
+	if prof != nil {
+		prof.Reset()
 	}
 
 	// Shard i runs keys[i], keys[i+cores], ... — every core sees an
@@ -80,6 +89,16 @@ func RunMulti(cfg RunConfig) Result {
 	res.Counters.WPQOccMaxBytes, res.Counters.WPQOccAvgBytes = cl.Plat.PM.OccupancyStats()
 	if tr != nil {
 		reduceTrace(&res, tr, cl.Plat.PM)
+	}
+	if prof != nil {
+		// Snapshot before verification advances the clocks further. Each
+		// core's total is its own clock advance since the barrier (the
+		// cores finish at different clocks; Cycles is the max).
+		totals := make([]uint64, cores)
+		for i := range totals {
+			totals[i] = cl.Plat.Core(i).Clk - startClk
+		}
+		res.Causes = prof.Breakdown(totals)
 	}
 	if cfg.Verify {
 		res.VerifyErr = w.Check(cl.Use(0), load.Oracle())

@@ -10,6 +10,7 @@ import (
 	"github.com/persistmem/slpmt/internal/logfmt"
 	"github.com/persistmem/slpmt/internal/machine"
 	"github.com/persistmem/slpmt/internal/mem"
+	"github.com/persistmem/slpmt/internal/profile"
 	"github.com/persistmem/slpmt/internal/signature"
 	"github.com/persistmem/slpmt/internal/trace"
 )
@@ -317,6 +318,7 @@ func (e *Engine) storeOne(a mem.Addr, data []byte, bits isa.Bits) {
 	}
 
 	if bits.Log {
+		prev := e.m.SetCause(profile.CauseLogAppend)
 		if e.cfg.Buffer == BufferTiered {
 			// The log buffer decouples logging from execution: spills
 			// are posted by the buffer engine (§III-B2).
@@ -330,6 +332,7 @@ func (e *Engine) storeOne(a mem.Addr, data []byte, bits isa.Bits) {
 			e.logStore(l, a, len(data))
 			e.m.PopStream()
 		}
+		e.m.SetCause(prev)
 	}
 	if bits.Persist {
 		l.Persist = true
@@ -452,6 +455,8 @@ func (e *Engine) persistRetainedThrough(idx int) {
 	// Lazy drains are posted persists off the critical path (§III-C3).
 	e.m.Trace(trace.KLazyDrainStart, 0, uint64(idx+1))
 	defer e.m.Trace(trace.KLazyDrainEnd, 0, uint64(idx+1))
+	prev := e.m.SetCause(profile.CauseLazyDrain)
+	defer e.m.SetCause(prev)
 	e.m.PushAsync()
 	defer e.m.PopAsync()
 	for i := 0; i <= idx; i++ {
@@ -511,6 +516,8 @@ func (e *Engine) onL1Demote(l *cache.Line) {
 	if !e.cfg.Speculative || !e.cur.active || l.LogBits == 0 {
 		return
 	}
+	prev := e.m.SetCause(profile.CauseLogAppend)
+	defer e.m.SetCause(prev)
 	e.m.PushAsync()
 	defer e.m.PopAsync()
 	if l.TxID != lineID(e.cur.id) {
@@ -654,21 +661,26 @@ func (e *Engine) commitUndo() {
 	// Stage 1: drain the log buffer; the ordering barrier (Figure 4:
 	// logs before logged data lines) waits for the streamed lines'
 	// completion once, not per line — the commit engine pipelines.
+	prev := e.m.SetCause(profile.CauseLogPersist)
 	e.m.PushStream()
 	e.sink.drain()
 	e.m.PopStream()
+	e.m.SetCause(prev)
 	e.m.AckBarrier()
 	// Stage 2: persist the marked data lines. The commit scan walks the
 	// private caches line by line, issuing one coherence-level persist
 	// request per line and waiting for its completion — the serialized
 	// critical path that lazy persistency takes transactions off of.
+	prev = e.m.SetCause(profile.CauseCommitData)
 	e.persistMarkedLines()
+	e.m.SetCause(prev)
 	e.writeCommitMarker()
 }
 
 // commitRedo: log-free lines -> logs -> commit record -> logged lines.
 func (e *Engine) commitRedo() {
 	// 1. Log-free lines must reach PM before the logged data (Fig. 4).
+	prev := e.m.SetCause(profile.CauseCommitData)
 	e.wsKeyBuf = sortedKeys(e.wsKeyBuf, e.cur.writeLines)
 	for _, la := range e.wsKeyBuf {
 		if e.cur.writeLines[la]&wsLogged != 0 {
@@ -682,13 +694,16 @@ func (e *Engine) commitRedo() {
 		}
 	}
 	// 2. Redo records (refreshed to final values) and commit marker.
+	e.m.SetCause(profile.CauseLogPersist)
 	e.m.PushStream()
 	e.sink.drain()
 	e.m.PopStream()
+	e.m.SetCause(prev)
 	e.m.AckBarrier()
 	e.writeCommitMarker()
 	// 3. Logged data lines (in-place update is now safe; wsKeyBuf still
 	// holds the sorted write set from stage 1).
+	prev = e.m.SetCause(profile.CauseCommitData)
 	for _, la := range e.wsKeyBuf {
 		if e.cur.writeLines[la]&wsLogged == 0 {
 			continue
@@ -703,6 +718,7 @@ func (e *Engine) commitRedo() {
 			e.m.Stats.EagerLinePersists++
 		}
 	}
+	e.m.SetCause(prev)
 	clear(e.suppressed)
 	e.clearTxMeta()
 }
@@ -741,6 +757,8 @@ func (e *Engine) clearTxMeta() {
 
 // writeCommitMarker persists the committed state in the log header.
 func (e *Engine) writeCommitMarker() {
+	prev := e.m.SetCause(profile.CauseCommitMarker)
+	defer e.m.SetCause(prev)
 	mode := uint64(logfmt.ModeUndo)
 	if e.cfg.Mode == Redo {
 		mode = logfmt.ModeRedo
@@ -829,8 +847,10 @@ func (e *Engine) WriteSetLines() []mem.Addr {
 // not specific to a context — and an active transaction simply resumes
 // when the thread is switched back in.
 func (e *Engine) ContextSwitch() {
+	prev := e.m.SetCause(profile.CauseLogPersist)
 	e.m.PushStream()
 	e.sink.drain()
 	e.m.PopStream()
+	e.m.SetCause(prev)
 	e.m.AckBarrier()
 }

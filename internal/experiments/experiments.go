@@ -39,6 +39,8 @@ func Run(w io.Writer, name string, base bench.RunConfig) error {
 		return Mixes(w, base)
 	case "scaling":
 		return Scaling(w, base)
+	case "breakdown":
+		return Breakdown(w, base)
 	case "all":
 		for _, n := range Names() {
 			if err := Run(w, n, base); err != nil {
@@ -48,17 +50,18 @@ func Run(w io.Writer, name string, base bench.RunConfig) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q (try fig8..fig14, headline, ablation, model, mixes, scaling, all)", name)
+		return fmt.Errorf("unknown experiment %q (try fig8..fig14, headline, ablation, model, mixes, scaling, breakdown, all)", name)
 	}
 }
 
 // Names returns the individual experiment names in the order "all" runs
-// them. "scaling" is last: everything before it reproduces the paper's
-// single-core evaluation unchanged; scaling is the multi-core extension.
+// them. Everything before "scaling" reproduces the paper's single-core
+// evaluation unchanged; "scaling" (multi-core) and "breakdown"
+// (cycle-attribution profiling) are extensions.
 func Names() []string {
 	return []string{
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-		"headline", "ablation", "model", "mixes", "scaling",
+		"headline", "ablation", "model", "mixes", "scaling", "breakdown",
 	}
 }
 

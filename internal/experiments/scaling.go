@@ -41,9 +41,11 @@ func Scaling(out io.Writer, base bench.RunConfig) error {
 				cfg.Scheme = s
 				cfg.Workload = w
 				cfg.Cores = c
-				// Interval metrics feed the latency/occupancy tables
-				// below (observation-only: timing is unchanged).
+				// Interval metrics feed the latency/occupancy tables and
+				// the profiler feeds the WPQ-share table below (both
+				// observation-only: timing is unchanged).
 				cfg.Metrics = true
+				cfg.Profile = true
 				cfgs = append(cfgs, cfg)
 			}
 		}
@@ -84,12 +86,16 @@ func Scaling(out io.Writer, base bench.RunConfig) error {
 	tocc := bench.NewTable(
 		"Scaling: WPQ occupancy (bytes, high-water/time-weighted mean)",
 		cols...)
+	twpq := bench.NewTable(
+		"Scaling: cycle share spent on the WPQ (enqueue + queue-full stalls + sync persists)",
+		cols...)
 	for _, s := range ss {
 		for _, w := range ws {
 			rowS := []string{s, w}
 			rowT := []string{s, w}
 			rowL := []string{s, w}
 			rowO := []string{s, w}
+			rowW := []string{s, w}
 			one := byKey[s][w][1]
 			for _, c := range ScalingCores {
 				r := byKey[s][w][c]
@@ -99,17 +105,20 @@ func Scaling(out io.Writer, base bench.RunConfig) error {
 					r.Summary.CommitP50, r.Summary.CommitP95, r.Summary.CommitP99))
 				rowO = append(rowO, fmt.Sprintf("%d/%d",
 					r.Counters.WPQOccMaxBytes, r.Counters.WPQOccAvgBytes))
+				rowW = append(rowW, bench.Pct(wpqShare(r)))
 			}
 			tsp.AddRow(rowS...)
 			ttr.AddRow(rowT...)
 			tlat.AddRow(rowL...)
 			tocc.AddRow(rowO...)
+			twpq.AddRow(rowW...)
 		}
 	}
 	fmt.Fprintln(out, tsp)
 	fmt.Fprintln(out, ttr)
 	fmt.Fprintln(out, tlat)
 	fmt.Fprintln(out, tocc)
+	fmt.Fprintln(out, twpq)
 
 	fmt.Fprintln(out, "(cores share one structure, LLC, and PM write-pending queue; the")
 	fmt.Fprint(out, " deterministic interleaver makes every cell exactly reproducible)\n")
@@ -123,4 +132,19 @@ func normCores(c int) int {
 		return 1
 	}
 	return c
+}
+
+// wpqShare is the fraction of the run's attributed core-cycles spent
+// against the device write queue (the "wpq" cause group), the direct
+// measure of write-bandwidth saturation.
+func wpqShare(r bench.Result) float64 {
+	by := r.Causes.ByGroup()
+	var total uint64
+	for _, v := range by { //slpmt:determinism-ok order-independent sum
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(by["wpq"]) / float64(total)
 }

@@ -6,6 +6,7 @@ import (
 	"github.com/persistmem/slpmt/internal/cache"
 	"github.com/persistmem/slpmt/internal/mem"
 	"github.com/persistmem/slpmt/internal/pmem"
+	"github.com/persistmem/slpmt/internal/profile"
 	"github.com/persistmem/slpmt/internal/stats"
 	"github.com/persistmem/slpmt/internal/trace"
 )
@@ -32,6 +33,13 @@ type Core struct {
 
 	sh *Machine      // shared L3 / PM / vol
 	tr *trace.Tracer // nil unless the machine was built with a tracer
+
+	// prof, when non-nil, receives a cycle-attribution charge for every
+	// clock advance (see charge). cause is the active attribution
+	// context the engine installs around multi-persist operations; with
+	// no context, persists fall to the generic WPQ buckets.
+	prof  *profile.Profile
+	cause profile.Cause
 
 	// PersistCount counts durable-write events; with CrashAfter != 0
 	// the core panics with CrashSignal when the count reaches it —
@@ -88,8 +96,44 @@ func (c *Core) Trace(kind trace.Kind, addr mem.Addr, arg uint64) {
 // Config returns the machine configuration.
 func (c *Core) Config() Config { return c.sh.cfg }
 
+// charge advances the clock by n cycles attributed to cause. Every
+// clock advance goes through here, so the profile's per-core sums equal
+// the clock totals by construction (the conservation invariant). With
+// no profile attached (the common case) the cost over a bare += is one
+// branch; attribution is observation-only either way.
+//
+//slpmt:noalloc
+func (c *Core) charge(cause profile.Cause, n uint64) {
+	c.Clk += n
+	if c.prof != nil && n != 0 {
+		c.chargeProfile(cause, n)
+	}
+}
+
+// chargeProfile records an attribution charge in the profile and the
+// trace. KCharge events are emitted only on profiled runs, so plain
+// traced runs see an unchanged event stream.
+//
+//slpmt:noalloc
+func (c *Core) chargeProfile(cause profile.Cause, n uint64) {
+	c.prof.Add(c.ID, cause, n)
+	c.tr.Emit(uint8(c.ID), c.Clk, trace.KCharge, uint64(cause), n)
+}
+
+// SetCause installs cause as the attribution context for subsequent
+// persists and returns the previous context, which the caller must
+// restore. The engine brackets multi-persist operations (commit stages,
+// lazy drains, log appends) with it.
+//
+//slpmt:noalloc
+func (c *Core) SetCause(cause profile.Cause) profile.Cause {
+	prev := c.cause
+	c.cause = cause
+	return prev
+}
+
 // Tick advances the clock by n compute cycles.
-func (c *Core) Tick(n uint64) { c.Clk += n }
+func (c *Core) Tick(n uint64) { c.charge(profile.CauseCompute, n) }
 
 // ReadMem copies the current (volatile) contents at addr into p. Purely
 // functional: no timing. The volatile image is shared by all cores.
@@ -132,7 +176,7 @@ func (c *Core) AccessLine(addr mem.Addr, write bool) *cache.Line {
 
 	// L1.
 	if l := c.L1.Lookup(la); l != nil {
-		c.Clk += c.L1.Latency()
+		c.charge(profile.CauseL1Hit, c.L1.Latency())
 		c.Stats.L1Hits++
 		if write && l.State != cache.Modified {
 			if l.State == cache.Shared {
@@ -145,11 +189,11 @@ func (c *Core) AccessLine(addr mem.Addr, write bool) *cache.Line {
 		return l
 	}
 	c.Stats.L1Misses++
-	c.Clk += c.L1.Latency()
+	c.charge(profile.CauseL1Miss, c.L1.Latency())
 
 	// L2.
 	if l2 := c.L2.Lookup(la); l2 != nil {
-		c.Clk += c.L2.Latency()
+		c.charge(profile.CauseL2Hit, c.L2.Latency())
 		c.Stats.L2Hits++
 		c.Trace(trace.KCacheMiss, la, 2)
 		line, _ := c.L2.Remove(la)
@@ -161,7 +205,7 @@ func (c *Core) AccessLine(addr mem.Addr, write bool) *cache.Line {
 		return c.finishFill(line, write)
 	}
 	c.Stats.L2Misses++
-	c.Clk += c.L2.Latency()
+	c.charge(profile.CauseL2Miss, c.L2.Latency())
 
 	// The request leaves the private caches: announce writes to the
 	// other cores (lazy-persistency signature checks key on coherence
@@ -187,7 +231,7 @@ func (c *Core) AccessLine(addr mem.Addr, write bool) *cache.Line {
 
 	// L3.
 	if l3 := c.sh.L3.Lookup(la); l3 != nil {
-		c.Clk += c.sh.L3.Latency()
+		c.charge(profile.CauseLLCHit, c.sh.L3.Latency())
 		c.Stats.L3Hits++
 		c.Trace(trace.KCacheMiss, la, 3)
 		line, _ := c.sh.L3.Remove(la)
@@ -198,10 +242,10 @@ func (c *Core) AccessLine(addr mem.Addr, write bool) *cache.Line {
 		return c.finishFill(line, write)
 	}
 	c.Stats.L3Misses++
-	c.Clk += c.sh.L3.Latency()
+	c.charge(profile.CauseLLCMiss, c.sh.L3.Latency())
 
 	// PM demand fill.
-	c.Clk += c.sh.PM.ReadCycles()
+	c.charge(profile.CausePMRead, c.sh.PM.ReadCycles())
 	c.Stats.PMReadBytes += mem.LineSize
 	c.Trace(trace.KCacheMiss, la, 4)
 	return c.finishFill(cache.Line{Addr: la, State: cache.Exclusive}, write)
@@ -305,10 +349,11 @@ func panicUnbalanced(pop, push string) {
 // acknowledgement round trip. Entries posted outside the section (lazy
 // drains, writebacks) are not waited on.
 func (c *Core) AckBarrier() {
+	wait := c.sh.PM.Config().AckCycles
 	if c.streamFinish > c.Clk {
-		c.Clk = c.streamFinish
+		wait += c.streamFinish - c.Clk
 	}
-	c.Clk += c.sh.PM.Config().AckCycles
+	c.charge(profile.CauseLogSync, wait)
 }
 
 // persist routes a durable write through the sync, streamed or async
@@ -341,8 +386,35 @@ func (c *Core) persist(addr mem.Addr, data []byte) {
 	default:
 		stall = c.sh.PM.Persist(c.Clk, addr, data)
 	}
-	c.Clk += stall
+	c.chargePersist(stall)
 	c.chargeStall(stall)
+}
+
+// chargePersist advances the clock by a persist's stall, decomposed for
+// attribution: time waited for WPQ space is always charged to the stall
+// bucket (queue backpressure stays first-class even inside an engine
+// context); the remainder goes to the active context, or — with none
+// set — splits into the fixed enqueue cost and the synchronous
+// service/ack remainder.
+//
+//slpmt:noalloc
+func (c *Core) chargePersist(stall uint64) {
+	waited := c.sh.PM.LastWaited()
+	if waited > stall {
+		waited = stall
+	}
+	rest := stall - waited
+	if cause := c.cause; cause != profile.CauseNone {
+		c.charge(cause, rest)
+	} else {
+		enq := c.sh.PM.Config().EnqueueCycles
+		if enq > rest {
+			enq = rest
+		}
+		c.charge(profile.CauseWPQEnqueue, enq)
+		c.charge(profile.CausePersistSync, rest-enq)
+	}
+	c.charge(profile.CauseWPQStall, waited)
 }
 
 // writeback writes a dirty L3 victim's current contents to PM (always
@@ -371,9 +443,11 @@ func (c *Core) writeback(addr mem.Addr) {
 func (c *Core) coherenceWriteback(addr mem.Addr) {
 	var buf [mem.LineSize]byte
 	c.ReadMem(addr, buf[:])
+	prev := c.SetCause(profile.CauseCoherence)
 	c.PushAsync()
 	c.persist(addr, buf[:])
 	c.PopAsync()
+	c.cause = prev
 	c.Stats.PMWriteBytesData += mem.LineSize
 	c.Stats.PMWriteEntries++
 	c.Stats.CoherenceWritebacks++
@@ -500,7 +574,14 @@ func (c *Core) PersistLogLine(logAddr mem.Addr, data []byte) {
 	}
 	// Keep the volatile image in sync so post-abort code sees the log.
 	c.WriteMem(logAddr, data)
+	// Log-line writes default to the log-persist bucket unless the
+	// engine installed a more specific context (commit marker, append).
+	prev := c.cause
+	if prev == profile.CauseNone {
+		c.cause = profile.CauseLogPersist
+	}
 	c.persist(logAddr, data)
+	c.cause = prev
 	c.Stats.PMWriteBytesLog += mem.LineSize
 	c.Stats.PMWriteEntries++
 }

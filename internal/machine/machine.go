@@ -34,6 +34,7 @@ import (
 	"github.com/persistmem/slpmt/internal/cache"
 	"github.com/persistmem/slpmt/internal/mem"
 	"github.com/persistmem/slpmt/internal/pmem"
+	"github.com/persistmem/slpmt/internal/profile"
 	"github.com/persistmem/slpmt/internal/stats"
 	"github.com/persistmem/slpmt/internal/trace"
 )
@@ -56,6 +57,12 @@ type Config struct {
 	// advances a clock or counter, so traced and untraced runs produce
 	// bit-identical results.
 	Trace *trace.Tracer
+	// Profile, when non-nil, receives a cycle-attribution charge for
+	// every clock advance on every core (must have at least Cores
+	// accumulators; see profile.New). Like tracing it is
+	// observation-only: profiled and unprofiled runs produce
+	// bit-identical cycles, counters, and non-KCharge trace events.
+	Profile *profile.Profile
 }
 
 // DefaultConfig returns the paper's evaluation platform (Table III): a
@@ -156,6 +163,7 @@ func New(cfg Config) *Machine {
 			Stats:  &stats.Counters{},
 			sh:     m,
 			tr:     cfg.Trace,
+			prof:   cfg.Profile,
 		}
 	}
 	return m
@@ -242,7 +250,7 @@ func (m *Machine) snoopFetch(c *Core, la mem.Addr, write bool) (found, shared bo
 		}
 	}
 	if found {
-		c.Clk += m.cfg.CoherenceCycles
+		c.charge(profile.CauseCoherence, m.cfg.CoherenceCycles)
 		c.Stats.CoherenceSnoops++
 		var w uint64
 		if write {
@@ -282,7 +290,7 @@ func (m *Machine) snoopUpgrade(c *Core, la mem.Addr) {
 		}
 	}
 	if found {
-		c.Clk += m.cfg.CoherenceCycles
+		c.charge(profile.CauseCoherence, m.cfg.CoherenceCycles)
 		c.Stats.CoherenceSnoops++
 		c.Trace(trace.KCohSnoop, la, 1)
 	}

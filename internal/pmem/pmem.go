@@ -107,6 +107,7 @@ type Device struct {
 	queue      []entry
 	usedBytes  int
 	lastFinish uint64   // finish time of the most recently enqueued entry
+	lastWaited uint64   // WPQ-space wait of the most recent persist call
 	recent     []uint64 // recent finish times (bank occupancy window)
 
 	// Totals (timing-model introspection; traffic accounting is done by
@@ -245,6 +246,7 @@ func (d *Device) panicTooLarge(n int) {
 //
 //slpmt:noalloc
 func (d *Device) Persist(now uint64, addr uint64, data []byte) (stall uint64) {
+	d.lastWaited = 0
 	n := len(data)
 	if n == 0 {
 		return 0
@@ -273,6 +275,7 @@ func (d *Device) Persist(now uint64, addr uint64, data []byte) (stall uint64) {
 	if waited > 0 {
 		d.tr.Emit(d.curCore, t, trace.KWPQStall, addr, waited)
 	}
+	d.lastWaited = waited
 	fin := d.bankFinish(t)
 	d.enqueue(entry{bytes: n, finish: fin, core: d.curCore}, t)
 	d.tr.Emit(d.curCore, t, trace.KWPQEnqueue, addr, uint64(d.usedBytes))
@@ -297,6 +300,7 @@ func (d *Device) Persist(now uint64, addr uint64, data []byte) (stall uint64) {
 //
 //slpmt:noalloc
 func (d *Device) PersistStream(now uint64, addr uint64, data []byte) (stall uint64) {
+	d.lastWaited = 0
 	n := len(data)
 	if n == 0 {
 		return 0
@@ -322,12 +326,20 @@ func (d *Device) PersistStream(now uint64, addr uint64, data []byte) (stall uint
 	if waited > 0 {
 		d.tr.Emit(d.curCore, t, trace.KWPQStall, addr, waited)
 	}
+	d.lastWaited = waited
 	fin := d.bankFinish(t)
 	d.enqueue(entry{bytes: n, finish: fin, core: d.curCore}, t)
 	d.tr.Emit(d.curCore, t, trace.KWPQEnqueue, addr, uint64(d.usedBytes))
 	d.totalStall += stall - d.cfg.EnqueueCycles
 	return stall
 }
+
+// LastWaited returns the WPQ-space wait (cycles) incurred by the most
+// recent Persist/PersistStream call on any core — 0 for async persists,
+// which never stall the core. The machine layer reads it immediately
+// after a persist to attribute queue backpressure separately from
+// service time.
+func (d *Device) LastWaited() uint64 { return d.lastWaited }
 
 // LastFinish returns the finish time of the most recently enqueued
 // entry (0 if none yet) — used by the machine layer to implement
@@ -363,6 +375,7 @@ func (d *Device) bankFinish(t uint64) uint64 {
 //
 //slpmt:noalloc
 func (d *Device) PersistAsync(now uint64, addr uint64, data []byte) (stall uint64) {
+	d.lastWaited = 0
 	n := len(data)
 	if n == 0 {
 		return 0

@@ -1,0 +1,38 @@
+package report
+
+import "github.com/persistmem/slpmt/internal/profile"
+
+// causeHelp is the one-line explanation each attribution cause gets in
+// the HTML report's breakdown tables. slpmtvet's trace-coverage pass
+// checks this map names every cause (mirroring the Counters ↔
+// canonicalRows check): adding a cause to internal/profile without
+// documenting it here is a vet failure, not a silent blank cell.
+var causeHelp = map[profile.Cause]string{
+	profile.CauseCompute:      "workload compute between memory operations",
+	profile.CauseL1Hit:        "loads/stores served by the private L1",
+	profile.CauseL1Miss:       "L1 probe cost on a miss, before the L2 lookup",
+	profile.CauseL2Hit:        "fills served by the private L2",
+	profile.CauseL2Miss:       "L2 probe cost on a miss, before the LLC lookup",
+	profile.CauseLLCHit:       "fills served by the shared LLC",
+	profile.CauseLLCMiss:      "LLC probe cost on a miss, before the PM read",
+	profile.CausePMRead:       "line fills read from the PM device",
+	profile.CauseCoherence:    "cross-core snoops, invalidations, and demand writebacks",
+	profile.CauseLogAppend:    "building and spilling log records into the log buffer",
+	profile.CauseLogPersist:   "draining full log lines to the PM log region",
+	profile.CauseLogSync:      "ordering barriers waiting on log durability (pm_sync)",
+	profile.CauseCommitMarker: "writing and persisting the commit marker",
+	profile.CauseCommitData:   "flushing transaction data lines at commit",
+	profile.CauseLazyDrain:    "deferred background persists of retained lines",
+	profile.CauseWPQEnqueue:   "handing persists to the device write-pending queue",
+	profile.CauseWPQStall:     "waiting for WPQ capacity (queue full back-pressure)",
+	profile.CausePersistSync:  "synchronous persist completion outside any context above",
+}
+
+// CauseHelp returns the explanation for a cause name ("" if unknown).
+func CauseHelp(name string) string {
+	c, ok := profile.ByName(name)
+	if !ok {
+		return ""
+	}
+	return causeHelp[c]
+}

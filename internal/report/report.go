@@ -1,0 +1,184 @@
+// Package report is the machine-readable benchmark schema and its
+// consumers: BENCH_<experiment>.json documents (written by slpmtbench
+// -json), the perf-regression comparator against committed baselines,
+// and the self-contained HTML run-report renderer (cmd/slpmtreport).
+//
+// The JSON schema is an external contract — CI baselines and any
+// scripts the user keeps around parse it — so fields are only ever
+// added, never renamed or removed.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/persistmem/slpmt/internal/bench"
+)
+
+// Result is the machine-readable form of one bench.Run outcome.
+type Result struct {
+	Scheme           string `json:"scheme"`
+	Workload         string `json:"workload"`
+	N                int    `json:"n"`
+	ValueSize        int    `json:"value_size"`
+	PMWriteNanos     uint64 `json:"pm_write_nanos,omitempty"`
+	Banks            int    `json:"banks,omitempty"`
+	WPQBytes         int    `json:"wpq_bytes,omitempty"`
+	Seed             uint64 `json:"seed,omitempty"`
+	Cores            int    `json:"cores,omitempty"`
+	Cycles           uint64 `json:"cycles"`
+	PMWriteBytesData uint64 `json:"pm_write_bytes_data"`
+	PMWriteBytesLog  uint64 `json:"pm_write_bytes_log"`
+	PMWriteBytes     uint64 `json:"pm_write_bytes"`
+	TxCommits        uint64 `json:"tx_commits"`
+	VerifyOK         bool   `json:"verify_ok"`
+
+	// Interval metrics, present when the run carried a tracer (the
+	// scaling experiment always does; see bench.RunConfig.Metrics).
+	CommitLatencyP50 uint64 `json:"commit_latency_p50,omitempty"`
+	CommitLatencyP95 uint64 `json:"commit_latency_p95,omitempty"`
+	CommitLatencyP99 uint64 `json:"commit_latency_p99,omitempty"`
+	LazyDrainP50     uint64 `json:"lazy_drain_p50,omitempty"`
+	LazyDrainP95     uint64 `json:"lazy_drain_p95,omitempty"`
+	LazyDrainP99     uint64 `json:"lazy_drain_p99,omitempty"`
+	WPQOccMaxBytes   uint64 `json:"wpq_occ_max_bytes,omitempty"`
+	WPQOccAvgBytes   uint64 `json:"wpq_occ_avg_bytes,omitempty"`
+
+	// CyclesByCause is the cycle-attribution breakdown (cause name →
+	// cycles, merged across cores), present when the run carried a
+	// profile (bench.RunConfig.Profile). Maps marshal in sorted key
+	// order, so the document stays byte-deterministic.
+	CyclesByCause map[string]uint64 `json:"cycles_by_cause,omitempty"`
+}
+
+// Key identifies the run configuration: two results with the same key
+// measure the same point of the parameter grid and are comparable
+// across baseline and candidate documents.
+func (r Result) Key() string {
+	return fmt.Sprintf("%s|%s|%d|%d|%d|%d|%d|%d|%d",
+		r.Scheme, r.Workload, r.N, r.ValueSize, r.PMWriteNanos, r.Banks, r.WPQBytes, r.Cores, r.Seed)
+}
+
+// Report is the top-level BENCH_<experiment>.json document.
+type Report struct {
+	Experiment  string   `json:"experiment"`
+	Parallel    int      `json:"parallel"`
+	WallMillis  float64  `json:"wall_ms"`
+	Runs        int      `json:"runs"`
+	TotalOps    uint64   `json:"total_ops"`
+	AllocsPerOp float64  `json:"allocs_per_op"`
+	BytesPerOp  float64  `json:"bytes_per_op"`
+	Results     []Result `json:"results"`
+}
+
+// FromResult converts one harness outcome to its wire form.
+func FromResult(r bench.Result) Result {
+	out := Result{
+		Scheme:           r.Scheme,
+		Workload:         r.Workload,
+		N:                r.N,
+		ValueSize:        r.ValueSize,
+		PMWriteNanos:     r.PMWriteNanos,
+		Banks:            r.Banks,
+		WPQBytes:         r.WPQBytes,
+		Seed:             r.Seed,
+		Cores:            r.Cores,
+		Cycles:           r.Cycles,
+		PMWriteBytesData: r.Counters.PMWriteBytesData,
+		PMWriteBytesLog:  r.Counters.PMWriteBytesLog,
+		PMWriteBytes:     r.PMWriteBytes(),
+		TxCommits:        r.Counters.TxCommits,
+		VerifyOK:         r.VerifyErr == nil,
+		CommitLatencyP50: r.Summary.CommitP50,
+		CommitLatencyP95: r.Summary.CommitP95,
+		CommitLatencyP99: r.Summary.CommitP99,
+		LazyDrainP50:     r.Summary.LazyP50,
+		LazyDrainP95:     r.Summary.LazyP95,
+		LazyDrainP99:     r.Summary.LazyP99,
+		WPQOccMaxBytes:   r.Counters.WPQOccMaxBytes,
+		WPQOccAvgBytes:   r.Counters.WPQOccAvgBytes,
+	}
+	if r.Causes != nil {
+		out.CyclesByCause = r.Causes.ByName()
+	}
+	return out
+}
+
+// FromResults builds the document for one experiment. The collector
+// sees results in completion order, which varies with the worker
+// schedule; results are sorted on the full config for stable files.
+func FromResults(name string, parallel int, wall time.Duration, mallocs, bytes uint64, results []bench.Result) Report {
+	rep := Report{
+		Experiment: name,
+		Parallel:   parallel,
+		WallMillis: float64(wall.Microseconds()) / 1000,
+		Runs:       len(results),
+		Results:    make([]Result, 0, len(results)),
+	}
+	for _, r := range results {
+		rep.TotalOps += uint64(r.N)
+		rep.Results = append(rep.Results, FromResult(r))
+	}
+	sort.Slice(rep.Results, func(i, j int) bool {
+		a, b := rep.Results[i], rep.Results[j]
+		if a.Scheme != b.Scheme {
+			return a.Scheme < b.Scheme
+		}
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.N != b.N {
+			return a.N < b.N
+		}
+		if a.ValueSize != b.ValueSize {
+			return a.ValueSize < b.ValueSize
+		}
+		if a.PMWriteNanos != b.PMWriteNanos {
+			return a.PMWriteNanos < b.PMWriteNanos
+		}
+		if a.Banks != b.Banks {
+			return a.Banks < b.Banks
+		}
+		if a.WPQBytes != b.WPQBytes {
+			return a.WPQBytes < b.WPQBytes
+		}
+		if a.Cores != b.Cores {
+			return a.Cores < b.Cores
+		}
+		return a.Seed < b.Seed
+	})
+	if rep.TotalOps > 0 {
+		rep.AllocsPerOp = float64(mallocs) / float64(rep.TotalOps)
+		rep.BytesPerOp = float64(bytes) / float64(rep.TotalOps)
+	}
+	return rep
+}
+
+// Filename is the conventional document name for an experiment.
+func Filename(experiment string) string { return "BENCH_" + experiment + ".json" }
+
+// Write marshals the document to path (2-space indent, trailing
+// newline), matching the format of every committed baseline.
+func (r Report) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads one BENCH_<experiment>.json document.
+func Load(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}

@@ -168,6 +168,9 @@ func WritePerfetto(w io.Writer, events []Event, opts PerfettoOptions) error {
 		case KWPQStall:
 			instant(e, "wpq.stall", "wpq",
 				map[string]any{"addr": e.Addr, "stall_cycles": e.Arg})
+		case KCharge:
+			instant(e, "charge", "charge",
+				map[string]any{"cause": e.Addr, "cycles": e.Arg})
 		}
 	}
 	// Close spans the ring's tail cut off, in core order so the exported

@@ -48,6 +48,7 @@ const (
 	KWPQEnqueue          // addr, arg = WPQ occupancy in bytes after enqueue
 	KWPQDrain            // arg = WPQ occupancy in bytes after the drain
 	KWPQStall            // addr, arg = cycles stalled waiting for WPQ space
+	KCharge              // addr = attribution cause (internal/profile Cause), arg = cycles charged
 	numKinds
 )
 
@@ -76,6 +77,7 @@ var kindNames = [numKinds]string{
 	KWPQEnqueue:     "wpq.enqueue",
 	KWPQDrain:       "wpq.drain",
 	KWPQStall:       "wpq.stall",
+	KCharge:         "charge",
 }
 
 // String returns the kind's display name.

@@ -42,6 +42,7 @@ import (
 	"github.com/persistmem/slpmt/internal/machine"
 	"github.com/persistmem/slpmt/internal/mem"
 	"github.com/persistmem/slpmt/internal/pmem"
+	"github.com/persistmem/slpmt/internal/profile"
 	"github.com/persistmem/slpmt/internal/schemes"
 	"github.com/persistmem/slpmt/internal/stats"
 	"github.com/persistmem/slpmt/internal/trace"
@@ -89,6 +90,11 @@ type Options struct {
 	// simulated machine (see internal/trace). Tracing is observation
 	// only: it never changes timing or counters.
 	Trace *trace.Tracer
+	// Profile, when non-nil, attaches a cycle-attribution profile to the
+	// simulated machine (see internal/profile): every clock advance is
+	// charged to one cause, and the per-core sums equal the clock totals
+	// exactly. Observation only, like Trace.
+	Profile *profile.Profile
 }
 
 // Schemes returns the available scheme names.
@@ -140,6 +146,9 @@ func (opts Options) resolve() (string, engine.Config, machine.Config) {
 	}
 	if opts.Trace != nil {
 		mc.Trace = opts.Trace
+	}
+	if opts.Profile != nil {
+		mc.Profile = opts.Profile
 	}
 	return name, cfg, mc
 }
