@@ -59,7 +59,7 @@ microbench:
 # Experiments gated by the perf-regression baseline (default flag
 # parameters: n=1000, value=256, seed=0 — what `-compare baselines/`
 # reproduces).
-BASELINE_EXPERIMENTS := headline scaling fig8
+BASELINE_EXPERIMENTS := headline scaling fig8 window
 
 # Regenerate the committed perf-regression baselines. Run after an
 # intentional model change (and eyeball the diff before committing).
@@ -84,4 +84,5 @@ compare:
 # (swap in fresh BENCH_*.json files to report on a local run).
 report:
 	$(GO) run ./cmd/slpmtreport -o report.html baselines/BENCH_headline.json \
-		baselines/BENCH_scaling.json baselines/BENCH_fig8.json
+		baselines/BENCH_scaling.json baselines/BENCH_fig8.json \
+		baselines/BENCH_window.json

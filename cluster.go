@@ -52,6 +52,14 @@ func NewCluster(cores int, opts Options) *Cluster {
 		c := plat.Core(i)
 		e := engine.New(c, cfg)
 		engines[i] = e
+		if cfg.CommitWindow > 1 {
+			// See New: epoch-quarantined frees release only once the
+			// freeing epoch's commit point is durable. Group closes seal
+			// every core's epoch together, so releasing the shared
+			// heap's parked frees at any engine's close is sound.
+			heap.EpochQuarantine(true)
+			e.SetEpochCloseHook(heap.ReleaseEpochFrees)
+		}
 		cl.Sys = append(cl.Sys, &System{Eng: e, Mach: c, Heap: heap, scheme: name})
 	}
 	plat.OnRemoteStore = func(src int, line mem.Addr) {
@@ -60,6 +68,13 @@ func NewCluster(cores int, opts Options) *Cluster {
 				e.CoherenceStore(line)
 			}
 		}
+	}
+	if cfg.CommitWindow > 1 && cores > 1 {
+		// Transactions on different cores exchange cache lines inside a
+		// commit window, so per-core epochs must become durable together:
+		// the group coordinates atomic multi-core closes and numbers
+		// transactions from one cluster-global sequence.
+		engine.NewEpochGroup(engines)
 	}
 	return cl
 }

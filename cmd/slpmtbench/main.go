@@ -15,6 +15,7 @@
 //	slpmtbench -experiment model     # timing-model knob sensitivity
 //	slpmtbench -experiment mixes     # YCSB A/B/C/E blends (extension)
 //	slpmtbench -experiment scaling   # throughput/traffic vs core count (extension)
+//	slpmtbench -experiment window    # group-commit window sensitivity (extension)
 //	slpmtbench -experiment all       # everything
 //
 // Flags -n, -value and -seed override the workload parameters. -cores
@@ -91,11 +92,12 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("experiment", "all", "experiment to run (fig8..fig14, headline, ablation, model, mixes, scaling, all)")
+		exp      = flag.String("experiment", "all", "experiment to run (fig8..fig14, headline, ablation, model, mixes, scaling, breakdown, window, all)")
 		n        = flag.Int("n", 1000, "insert operations per run")
 		value    = flag.Int("value", 256, "value size in bytes")
 		seed     = flag.Uint64("seed", 0, "key-stream seed (0 = default)")
 		cores    = flag.Int("cores", 1, "simulated core count (scaling sweeps its own counts)")
+		window   = flag.Int("commit-window", 0, "group-commit window W (0 or 1 = per-transaction protocol; the window experiment sweeps its own values)")
 		parallel = flag.Int("parallel", 0, "worker count for experiment grids (0 = GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "write machine-readable BENCH_<experiment>.json per experiment")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -110,7 +112,7 @@ func run() error {
 	flag.Parse()
 
 	bench.SetParallelism(*parallel)
-	base := bench.RunConfig{N: *n, ValueSize: *value, Seed: *seed, Verify: true, Cores: *cores}
+	base := bench.RunConfig{N: *n, ValueSize: *value, Seed: *seed, Verify: true, Cores: *cores, CommitWindow: *window}
 
 	if *sanitize {
 		base.Scheme = *scheme

@@ -37,6 +37,9 @@ type RunConfig struct {
 	WPQBytes int
 	// Seed selects the deterministic key stream (0 = default).
 	Seed uint64
+	// CommitWindow is the group-commit window W (0 or 1 = the
+	// per-transaction protocol; see engine.Config.CommitWindow).
+	CommitWindow int
 	// Verify runs the structure's invariant check after the measured
 	// region (errors are reported in the result).
 	Verify bool
@@ -137,12 +140,16 @@ func Run(cfg RunConfig) Result {
 		Machine:            mc,
 		PMWriteNanos:       cfg.PMWriteNanos,
 		ComputeCyclesPerOp: w.ComputeCost(),
+		CommitWindow:       cfg.CommitWindow,
 		Trace:              tr,
 		Profile:            prof,
 	})
 	if err := w.Setup(sys); err != nil {
 		panic(fmt.Sprintf("bench: setup %s: %v", cfg.Workload, err))
 	}
+	// Seal any epoch left open by setup so the measured region starts at
+	// a durability boundary and carries none of setup's deferred work.
+	sys.FinishEpoch()
 
 	load := ycsb.Load{N: cfg.N, ValueSize: cfg.ValueSize, Seed: cfg.Seed}
 	start := sys.Stats().Snapshot()

@@ -37,12 +37,16 @@ func RunMulti(cfg RunConfig) Result {
 		Machine:            mc,
 		PMWriteNanos:       cfg.PMWriteNanos,
 		ComputeCyclesPerOp: w.ComputeCost(),
+		CommitWindow:       cfg.CommitWindow,
 		Trace:              tr,
 		Profile:            prof,
 	})
 	if err := w.Setup(cl.Use(0)); err != nil {
 		panic(fmt.Sprintf("bench: setup %s: %v", cfg.Workload, err))
 	}
+	// Seal any epoch setup left open so the measured region starts at a
+	// durability boundary (setup runs on core 0 only).
+	cl.Use(0).FinishEpoch()
 
 	load := ycsb.Load{N: cfg.N, ValueSize: cfg.ValueSize, Seed: cfg.Seed}
 	keys := load.Keys()

@@ -1,0 +1,46 @@
+package bench
+
+import "testing"
+
+// TestWindowVerifyAcrossSchemes runs the group-commit window over undo
+// (SLPMT), redo (SLPMT-redo), and the bufferless direct path (EDE) at
+// several core counts, checking the structures verify and that epochs
+// actually close (the window is not silently ignored).
+func TestWindowVerifyAcrossSchemes(t *testing.T) {
+	for _, w := range []int{4, 16, 64} {
+		for _, cores := range []int{1, 2, 4} {
+			for _, wl := range []string{"hashtable", "rbtree", "kv-btree"} {
+				for _, s := range []string{"SLPMT", "SLPMT-redo", "EDE"} {
+					cfg := RunConfig{Scheme: s, Workload: wl, N: 300, ValueSize: 64, Verify: true, Cores: cores, CommitWindow: w}
+					r := Run(cfg)
+					if r.VerifyErr != nil {
+						t.Errorf("%s/%s W=%d cores=%d: %v", s, wl, w, cores, r.VerifyErr)
+					}
+					if r.Counters.EpochCloses == 0 {
+						t.Errorf("%s/%s W=%d cores=%d: no epoch closes", s, wl, w, cores)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWindowAttributionConserved checks the cycle-attribution profile
+// still sums exactly to the clock at every commit window — the epoch
+// close introduces a new cause (log.epoch) and must not leak cycles.
+func TestWindowAttributionConserved(t *testing.T) {
+	for _, w := range []int{1, 4, 16, 64} {
+		cfg := RunConfig{Scheme: "SLPMT", Workload: "hashtable", N: 300, ValueSize: 64,
+			Verify: true, Cores: 2, CommitWindow: w, Profile: true}
+		r := Run(cfg)
+		if r.VerifyErr != nil {
+			t.Fatalf("W=%d: %v", w, r.VerifyErr)
+		}
+		if err := r.Causes.Conserved(); err != nil {
+			t.Errorf("W=%d: attribution broke conservation: %v", w, err)
+		}
+		if w > 1 && r.Causes.ByName()["log.epoch"] == 0 {
+			t.Errorf("W=%d: no cycles attributed to log.epoch", w)
+		}
+	}
+}

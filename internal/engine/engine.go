@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"encoding/binary"
 	"fmt"
 	"slices"
 
@@ -66,6 +67,37 @@ type Engine struct {
 	// redo-mode filter; they must be force-persisted at commit.
 	suppressed map[mem.Addr]struct{}
 
+	// Group-commit state (CommitWindow > 1). An epoch spans up to
+	// CommitWindow committed transactions in one contiguous slice of
+	// the log stream; their ordering persists (watermark sync,
+	// durability barrier, data flush, commit marker) are issued once at
+	// the epoch close. The maps are nil below W=2, so every lookup on
+	// the per-transaction paths stays a nil-map probe.
+	epoch        uint64 // current epoch counter (header stamp)
+	epochOpen    bool   // an epoch is accepting commits
+	epochTxns    int    // transactions committed into the open epoch
+	epochClk     uint64 // core clock at epoch open (cycle-budget flush)
+	epochLastSeq uint64 // seq of the youngest committed transaction
+	txnStartOff  uint64 // running transaction's first record offset
+	closedSeq    uint64 // highest seq covered by a durable epoch close
+	// epochPending accumulates the committed transactions' eager
+	// write-set lines (class bits ORed) until the close's data flush;
+	// epochLogged their non-lazy logged lines, which gate evictions
+	// (undo: unsynced records; redo: writeback suppression).
+	epochPending map[mem.Addr]uint8
+	epochLogged  map[mem.Addr]struct{}
+	epochKeyBuf  []mem.Addr
+	// group coordinates multi-core closes: non-nil only on clustered
+	// engines with CommitWindow > 1, where per-core epochs must commit
+	// atomically as a group (see EpochGroup).
+	group *EpochGroup
+	// onEpochClose fires after an epoch's commit point is durable —
+	// the facade hooks the heap's epoch-quarantined frees here.
+	onEpochClose func()
+	// gseqBuf is the boundary record's payload scratch (the writer
+	// copies it out immediately; a field keeps Begin allocation-free).
+	gseqBuf [8]byte
+
 	// lazyPool recycles the per-transaction lazy-line sets that Commit
 	// hands off to retainedTx entries, so a steady stream of lazy
 	// transactions allocates no new maps.
@@ -111,6 +143,10 @@ func New(m *machine.Core, cfg Config) *Engine {
 		m:          m,
 		suppressed: make(map[mem.Addr]struct{}),
 	}
+	if cfg.CommitWindow > 1 {
+		e.epochPending = make(map[mem.Addr]uint8)
+		e.epochLogged = make(map[mem.Addr]struct{})
+	}
 	e.w = newLogWriter(m)
 	refresh := e.refreshRecord
 	if cfg.Buffer == BufferTiered {
@@ -123,6 +159,9 @@ func New(m *machine.Core, cfg Config) *Engine {
 	m.OnL3Writeback = e.onL3Writeback
 	if cfg.Mode == Redo {
 		m.WritebackFilter = e.writebackFilter
+	}
+	if cfg.CommitWindow > 1 {
+		m.OnCoherenceTake = e.onCoherenceTake
 	}
 	return e
 }
@@ -138,6 +177,27 @@ func (e *Engine) InTx() bool { return e.cur.active }
 
 // Seq returns the current transaction sequence number.
 func (e *Engine) Seq() uint64 { return e.seq }
+
+// grouped reports whether group commit (epoch batching) is active.
+func (e *Engine) grouped() bool { return e.cfg.CommitWindow > 1 }
+
+// Epoch returns the current epoch counter (introspection for tests).
+func (e *Engine) Epoch() uint64 { return e.epoch }
+
+// EpochOpen reports whether an epoch is still accepting commits, i.e.
+// some committed transactions are not yet durable (tests, harnesses).
+func (e *Engine) EpochOpen() bool { return e.epochOpen && e.epochTxns > 0 }
+
+// ClosedSeq returns the highest transaction sequence number covered by
+// a durable epoch close — the crash campaign's durability frontier.
+// Below W=2 every commit is its own durability point, so it equals
+// Seq().
+func (e *Engine) ClosedSeq() uint64 {
+	if !e.grouped() {
+		return e.seq
+	}
+	return e.closedSeq
+}
 
 // refreshRecord gives a record its final payload at spill time: undo
 // records keep the old value captured at store time; redo records are
@@ -180,7 +240,14 @@ func (e *Engine) Begin() {
 	if e.cur.active {
 		panic("engine: nested transactions are not supported")
 	}
-	e.seq++
+	if e.group != nil {
+		// Clustered group commit numbers transactions from the shared
+		// sequence: boundary records carry these values, and recovery
+		// relies on them to order interleaved cross-core records.
+		e.seq = e.group.nextSeq()
+	} else {
+		e.seq++
+	}
 	e.m.Trace(trace.KTxBegin, 0, e.seq)
 	id := e.nextID
 	e.nextID = (e.nextID + 1) % NumTxIDs
@@ -222,6 +289,11 @@ func (e *Engine) Begin() {
 	if e.cfg.Mode == Redo {
 		mode = logfmt.ModeRedo
 	}
+	if e.grouped() {
+		e.beginEpochTxn(mode)
+		e.m.Stats.TxBegins++
+		return
+	}
 	// The fresh header resets the watermark to the empty stream, so
 	// recovery can never attribute a previous transaction's records to
 	// this one. Posted: durable at enqueue under ADR.
@@ -236,6 +308,84 @@ func (e *Engine) Begin() {
 	})
 	e.m.PopAsync()
 	e.m.Stats.TxBegins++
+}
+
+// beginEpochTxn threads a new transaction into the core's epoch
+// stream. The first transaction of an epoch opens it with one posted
+// header write (the only per-epoch header persist until the close);
+// later transactions pay no header write at all — they spill the
+// previous transaction's buffered records and remember where their own
+// records start. The spill keeps the stream partitioned by
+// transaction, which the forced-close split and the abort path rely
+// on: every record below txnStartOff belongs to an earlier transaction
+// of the window.
+func (e *Engine) beginEpochTxn(mode uint64) {
+	e.m.PushAsync()
+	if e.epochOpen {
+		e.sink.spill()
+	} else {
+		e.epoch++
+		e.epochOpen = true
+		e.epochTxns = 0
+		e.epochClk = e.m.Clk
+		e.w.reset(e.seq)
+		e.w.writeHeader(logfmt.Header{
+			Magic:       logfmt.Magic,
+			Seq:         e.seq,
+			State:       logfmt.StateActive,
+			Mode:        mode,
+			Watermark:   logfmt.RecordsStart,
+			Epoch:       e.epoch,
+			CommittedTo: logfmt.RecordsStart,
+		})
+	}
+	e.w.seq = e.seq
+	e.txnStartOff = e.w.nextOff
+	// Every grouped transaction opens with a boundary record: an
+	// 8-byte payload carrying its sequence number at the sentinel
+	// address. The stream stays partitioned by transaction even after
+	// the log bits blur across the window, and recovery can order the
+	// units of different cores exactly (the group numbers transactions
+	// globally). txnStartOff points AT the boundary, so the forced-
+	// close split and the abort suffix both carry their sentinel.
+	binary.LittleEndian.PutUint64(e.gseqBuf[:], e.seq)
+	e.w.append(logbuf.Record{Addr: logfmt.BoundaryAddr, Data: e.gseqBuf[:]})
+	e.m.PopAsync()
+}
+
+// onCoherenceTake runs before a remote core's bus request takes a
+// dirty line out of this core's private caches, where the owner's
+// coherence writeback would persist the data. Under group commit the
+// line may carry values committed into the still-open epoch whose log
+// records are not yet covered by the durable watermark (records spill
+// only at the next Begin), so the data persist would break the
+// epoch-granular log-before-data invariant; the records are made
+// durable first — posted writes, since enqueue order is the ADR
+// durability order. Redo mode goes further: logged epoch data must not
+// reach PM before the epoch's commit point at all, so the take is
+// vetoed and the line joins the suppressed set that the close
+// force-persists. Installed only above W=1; at W=1 commit cleans every
+// logged line before another core can take it.
+func (e *Engine) onCoherenceTake(addr mem.Addr) bool {
+	_, epochLine := e.epochLogged[addr]
+	if epochLine || e.sink.hasLine(addr) {
+		e.m.PushAsync()
+		e.sink.flushLine(addr)
+		e.m.PopAsync()
+	}
+	if e.cfg.Mode == Redo {
+		if e.cur.active {
+			if cls, ok := e.cur.writeLines[addr]; ok && cls&wsLogged != 0 {
+				e.suppressed[addr] = struct{}{}
+				return false
+			}
+		}
+		if epochLine {
+			e.suppressed[addr] = struct{}{}
+			return false
+		}
+	}
+	return true
 }
 
 // Load performs a transactional (or, outside a transaction, plain) read
@@ -452,6 +602,12 @@ func (e *Engine) CoherenceStore(line mem.Addr) {
 // 0..idx (oldest first, as §III-C2 requires) and releases their IDs and
 // signatures.
 func (e *Engine) persistRetainedThrough(idx int) {
+	// Under group commit a forced drain persists lazy lines whose log
+	// records were discarded at commit; those commits must first stop
+	// being rollback-able, so the open epoch force-closes before any
+	// lazy data lands (the §III-C drains are the "forced drain from a
+	// remote conflict" interaction).
+	e.forceCloseEpoch()
 	// Lazy drains are posted persists off the critical path (§III-C3).
 	e.m.Trace(trace.KLazyDrainStart, 0, uint64(idx+1))
 	defer e.m.Trace(trace.KLazyDrainEnd, 0, uint64(idx+1))
@@ -493,6 +649,7 @@ func (e *Engine) takeLazySet() map[mem.Addr]struct{} {
 // call it at the end of the measured region so deferred traffic is
 // accounted.
 func (e *Engine) DrainLazy() {
+	e.forceCloseEpoch()
 	if len(e.retained) > 0 {
 		e.persistRetainedThrough(len(e.retained) - 1)
 	}
@@ -553,15 +710,28 @@ func (e *Engine) onL2Evict(l *cache.Line) {
 	defer e.m.PopAsync()
 	if l.LogBits != 0 || e.sink.hasLine(l.Addr) {
 		e.sink.flushLine(l.Addr)
+	} else if _, ok := e.epochLogged[l.Addr]; ok {
+		// A line committed into the open epoch evicts: its records were
+		// spilled at the next Begin (log bits already cleared), but the
+		// watermark may not cover them yet — sync before the data line
+		// can reach PM.
+		e.sink.flushLine(l.Addr)
 	}
 	if !l.Persist {
 		return
 	}
-	if e.cfg.Mode == Redo && e.cur.active {
-		if cls, ok := e.cur.writeLines[l.Addr]; ok && cls&wsLogged != 0 {
-			// Redo-logged data must not reach PM before the commit
-			// record; the line stays dirty and its L3 writeback is
-			// suppressed by the filter.
+	if e.cfg.Mode == Redo {
+		if e.cur.active {
+			if cls, ok := e.cur.writeLines[l.Addr]; ok && cls&wsLogged != 0 {
+				// Redo-logged data must not reach PM before the commit
+				// record; the line stays dirty and its L3 writeback is
+				// suppressed by the filter.
+				return
+			}
+		}
+		if _, ok := e.epochLogged[l.Addr]; ok {
+			// Same fence at epoch granularity: data logged by a committed
+			// window transaction waits for the epoch's commit marker.
 			return
 		}
 	}
@@ -582,10 +752,15 @@ func (e *Engine) onL3Writeback(addr mem.Addr) {
 // writebackFilter suppresses L3 writebacks of the current redo
 // transaction's logged lines.
 func (e *Engine) writebackFilter(addr mem.Addr) bool {
-	if !e.cur.active {
-		return true
+	if e.cur.active {
+		if cls, ok := e.cur.writeLines[addr]; ok && cls&wsLogged != 0 {
+			e.suppressed[addr] = struct{}{}
+			return false
+		}
 	}
-	if cls, ok := e.cur.writeLines[addr]; ok && cls&wsLogged != 0 {
+	if _, ok := e.epochLogged[addr]; ok {
+		// Logged data committed into the open epoch must not reach PM
+		// through a natural L3 writeback before the epoch's marker.
 		e.suppressed[addr] = struct{}{}
 		return false
 	}
@@ -610,7 +785,9 @@ func (e *Engine) Commit() {
 			e.m.Stats.LogRecordsDiscarded += uint64(n)
 		}
 	}
-	if e.cfg.Mode == Undo {
+	if e.grouped() {
+		e.commitGrouped()
+	} else if e.cfg.Mode == Undo {
 		e.commitUndo()
 	} else {
 		e.commitRedo()
@@ -639,6 +816,10 @@ func (e *Engine) Commit() {
 	e.m.Stats.TxCommits++
 	e.m.Trace(trace.KTxCommit, 0, e.cur.seq)
 	e.mirrorBufferStats()
+	if e.grouped() && (e.epochTxns >= e.cfg.CommitWindow ||
+		(e.cfg.EpochCycleBudget > 0 && e.m.Clk-e.epochClk >= e.cfg.EpochCycleBudget)) {
+		e.closeEpoch()
+	}
 }
 
 // mirrorBufferStats copies the tiered buffer's activity deltas into the
@@ -723,6 +904,291 @@ func (e *Engine) commitRedo() {
 	e.clearTxMeta()
 }
 
+// commitGrouped retires the transaction into the open epoch, deferring
+// every ordering persist (watermark sync, durability barrier, data
+// flush, commit marker) to the epoch close. Only cache metadata moves:
+// log bits clear so the next transaction in the window logs its own
+// old/new values for shared lines (making the epoch's record stream
+// reversible/replayable as a whole), while persist bits survive until
+// the close's data flush. The transaction's eager write-set lines and
+// its non-lazy logged lines accumulate in the epoch sets.
+func (e *Engine) commitGrouped() {
+	id := lineID(e.cur.id)
+	e.m.ForEachPrivate(func(level int, l *cache.Line) {
+		if l.TxID == id {
+			l.LogBits = 0
+		}
+	})
+	e.wsKeyBuf = sortedKeys(e.wsKeyBuf, e.cur.writeLines)
+	for _, la := range e.wsKeyBuf {
+		if _, lazy := e.cur.lazyLines[la]; lazy {
+			// Lazy lines keep their W=1 contract: no persist at any
+			// commit point, records discarded, structure-recoverable.
+			continue
+		}
+		cls := e.cur.writeLines[la]
+		e.epochPending[la] |= cls
+		if cls&wsLogged != 0 {
+			e.epochLogged[la] = struct{}{}
+		}
+	}
+	e.epochTxns++
+	e.epochLastSeq = e.cur.seq
+}
+
+// forceCloseEpoch seals the open epoch ahead of an operation that
+// needs the committed window durable (forced lazy drains, context
+// switches, harness durability boundaries). A no-op below W=2 or when
+// nothing has committed into the epoch. With a transaction mid-flight
+// the stream splits at its first record and the epoch reopens around
+// it.
+func (e *Engine) forceCloseEpoch() {
+	if !e.grouped() || !e.epochOpen || e.epochTxns == 0 {
+		return
+	}
+	e.closeEpoch()
+}
+
+// FinishEpoch force-closes the open group-commit epoch, making every
+// committed transaction of the window durable. Harnesses call it at
+// durability boundaries (end of a setup phase, measured-region edges).
+func (e *Engine) FinishEpoch() { e.forceCloseEpoch() }
+
+// SetEpochCloseHook registers f to run after every epoch close, once
+// the epoch's commit point is durable. The facade parks the heap's
+// committed frees until this point (see txheap.EpochQuarantine):
+// released at commit they could be reused — and scribbled with
+// log-free stores — inside the same window, while the durable state
+// still reaches the old blocks.
+func (e *Engine) SetEpochCloseHook(f func()) { e.onEpochClose = f }
+
+// closeEpoch seals the open epoch with the amortized ordering
+// sequence of Figure 4 lifted to epoch granularity: one log drain +
+// watermark sync, one durability barrier, the committed transactions'
+// accumulated data persists, and a single commit-marker header write
+// advancing CommittedTo over the whole window. With a transaction
+// still running (a forced close) the stream instead splits at its
+// first record: the header stays ACTIVE under a fresh epoch number
+// with CommittedTo covering exactly the committed prefix, so recovery
+// rolls back (undo) or ignores (redo) precisely the in-flight suffix.
+// Clustered engines route through the group: cross-core value flow
+// inside a window means per-core epochs must become durable together
+// or not at all.
+func (e *Engine) closeEpoch() {
+	if e.group != nil {
+		e.group.close(e)
+		return
+	}
+	e.prepareSync()
+	e.preparePersist()
+	e.finishClose()
+}
+
+// prepareSync is the first phase of an epoch close: the window's one
+// log drain + watermark sync and durability barrier. In a group close
+// EVERY engine syncs before ANY engine persists data — a data line
+// can hold words whose only undo records live in a peer's stream (the
+// line migrated mid-window), and persisting it while those records
+// are short of the peer's watermark would make the words unrecoverable
+// if the crash fell in between.
+func (e *Engine) prepareSync() {
+	prevEpoch := e.m.SetCause(profile.CauseLogEpoch)
+	e.epochKeyBuf = sortedKeys(e.epochKeyBuf, e.epochPending)
+
+	// The window's one drain + sync; the barrier charges to log.epoch
+	// (the AckBarrier picks up the active context) so the amortization
+	// is visible per-cause next to the per-transaction log.sync bucket.
+	prev := e.m.SetCause(profile.CauseLogPersist)
+	e.m.PushStream()
+	e.sink.drain()
+	e.m.PopStream()
+	e.m.SetCause(prev)
+	e.m.AckBarrier()
+	e.m.SetCause(prevEpoch)
+}
+
+// preparePersist is the second phase of an epoch close: the data
+// persists that must precede the epoch's commit point. Undo mode
+// persists the committed transactions' accumulated lines (their
+// records are durably visible after prepareSync — lines shared with a
+// still-running transaction are safe to persist mid-flight, a crash
+// rolls the suffix back). Redo mode persists only the log-free lines:
+// not covered by any record, they must be durable by the commit
+// point, while logged lines wait for it.
+func (e *Engine) preparePersist() {
+	prevEpoch := e.m.SetCause(profile.CauseLogEpoch)
+	prev := e.m.SetCause(profile.CauseCommitData)
+	for _, la := range e.epochKeyBuf {
+		if e.cfg.Mode == Redo && e.epochPending[la]&wsLogged != 0 {
+			continue
+		}
+		if e.m.PersistLine(la) {
+			e.m.Stats.EagerLinePersists++
+		}
+	}
+	e.m.SetCause(prev)
+	e.m.SetCause(prevEpoch)
+}
+
+// finishClose is the back half of an epoch close: the commit point
+// (solo engines write their commit-marker header here; grouped
+// engines had their commit point in the shared descriptor persist and
+// the header write merely catches the durable header up) and
+// everything ordered after it — redo logged-data persists, cache
+// metadata retirement, epoch bookkeeping. A transaction running
+// through the close reopens the stream around itself.
+func (e *Engine) finishClose() {
+	reopen := e.cur.active
+	mode := uint64(logfmt.ModeUndo)
+	if e.cfg.Mode == Redo {
+		mode = logfmt.ModeRedo
+	}
+	prevEpoch := e.m.SetCause(profile.CauseLogEpoch)
+
+	closed := e.epoch
+	committedEnd := e.w.nextOff
+	hdr := logfmt.Header{
+		Magic:     logfmt.Magic,
+		Mode:      mode,
+		Watermark: e.w.nextOff,
+		Epoch:     e.epoch,
+	}
+	if reopen {
+		committedEnd = e.txnStartOff
+		e.epoch++
+		hdr.Epoch = e.epoch
+		hdr.Seq = e.cur.seq
+		hdr.State = logfmt.StateActive
+		hdr.CommittedTo = e.txnStartOff
+	} else {
+		hdr.Seq = e.epochLastSeq
+		hdr.State = logfmt.StateCommitted
+		hdr.CommittedTo = e.w.nextOff
+	}
+	prev := e.m.SetCause(profile.CauseCommitMarker)
+	e.w.writeHeader(hdr)
+	e.m.SetCause(prev)
+
+	if e.cfg.Mode == Redo {
+		// Logged data lines persist only after the commit point. A line
+		// a running transaction is also logging stays volatile (its new
+		// epoch's commit point is not durable). Solo engines leave such
+		// lines to the sharer's own stream — same stream, no reset
+		// before a full close persists them. In a group the sharer is a
+		// DIFFERENT core whose stream cannot cover this one's reset, so
+		// the committed value is pinned into PM straight from the
+		// records (durable-only; the volatile line keeps the in-flight
+		// data).
+		prev = e.m.SetCause(profile.CauseCommitData)
+		var skipped []mem.Addr
+		for _, la := range e.epochKeyBuf {
+			if e.epochPending[la]&wsLogged == 0 {
+				continue
+			}
+			if e.activeLogged(la) {
+				if e.group != nil {
+					skipped = append(skipped, la)
+				}
+				continue
+			}
+			if _, wasSuppressed := e.suppressed[la]; wasSuppressed {
+				e.m.ForcePersistLine(la)
+				e.m.Stats.EagerLinePersists++
+				delete(e.suppressed, la)
+			} else if e.m.PersistLine(la) {
+				e.m.Stats.EagerLinePersists++
+			}
+		}
+		if len(skipped) > 0 {
+			e.shadowPersistCommitted(skipped, committedEnd)
+			for _, la := range skipped {
+				delete(e.suppressed, la)
+			}
+		}
+		e.m.SetCause(prev)
+	}
+	e.clearEpochPersistBits()
+
+	e.m.Trace(trace.KEpochClose, mem.Addr(mode-logfmt.ModeUndo), closed)
+	e.m.Stats.EpochCloses++
+	// The frontier advances only after the commit point persisted: a
+	// crash during the close leaves closedSeq at the previous epoch,
+	// and the durable image decides which prefix actually survived.
+	e.closedSeq = e.epochLastSeq
+	clear(e.epochPending)
+	clear(e.epochLogged)
+	e.epochTxns = 0
+	if reopen {
+		e.epochClk = e.m.Clk
+	} else {
+		e.epochOpen = false
+	}
+	e.m.SetCause(prevEpoch)
+	if e.onEpochClose != nil {
+		e.onEpochClose()
+	}
+}
+
+// activeLogged reports whether the line is logged by a transaction
+// running through the close — this engine's own, or any group peer's.
+func (e *Engine) activeLogged(la mem.Addr) bool {
+	if e.group != nil {
+		return e.group.activeLogged(la)
+	}
+	if !e.cur.active {
+		return false
+	}
+	cls, ok := e.cur.writeLines[la]
+	return ok && cls&wsLogged != 0
+}
+
+// shadowPersistCommitted pins the committed values of the given lines
+// into PM from this stream's own records: the committed region
+// [RecordsStart, to) is replayed over the lines' durable images (last
+// record per word wins — redo records carry new values) and the
+// results are persisted WITHOUT touching the volatile lines, which
+// hold a running transaction's newer, uncommitted data.
+func (e *Engine) shadowPersistCommitted(lines []mem.Addr, to uint64) {
+	raw := make([]byte, to)
+	e.m.PM.Read(e.m.Layout.LogBase, raw)
+	recs, err := logfmt.ParseRegion(raw, logfmt.RecordsStart, to)
+	if err != nil {
+		panic(fmt.Sprintf("engine: corrupt own log at epoch close: %v", err))
+	}
+	img := make(map[mem.Addr][]byte, len(lines))
+	for _, la := range lines {
+		buf := make([]byte, mem.LineSize)
+		e.m.PM.Read(la, buf)
+		img[la] = buf
+	}
+	for _, r := range recs {
+		if logfmt.IsBoundary(r) {
+			continue
+		}
+		src := 0
+		mem.LineRange(r.Addr, len(r.Data), func(line mem.Addr, off, n int) {
+			if buf, ok := img[line]; ok {
+				copy(buf[off:off+n], r.Data[src:src+n])
+			}
+			src += n
+		})
+	}
+	for _, la := range lines { // lines arrive sorted (epochKeyBuf order)
+		e.m.PersistShadow(la, img[la])
+	}
+}
+
+// clearEpochPersistBits retires the persist bits of the epoch's
+// pending lines after the close's data flush, mirroring the W=1
+// commit scan's metadata clear.
+func (e *Engine) clearEpochPersistBits() {
+	e.m.ForEachPrivate(func(level int, l *cache.Line) {
+		if _, ok := e.epochPending[l.Addr]; ok {
+			l.Persist = false
+		}
+	})
+}
+
 // persistMarkedLines scans the private caches (the hardware's commit
 // scan, §II) persisting every line whose persist bit is set and clearing
 // the transaction's metadata.
@@ -774,6 +1240,73 @@ func (e *Engine) writeCommitMarker() {
 	e.m.Trace(trace.KCommitMarker, mem.Addr(mode-logfmt.ModeUndo), e.cur.seq)
 }
 
+// abortGrouped revokes a transaction running under group commit. The
+// committed prefix of the window seals first — closeEpoch with reopen
+// splits the stream at the aborting transaction's first record and
+// makes every committed transaction of the window durable — so the
+// abort proper concerns only the record suffix [txnStartOff, nextOff).
+// The caller (Abort) then runs the shared tail: dropping and restoring
+// the transaction's logged lines and retiring the header to Idle.
+func (e *Engine) abortGrouped() {
+	if e.epochOpen && e.epochTxns > 0 {
+		e.closeEpoch()
+	} else if e.cfg.Mode == Undo {
+		// Empty window, but the aborting transaction's buffered records
+		// must still reach the log: restoring a line from the durable
+		// image is only correct once every logged old value has been
+		// applied back, and records buffered at abort time would
+		// otherwise vanish.
+		prev := e.m.SetCause(profile.CauseLogPersist)
+		e.m.PushStream()
+		e.sink.drain()
+		e.m.PopStream()
+		e.m.SetCause(prev)
+		e.m.AckBarrier()
+	} else {
+		e.sink.clear()
+	}
+	raw := make([]byte, e.m.Layout.LogSize)
+	e.m.PM.Read(e.m.Layout.LogBase, raw)
+	if e.cfg.Mode == Undo {
+		// Reverse-apply the suffix. Restoring straight from the durable
+		// image (the W=1 path) would resurrect pre-EPOCH values — the
+		// committed window transactions' data may have persisted only at
+		// the close just issued — but their committed values are exactly
+		// this transaction's logged old values, so applying the suffix
+		// back restores them to cache and PM.
+		recs, err := logfmt.ParseRegion(raw, e.txnStartOff, e.w.nextOff)
+		if err != nil {
+			panic(fmt.Sprintf("engine: corrupt own log on abort: %v", err))
+		}
+		for i := len(recs) - 1; i >= 0; i-- {
+			if logfmt.IsBoundary(recs[i]) {
+				continue
+			}
+			e.m.PersistData(recs[i].Addr, recs[i].Data)
+		}
+	} else {
+		// Redo records of the aborting transaction are unwanted new
+		// values and stay ignored (the marker's CommittedTo fences them
+		// off). But committed logged lines this transaction also wrote
+		// were left volatile by the close (the reopen skips lines shared
+		// with the running transaction), so replay the committed region
+		// forward to pin their committed values into cache and PM before
+		// the header drops to Idle.
+		recs, err := logfmt.ParseRegion(raw, logfmt.RecordsStart, e.txnStartOff)
+		if err != nil {
+			panic(fmt.Sprintf("engine: corrupt own log on abort: %v", err))
+		}
+		for _, r := range recs {
+			if logfmt.IsBoundary(r) {
+				continue
+			}
+			e.m.PersistData(r.Addr, r.Data)
+		}
+	}
+	e.epochOpen = false
+	e.epochTxns = 0
+}
+
 // Abort revokes the transaction (§V-B): buffered records and cached
 // updates of logged lines are dropped, undo records that already reached
 // PM are applied back to persistent data, and log-free lines are left
@@ -782,20 +1315,24 @@ func (e *Engine) Abort() {
 	if !e.cur.active {
 		panic("engine: Abort outside a transaction")
 	}
-	e.sink.clear()
+	if e.grouped() {
+		e.abortGrouped()
+	} else {
+		e.sink.clear()
 
-	if e.cfg.Mode == Undo {
-		// Apply durable undo records to persistent data (records for
-		// never-evicted lines never reached PM; their volatile updates
-		// are dropped below).
-		raw := make([]byte, e.m.Layout.LogSize)
-		e.m.PM.Read(e.m.Layout.LogBase, raw)
-		recs, err := logfmt.ParseRecords(raw, e.cur.seq)
-		if err != nil {
-			panic(fmt.Sprintf("engine: corrupt own log on abort: %v", err))
-		}
-		for i := len(recs) - 1; i >= 0; i-- {
-			e.m.PersistData(recs[i].Addr, recs[i].Data)
+		if e.cfg.Mode == Undo {
+			// Apply durable undo records to persistent data (records for
+			// never-evicted lines never reached PM; their volatile updates
+			// are dropped below).
+			raw := make([]byte, e.m.Layout.LogSize)
+			e.m.PM.Read(e.m.Layout.LogBase, raw)
+			recs, err := logfmt.ParseRecords(raw, e.cur.seq)
+			if err != nil {
+				panic(fmt.Sprintf("engine: corrupt own log on abort: %v", err))
+			}
+			for i := len(recs) - 1; i >= 0; i-- {
+				e.m.PersistData(recs[i].Addr, recs[i].Data)
+			}
 		}
 	}
 
@@ -847,6 +1384,7 @@ func (e *Engine) WriteSetLines() []mem.Addr {
 // not specific to a context — and an active transaction simply resumes
 // when the thread is switched back in.
 func (e *Engine) ContextSwitch() {
+	e.forceCloseEpoch()
 	prev := e.m.SetCause(profile.CauseLogPersist)
 	e.m.PushStream()
 	e.sink.drain()

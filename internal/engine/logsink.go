@@ -133,6 +133,12 @@ type logSink interface {
 	discardLine(line mem.Addr) int
 	// drain persists every buffered record and syncs the stream.
 	drain()
+	// spill appends every buffered record to the stream without a
+	// sync (no watermark advance, no ordering point). Group commit
+	// spills at transaction boundaries so the epoch stream stays
+	// partitioned by transaction: everything below the next
+	// transaction's start offset belongs to earlier transactions.
+	spill()
 	// clear drops all buffered state without persisting (abort).
 	clear()
 	// buffered returns a snapshot of the not-yet-persisted records.
@@ -180,6 +186,8 @@ func (s *tieredSink) drain() {
 	s.w.sync()
 	s.dirty = false
 }
+
+func (s *tieredSink) spill() { s.buf.DrainAll() }
 
 func (s *tieredSink) clear() { s.buf.Clear() }
 
@@ -230,6 +238,8 @@ func (s *directSink) drain() {
 	s.w.sync()
 	s.dirty = false
 }
+
+func (s *directSink) spill() {}
 
 func (s *directSink) clear() { s.dirty = false }
 

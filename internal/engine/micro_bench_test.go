@@ -5,6 +5,7 @@ package engine
 // `go test -bench=Micro ./internal/engine`.
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/persistmem/slpmt/internal/isa"
@@ -58,6 +59,69 @@ func BenchmarkMicroLoadHit(b *testing.B) {
 	b.StopTimer()
 	e.Commit()
 	_ = m
+}
+
+// BenchmarkMicroLogWriterAppendSync measures the raw logWriter: one
+// record appended per "transaction", with the watermark sync amortized
+// over a window of 1 (per-transaction protocol) or 16 (group commit).
+// The append/sync path itself is allocation-free — the record payload
+// rides in a caller-reused buffer and the writer packs it into its
+// line staging without copying out.
+func BenchmarkMicroLogWriterAppendSync(b *testing.B) {
+	for _, window := range []int{1, 16} {
+		b.Run(fmt.Sprintf("w%d", window), func(b *testing.B) {
+			w, m := newWriter()
+			payload := make([]byte, 8)
+			r := logbuf.Record{Addr: 0x1000, Data: payload}
+			limit := m.Layout.LogSize - 4096
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Addr = mem.Addr(0x1000 + (i%512)*8)
+				w.append(r)
+				if (i+1)%window == 0 {
+					w.sync()
+				}
+				if w.nextOff >= limit {
+					b.StopTimer()
+					w.reset(uint64(i))
+					b.StartTimer()
+				}
+			}
+			b.StopTimer()
+			w.sync()
+		})
+	}
+}
+
+// BenchmarkMicroLogAppendSync drives the full engine commit path in
+// steady state, per-transaction (w1) against group commit (w16) —
+// the end-to-end cost the logWriter benchmark isolates.
+func BenchmarkMicroLogAppendSync(b *testing.B) {
+	for _, w := range []int{1, 16} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			cfg := slpmtCfg()
+			cfg.CommitWindow = w
+			e, m := newEng(cfg)
+			base := m.Layout.HeapBase
+			// Warm the working set and the epoch maps.
+			for i := 0; i < 64; i++ {
+				e.Begin()
+				e.StoreU64(base+mem.Addr(i%16)*mem.LineSize, uint64(i), isa.Store, isa.Plain)
+				e.Commit()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Begin()
+				e.StoreU64(base+mem.Addr(i%16)*mem.LineSize, uint64(i), isa.Store, isa.Plain)
+				e.Commit()
+			}
+			b.StopTimer()
+			e.FinishEpoch()
+			b.ReportMetric(float64(m.Clk)/float64(b.N), "simcycles/txn")
+		})
+	}
 }
 
 func BenchmarkMicroLogBufferInsert(b *testing.B) {

@@ -39,12 +39,12 @@ func maskHostTime(s string) string {
 }
 
 // preRefactorNames is the experiment list of the pre-refactor "all"
-// (everything but the later scaling and breakdown extensions, which
-// did not exist when the goldens were captured).
+// (everything but the later scaling, breakdown, and window extensions,
+// which did not exist when the goldens were captured).
 func preRefactorNames() []string {
 	var out []string
 	for _, n := range experiments.Names() {
-		if n != "scaling" && n != "breakdown" {
+		if n != "scaling" && n != "breakdown" && n != "window" {
 			out = append(out, n)
 		}
 	}

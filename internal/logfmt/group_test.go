@@ -1,0 +1,57 @@
+package logfmt
+
+import (
+	"testing"
+
+	"github.com/persistmem/slpmt/internal/mem"
+)
+
+func TestBoundaryRecord(t *testing.T) {
+	if BoundaryAddr>>AddrBits != 0 {
+		t.Fatalf("boundary addr %#x does not fit the %d-bit record address field", BoundaryAddr, AddrBits)
+	}
+	r := Record{Addr: BoundaryAddr, Data: []byte{0x15, 0xcd, 0x5b, 0x07, 0, 0, 0, 0}}
+	if !IsBoundary(r) {
+		t.Error("record at BoundaryAddr not recognized as boundary")
+	}
+	if got := BoundarySeq(r); got != 123456789 {
+		t.Errorf("BoundarySeq = %d, want 123456789", got)
+	}
+	if IsBoundary(Record{Addr: BoundaryAddr - WordSizeBytes, Data: r.Data}) {
+		t.Error("non-sentinel address classified as boundary")
+	}
+}
+
+func TestGroupDescRoundtrip(t *testing.T) {
+	vec := []GroupEntry{
+		{Epoch: 7, Boundary: 4096},
+		{Epoch: 0, Boundary: 0},
+		{Epoch: 1 << 30, Boundary: 1<<32 - 64},
+	}
+	line := EncodeGroupDesc(vec)
+	got := DecodeGroupDesc(line[:])
+	for i, want := range vec {
+		if got[i] != want {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], want)
+		}
+	}
+	for i := len(vec); i < MaxGroupCores; i++ {
+		if got[i] != (GroupEntry{}) {
+			t.Errorf("entry %d = %+v, want zero", i, got[i])
+		}
+	}
+}
+
+func TestGroupDescZeroLineIsEmpty(t *testing.T) {
+	// PM starts zeroed and epochs start at 1, so an untouched
+	// descriptor line must decode to "nothing committed" everywhere.
+	zero := make([]byte, LineBytes)
+	for i, e := range DecodeGroupDesc(zero) {
+		if e.Epoch != 0 || e.Boundary != 0 {
+			t.Fatalf("zero line decodes entry %d = %+v", i, e)
+		}
+	}
+	if int(LineBytes) != int(mem.LineSize) {
+		t.Fatalf("descriptor line size %d != cache line size %d", LineBytes, mem.LineSize)
+	}
+}

@@ -4,12 +4,14 @@
 //
 // Layout (all fields little-endian, offsets relative to the log base):
 //
-//	+0   magic      "SLPMTLOG"
-//	+8   sequence   transaction sequence number (increments per Begin)
-//	+16  state      0 idle, 1 active, 2 committed
-//	+24  mode       1 undo, 2 redo
-//	+32  watermark  offset one past the last durably complete record
-//	+64  records    packed log records
+//	+0   magic       "SLPMTLOG"
+//	+8   sequence    transaction sequence number (increments per Begin)
+//	+16  state       0 idle, 1 active, 2 committed
+//	+24  mode        1 undo, 2 redo
+//	+32  watermark   offset one past the last durably complete record
+//	+40  epoch       per-core group-commit epoch counter (0 = per-txn)
+//	+48  committedTo offset one past the last committed record (0 = per-txn)
+//	+64  records     packed log records
 //
 // The watermark solves the torn-record problem: records are packed into
 // line-sized PM writes, so a crash can persist a record's address word
@@ -32,6 +34,19 @@
 // and the next terminator sync: stale records carry older sequence tags
 // and are rejected. Record application is idempotent, so re-parsing a
 // prefix after a crash is safe. Data addresses are limited to 48 bits.
+//
+// Group commit (epochs). With a commit window above one transaction,
+// the stream holds the records of every transaction committed since the
+// epoch opened, and durability moves to epoch granularity: the epoch
+// field stamps the stream's generation and committedTo splits it into a
+// committed prefix [RecordsStart, committedTo) and an open suffix
+// [committedTo, watermark). A single header persist at epoch close
+// advances committedTo and the state together, standing in for the
+// per-transaction commit marker. Recovery treats the committed prefix
+// as durable (replayed forward in redo mode) and the open suffix as
+// torn (rolled back in reverse in undo mode) — all-or-nothing per
+// epoch. Both fields are zero in per-transaction mode, keeping the
+// encoded header byte-identical to the pre-epoch layout.
 package logfmt
 
 import (
@@ -54,6 +69,12 @@ const (
 	// OffWatermark holds the offset (from the log base) one past the
 	// last record guaranteed durably complete.
 	OffWatermark = 32
+	// OffEpoch holds the per-core group-commit epoch counter; zero means
+	// the stream uses per-transaction commit semantics.
+	OffEpoch = 40
+	// OffCommittedTo holds the offset one past the last record covered
+	// by a durable epoch close; zero means per-transaction semantics.
+	OffCommittedTo = 48
 	// RecordsStart is the offset of the first record (one cache line in,
 	// so header and records never share a PM write).
 	RecordsStart = 64
@@ -72,13 +93,17 @@ const (
 	ModeRedo = 2
 )
 
-// Header is the decoded log-area header.
+// Header is the decoded log-area header. Epoch and CommittedTo are zero
+// for per-transaction streams, so their encoding is byte-identical to
+// the pre-epoch layout.
 type Header struct {
-	Magic     uint64
-	Seq       uint64
-	State     uint64
-	Mode      uint64
-	Watermark uint64
+	Magic       uint64
+	Seq         uint64
+	State       uint64
+	Mode        uint64
+	Watermark   uint64
+	Epoch       uint64
+	CommittedTo uint64
 }
 
 // EncodeHeader serializes h into a 64-byte line buffer.
@@ -89,6 +114,8 @@ func EncodeHeader(h Header) [mem.LineSize]byte {
 	binary.LittleEndian.PutUint64(b[OffState:], h.State)
 	binary.LittleEndian.PutUint64(b[OffMode:], h.Mode)
 	binary.LittleEndian.PutUint64(b[OffWatermark:], h.Watermark)
+	binary.LittleEndian.PutUint64(b[OffEpoch:], h.Epoch)
+	binary.LittleEndian.PutUint64(b[OffCommittedTo:], h.CommittedTo)
 	return b
 }
 
@@ -96,11 +123,13 @@ func EncodeHeader(h Header) [mem.LineSize]byte {
 // RecordsStart long).
 func DecodeHeader(raw []byte) Header {
 	return Header{
-		Magic:     binary.LittleEndian.Uint64(raw[OffMagic:]),
-		Seq:       binary.LittleEndian.Uint64(raw[OffSeq:]),
-		State:     binary.LittleEndian.Uint64(raw[OffState:]),
-		Mode:      binary.LittleEndian.Uint64(raw[OffMode:]),
-		Watermark: binary.LittleEndian.Uint64(raw[OffWatermark:]),
+		Magic:       binary.LittleEndian.Uint64(raw[OffMagic:]),
+		Seq:         binary.LittleEndian.Uint64(raw[OffSeq:]),
+		State:       binary.LittleEndian.Uint64(raw[OffState:]),
+		Mode:        binary.LittleEndian.Uint64(raw[OffMode:]),
+		Watermark:   binary.LittleEndian.Uint64(raw[OffWatermark:]),
+		Epoch:       binary.LittleEndian.Uint64(raw[OffEpoch:]),
+		CommittedTo: binary.LittleEndian.Uint64(raw[OffCommittedTo:]),
 	}
 }
 
@@ -140,6 +169,30 @@ func CodeSize(code uint64) int {
 // AddrBits is the width of record data addresses; the bits above carry
 // the transaction tag.
 const AddrBits = 48
+
+// BoundaryAddr is the sentinel data address of a transaction-boundary
+// record. Group-commit streams open every transaction with one: an
+// ordinary 8-byte record at this address whose payload is the
+// transaction's cluster-global sequence number. Real data addresses
+// never reach the top of the 48-bit window, so readers recognize the
+// sentinel and must skip it when applying records; recovery uses it to
+// split an epoch stream into per-transaction units and to order units
+// across cores exactly (interleaved cross-core write sets roll back in
+// reverse global order, replay forward in global order). Absent in
+// per-transaction (W = 1) streams, whose encoding stays unchanged.
+const BoundaryAddr mem.Addr = (1 << AddrBits) - WordSizeBytes
+
+// WordSizeBytes mirrors mem.WordSize without a second import point for
+// readers of the format spec.
+const WordSizeBytes = 8
+
+// IsBoundary reports whether a decoded record is a transaction-boundary
+// sentinel.
+func IsBoundary(r Record) bool { return r.Addr == BoundaryAddr }
+
+// BoundarySeq returns the cluster-global sequence number carried by a
+// boundary record.
+func BoundarySeq(r Record) uint64 { return binary.LittleEndian.Uint64(r.Data) }
 
 // Tag derives the record tag from a transaction sequence number.
 func Tag(seq uint64) uint16 { return uint16(seq) }
@@ -209,6 +262,86 @@ func ParseRecords(raw []byte, seq uint64) ([]Record, error) {
 		off += 8
 		if off+n > limit {
 			return out, fmt.Errorf("%w: record crosses watermark at offset %d", ErrCorrupt, off)
+		}
+		out = append(out, Record{Addr: addr, Data: raw[off : off+n]})
+		off += n
+	}
+	return out, nil
+}
+
+// Group descriptor. Multi-core group commit gets its atomic commit
+// point from a single reserved PM line (the top line of the root
+// directory): one persist of the descriptor commits every core's open
+// epoch at once. The line packs one entry per core:
+//
+//	entry c (8 bytes at offset 8*c): epoch<<32 | boundary
+//
+// where epoch is the core's epoch counter at the close and boundary the
+// stream offset one past its last committed record (the in-flight
+// suffix of a transaction running through the close starts there). A
+// zeroed line — PM's initial state — means no group has committed.
+// Recovery decides whether a core's epoch e committed by comparing e
+// against the descriptor entry; the per-core header is written only
+// after the descriptor, so a crash between the two still recovers the
+// group. Capacity is eight cores (one line).
+
+// MaxGroupCores is the core capacity of the one-line group descriptor.
+const MaxGroupCores = LineBytes / 8
+
+// LineBytes mirrors mem.LineSize for the format spec.
+const LineBytes = 64
+
+// GroupEntry is one core's slot in the group descriptor.
+type GroupEntry struct {
+	Epoch    uint32
+	Boundary uint32
+}
+
+// EncodeGroupDesc serializes per-core entries into the descriptor line.
+func EncodeGroupDesc(vec []GroupEntry) [LineBytes]byte {
+	var b [LineBytes]byte
+	for c, e := range vec {
+		binary.LittleEndian.PutUint64(b[8*c:], uint64(e.Epoch)<<32|uint64(e.Boundary))
+	}
+	return b
+}
+
+// DecodeGroupDesc parses a descriptor line into per-core entries.
+func DecodeGroupDesc(raw []byte) [MaxGroupCores]GroupEntry {
+	var vec [MaxGroupCores]GroupEntry
+	for c := range vec {
+		w := binary.LittleEndian.Uint64(raw[8*c:])
+		vec[c] = GroupEntry{Epoch: uint32(w >> 32), Boundary: uint32(w)}
+	}
+	return vec
+}
+
+// ParseRegion decodes the record stream in [from, to) of raw regardless
+// of transaction tag — an epoch stream interleaves the records of every
+// transaction in the window, so the region bounds from the header
+// (committedTo, watermark) are the only trustworthy delimiters. The
+// stream still ends early at the first zero or malformed word, and a
+// record crossing the region end is an error. The returned slices alias
+// raw.
+func ParseRegion(raw []byte, from, to uint64) ([]Record, error) {
+	if from < RecordsStart {
+		from = RecordsStart
+	}
+	if to > uint64(len(raw)) {
+		return nil, fmt.Errorf("%w: region end %d beyond log area", ErrCorrupt, to)
+	}
+	var out []Record
+	off := int(from)
+	limit := int(to)
+	for off+8 <= limit {
+		w := binary.LittleEndian.Uint64(raw[off:])
+		addr, n, _, ok := DecodeAddrWord(w)
+		if !ok {
+			return out, nil
+		}
+		off += 8
+		if off+n > limit {
+			return out, fmt.Errorf("%w: record crosses region end at offset %d", ErrCorrupt, off)
 		}
 		out = append(out, Record{Addr: addr, Data: raw[off : off+n]})
 		off += n

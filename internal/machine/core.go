@@ -74,6 +74,16 @@ type Core struct {
 	// coherence writeback forced by a remote core's request; the engine
 	// uses it to retire lazy-persistency tracking.
 	OnL3Writeback func(addr mem.Addr)
+	// OnCoherenceTake, when non-nil, runs before a coherence writeback
+	// persists a dirty private line that a remote core's bus request is
+	// taking away. The transaction engine uses it to make the line's
+	// log records durable ahead of the data — under group commit the
+	// records of a committed-in-window transaction may still be short
+	// of the watermark when the line migrates — and, in redo mode, to
+	// veto the data persist entirely (logged epoch data must not reach
+	// PM before its commit point). Returning false suppresses the PM
+	// write; the volatile transfer is unaffected.
+	OnCoherenceTake func(addr mem.Addr) bool
 	// WritebackFilter, when non-nil, is consulted before a dirty L3
 	// victim is written back; returning false suppresses the writeback
 	// (redo-logging transactions must keep pre-transaction values in PM
@@ -347,13 +357,20 @@ func panicUnbalanced(pop, push string) {
 // sequence: the core waits until every entry enqueued during the
 // current stream section has completed in the medium, plus one
 // acknowledgement round trip. Entries posted outside the section (lazy
-// drains, writebacks) are not waited on.
+// drains, writebacks) are not waited on. The wait is charged to the
+// active attribution context, defaulting to the per-transaction
+// log-sync bucket (the engine's group-commit close installs its own
+// context so amortized barriers stay distinguishable).
 func (c *Core) AckBarrier() {
 	wait := c.sh.PM.Config().AckCycles
 	if c.streamFinish > c.Clk {
 		wait += c.streamFinish - c.Clk
 	}
-	c.charge(profile.CauseLogSync, wait)
+	cause := c.cause
+	if cause == profile.CauseNone {
+		cause = profile.CauseLogSync
+	}
+	c.charge(cause, wait)
 }
 
 // persist routes a durable write through the sync, streamed or async
@@ -441,6 +458,9 @@ func (c *Core) writeback(addr mem.Addr) {
 // the writeback on its own timeline and retires any lazy-persistency
 // tracking, exactly as if the line had left the hierarchy.
 func (c *Core) coherenceWriteback(addr mem.Addr) {
+	if c.OnCoherenceTake != nil && !c.OnCoherenceTake(addr) {
+		return
+	}
 	var buf [mem.LineSize]byte
 	c.ReadMem(addr, buf[:])
 	prev := c.SetCause(profile.CauseCoherence)
@@ -553,6 +573,22 @@ func (c *Core) PersistData(addr mem.Addr, data []byte) {
 			l.State = cache.Exclusive
 		}
 	})
+}
+
+// PersistShadow makes the given bytes durable at addr WITHOUT touching
+// the volatile image — recovery-grade data whose newest volatile value
+// must survive. The redo group close uses it to pin a committed logged
+// value into PM when the line is shared with a transaction running
+// through the close: the volatile line already carries the in-flight
+// value, which must not persist, while the committed value (held by
+// the log record) must not be lost when the stream later resets.
+// Posted on the core's timeline; counted as data traffic.
+func (c *Core) PersistShadow(addr mem.Addr, data []byte) {
+	c.PushAsync()
+	c.persist(addr, data)
+	c.PopAsync()
+	c.Stats.PMWriteBytesData += uint64(len(data))
+	c.Stats.PMWriteEntries++
 }
 
 // RestoreLineFromDurable copies the durable contents of addr's line into

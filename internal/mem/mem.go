@@ -145,6 +145,13 @@ func MultiLayout(size uint64, cores int) []Layout {
 	return out
 }
 
+// GroupDesc returns the address of the group-commit descriptor line:
+// the top line of the root directory, reserved for the multi-core
+// epoch-group commit point. Root slots live at the bottom of the
+// region, so the reservation takes slots 504..511 out of circulation;
+// per-transaction (W = 1) machines never touch the line.
+func (l Layout) GroupDesc() Addr { return l.RootBase + l.RootSize - LineSize }
+
 // InHeap reports whether the byte range [a, a+size) lies entirely in the
 // heap region.
 func (l Layout) InHeap(a Addr, size int) bool {

@@ -72,6 +72,11 @@ const (
 	// CausePersistSync is the synchronous remainder (service + ack) of
 	// uncontexted blocking persists, e.g. abort-path data restores.
 	CausePersistSync
+	// CauseLogEpoch is the ordering barrier at a group-commit epoch
+	// close: the one amortized log sync that replaces the per-
+	// transaction CauseLogSync barriers when the commit window exceeds
+	// one transaction.
+	CauseLogEpoch
 
 	numCauses
 )
@@ -99,6 +104,7 @@ var causeNames = [numCauses]string{
 	CauseWPQEnqueue:   "wpq.enqueue",
 	CauseWPQStall:     "wpq.stall",
 	CausePersistSync:  "persist.sync",
+	CauseLogEpoch:     "log.epoch",
 }
 
 // causeGroups maps causes to coarse report groups (breakdown-table
@@ -123,6 +129,7 @@ var causeGroups = [numCauses]string{
 	CauseWPQEnqueue:   "wpq",
 	CauseWPQStall:     "wpq",
 	CausePersistSync:  "wpq",
+	CauseLogEpoch:     "log",
 }
 
 // causeKinds ties every cause to the trace kinds that witness it in the
@@ -150,6 +157,7 @@ var causeKinds = [numCauses][]trace.Kind{
 	CauseWPQEnqueue:   {trace.KWPQEnqueue},
 	CauseWPQStall:     {trace.KWPQStall},
 	CausePersistSync:  {trace.KWPQDrain},
+	CauseLogEpoch:     {trace.KEpochClose},
 }
 
 // String returns the canonical dotted name.

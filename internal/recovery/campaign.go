@@ -30,6 +30,16 @@ type CampaignConfig struct {
 	// workloads implementing Mutable); default is the paper's
 	// insert-only ycsb-load.
 	Mixed bool
+	// CommitWindow is the group-commit window W forwarded to the
+	// engine (0 or 1 = the per-transaction protocol). With W > 1 the
+	// verifier switches from the single pending-operation bracket to
+	// prefix matching: a crash may revert every transaction since the
+	// last epoch close, so the recovered image must equal the oracle
+	// after SOME completed-operation prefix — and within at most
+	// cores*W operations of the crash point. A torn epoch (some of a
+	// window's transactions applied, others not) matches no prefix and
+	// fails, which is exactly the all-or-nothing property under test.
+	CommitWindow int
 	// Stride samples every Stride-th persist event (1 = every event).
 	Stride uint64
 	// MaxPoints caps the number of crash points tested (0 = no cap).
@@ -151,8 +161,12 @@ type runInfo struct {
 	// after additionally includes it. A crash image must match one of
 	// the two (the in-flight transaction either reverted or committed).
 	before, after map[uint64][]byte
-	pendingKey    uint64
-	crashed       bool
+	// snaps holds the oracle after every completed-operation prefix
+	// (snaps[0] is the post-setup state), in global execution order.
+	// Collected only under a commit window, for prefix verification.
+	snaps      []map[uint64][]byte
+	pendingKey uint64
+	crashed    bool
 }
 
 // execute runs the workload, crashing after the given persist event
@@ -165,6 +179,7 @@ func execute(cfg CampaignConfig, crashAfter uint64) (info runInfo, totalPersists
 	sys := slpmt.New(slpmt.Options{
 		Scheme:             cfg.Scheme,
 		ComputeCyclesPerOp: w.ComputeCost(),
+		CommitWindow:       cfg.CommitWindow,
 	})
 	sys.Mach.CrashAfter = crashAfter
 
@@ -182,7 +197,13 @@ func execute(cfg CampaignConfig, crashAfter uint64) (info runInfo, totalPersists
 	if err := w.Setup(sys); err != nil {
 		return info, 0, fmt.Errorf("setup: %w", err)
 	}
+	// Close setup's epoch (no-op without a window) so crash points —
+	// which start after setup's persist count — never revert it.
+	sys.FinishEpoch()
 	oracle := map[uint64][]byte{}
+	if cfg.CommitWindow > 1 {
+		info.snaps = append(info.snaps, cloneOracle(oracle))
+	}
 	for _, op := range genOps(cfg) {
 		info.before = cloneOracle(oracle)
 		applyOracle(oracle, op)
@@ -193,6 +214,9 @@ func execute(cfg CampaignConfig, crashAfter uint64) (info runInfo, totalPersists
 		}
 		info.before = info.after
 		info.pendingKey = 0
+		if cfg.CommitWindow > 1 {
+			info.snaps = append(info.snaps, cloneOracle(oracle))
+		}
 	}
 	sys.DrainLazy()
 	info.img = sys.Mach.Crash()
@@ -212,6 +236,7 @@ func executeMulti(cfg CampaignConfig, crashAfter uint64) (info runInfo, totalPer
 	cl := slpmt.NewCluster(cfg.Cores, slpmt.Options{
 		Scheme:             cfg.Scheme,
 		ComputeCyclesPerOp: w.ComputeCost(),
+		CommitWindow:       cfg.CommitWindow,
 	})
 	cl.Plat.CrashAfterTotal = crashAfter
 
@@ -229,8 +254,14 @@ func executeMulti(cfg CampaignConfig, crashAfter uint64) (info runInfo, totalPer
 	if err := w.Setup(cl.Use(0)); err != nil {
 		return info, 0, fmt.Errorf("setup: %w", err)
 	}
+	// A grouped close seals every core's epoch, so closing core 0's
+	// (the only one setup ran on) makes all of setup durable.
+	cl.Use(0).FinishEpoch()
 	ops := genOps(cfg)
 	oracle := map[uint64][]byte{}
+	if cfg.CommitWindow > 1 {
+		info.snaps = append(info.snaps, cloneOracle(oracle))
+	}
 	next := make([]int, cfg.Cores)
 	for i := range next {
 		next[i] = i
@@ -253,6 +284,11 @@ func executeMulti(cfg CampaignConfig, crashAfter uint64) (info runInfo, totalPer
 		}
 		info.before = info.after
 		info.pendingKey = 0
+		if cfg.CommitWindow > 1 {
+			// The interleaver runs whole transactions, so completion
+			// order here IS the cluster-global commit order.
+			info.snaps = append(info.snaps, cloneOracle(oracle))
+		}
 		return next[core] < len(ops)
 	})
 	if opErr != nil {
@@ -281,6 +317,31 @@ func verifyPoint(cfg CampaignConfig, info runInfo, res *CampaignResult) error {
 	res.RecordsApplied += rep.RecordsApplied
 	res.LeakedBytes += rep.Heap.ReclaimedBytes
 
+	if cfg.CommitWindow > 1 {
+		// Group commit: the recovered image must equal the oracle after
+		// some completed prefix (all-or-nothing per epoch — a torn
+		// window matches nothing), no further back than the crash point
+		// minus every core's worth of open-window transactions.
+		cands := info.snaps
+		if info.pendingKey != 0 {
+			cands = append(append([]map[uint64][]byte{}, cands...), info.after)
+		}
+		bound := cores*cfg.CommitWindow + 1
+		var firstErr error
+		for i := len(cands) - 1; i >= 0 && len(cands)-1-i < bound; i-- {
+			if err := rec.CheckDurable(info.img, cands[i]); err == nil {
+				if info.pendingKey != 0 && i == len(cands)-1 {
+					res.PendingAccepted++
+				}
+				return nil
+			} else if firstErr == nil {
+				firstErr = err
+			}
+		}
+		return fmt.Errorf("durable state matches no committed prefix within %d operations of the crash (pending key %d): %v",
+			bound, info.pendingKey, firstErr)
+	}
+
 	errBefore := rec.CheckDurable(info.img, info.before)
 	if errBefore == nil {
 		return nil
@@ -301,16 +362,18 @@ func verifyPoint(cfg CampaignConfig, info runInfo, res *CampaignResult) error {
 func setupPersists(cfg CampaignConfig) (uint64, error) {
 	w := workloads.MustNew(cfg.Workload)
 	if cfg.Cores > 1 {
-		cl := slpmt.NewCluster(cfg.Cores, slpmt.Options{Scheme: cfg.Scheme})
+		cl := slpmt.NewCluster(cfg.Cores, slpmt.Options{Scheme: cfg.Scheme, CommitWindow: cfg.CommitWindow})
 		if err := w.Setup(cl.Use(0)); err != nil {
 			return 0, err
 		}
+		cl.Use(0).FinishEpoch()
 		return cl.Plat.PersistTotal, nil
 	}
-	sys := slpmt.New(slpmt.Options{Scheme: cfg.Scheme})
+	sys := slpmt.New(slpmt.Options{Scheme: cfg.Scheme, CommitWindow: cfg.CommitWindow})
 	if err := w.Setup(sys); err != nil {
 		return 0, err
 	}
+	sys.FinishEpoch()
 	return sys.Mach.PersistCount, nil
 }
 

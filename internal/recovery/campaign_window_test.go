@@ -1,0 +1,69 @@
+package recovery_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/persistmem/slpmt/internal/recovery"
+	_ "github.com/persistmem/slpmt/internal/workloads/all"
+)
+
+// TestCampaignCommitWindow crashes group-committed runs at EVERY
+// persist event across the window × core matrix. The exhaustive sweep
+// walks points through every phase of the epoch protocol — mid-epoch
+// (records buffered, data volatile), the close's log drain and sync,
+// the descriptor commit point, and the gap between the commit point
+// and the close's data persists — and the verifier requires the
+// recovered image to equal a committed-operation prefix: a torn epoch
+// (some of a window's transactions durable, others reverted) matches
+// no prefix and fails the campaign.
+func TestCampaignCommitWindow(t *testing.T) {
+	for _, cores := range []int{1, 2, 4} {
+		for _, w := range []int{1, 4, 16} {
+			t.Run(fmt.Sprintf("%dc-w%d", cores, w), func(t *testing.T) {
+				res, err := recovery.RunCampaign(recovery.CampaignConfig{
+					Workload:     "hashtable",
+					Scheme:       "SLPMT",
+					N:            32,
+					ValueSize:    32,
+					Cores:        cores,
+					CommitWindow: w,
+					Stride:       1,
+				})
+				if err != nil {
+					t.Fatalf("campaign: %v", err)
+				}
+				if res.PointsTested == 0 {
+					t.Fatal("campaign tested no points")
+				}
+				t.Logf("campaign: %+v", *res)
+			})
+		}
+	}
+}
+
+// TestCampaignCommitWindowRedo runs the window campaign in redo mode,
+// where the close's logged-line persists FOLLOW the commit point and a
+// crash in between must recover the epoch's data from the log replay.
+func TestCampaignCommitWindowRedo(t *testing.T) {
+	for _, cores := range []int{1, 2} {
+		t.Run(fmt.Sprintf("%dc-w8", cores), func(t *testing.T) {
+			res, err := recovery.RunCampaign(recovery.CampaignConfig{
+				Workload:     "hashtable",
+				Scheme:       "SLPMT-redo",
+				N:            32,
+				ValueSize:    32,
+				Cores:        cores,
+				CommitWindow: 8,
+				Stride:       1,
+			})
+			if err != nil {
+				t.Fatalf("campaign: %v", err)
+			}
+			if res.PointsTested == 0 {
+				t.Fatal("campaign tested no points")
+			}
+			t.Logf("campaign: %+v", *res)
+		})
+	}
+}

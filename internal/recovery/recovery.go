@@ -22,6 +22,7 @@ package recovery
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/persistmem/slpmt/internal/logfmt"
 	"github.com/persistmem/slpmt/internal/mem"
@@ -37,6 +38,9 @@ type Report struct {
 	LogState uint64
 	// Mode is the logging mode found in the header.
 	Mode uint64
+	// LogEpoch is the epoch counter found in the header (zero for
+	// legacy per-transaction streams).
+	LogEpoch uint64
 	// RecordsApplied counts log records applied (undo reverted or redo
 	// replayed).
 	RecordsApplied int
@@ -66,34 +70,178 @@ func ApplyLog(img *pmem.Image) (*Report, error) {
 	return applyLogRegion(img, mem.DefaultLayout(uint64(len(img.Data))))
 }
 
-// applyLogRegion applies one core's hardware log, addressed by its
-// layout, to the image.
-func applyLogRegion(img *pmem.Image, layout mem.Layout) (*Report, error) {
+// logUnit is one parsed application unit: a whole per-transaction log
+// (legacy W=1 streams) or one transaction's slice of an epoch stream,
+// cut at its boundary record. Units are ordered across cores by the
+// boundary's cluster-global sequence when present, falling back to
+// (epoch, header seq) for legacy streams.
+type logUnit struct {
+	epoch, seq uint64
+	gseq       uint64 // boundary record's global sequence
+	hasG       bool   // unit was cut at a boundary record
+	undo       bool
+	recs       []logfmt.Record
+}
+
+// less orders units for application: redo units replay forward in
+// ascending order, undo units revert in descending order (the caller
+// walks the sorted slice backwards).
+func (u *logUnit) less(v *logUnit) bool {
+	if u.hasG && v.hasG {
+		return u.gseq < v.gseq
+	}
+	if u.epoch != v.epoch {
+		return u.epoch < v.epoch
+	}
+	return u.seq < v.seq
+}
+
+// apply writes the unit's records into the image: redo units replay
+// forward, undo units revert in reverse record order. Returns the
+// record count.
+func (u *logUnit) apply(img *pmem.Image) int {
+	n := 0
+	if u.undo {
+		for i := len(u.recs) - 1; i >= 0; i-- {
+			if logfmt.IsBoundary(u.recs[i]) {
+				continue
+			}
+			img.Write(u.recs[i].Addr, u.recs[i].Data)
+			n++
+		}
+	} else {
+		for _, r := range u.recs {
+			if logfmt.IsBoundary(r) {
+				continue
+			}
+			img.Write(r.Addr, r.Data)
+			n++
+		}
+	}
+	return n
+}
+
+// splitUnits cuts an epoch-stream region into per-transaction units at
+// its boundary records. Records ahead of the first boundary (none are
+// expected: every grouped transaction opens with one) fall into a
+// legacy-keyed unit so they are still applied.
+func splitUnits(recs []logfmt.Record, hdr logfmt.Header, undo bool) []*logUnit {
+	var units []*logUnit
+	var cur *logUnit
+	for _, r := range recs {
+		if logfmt.IsBoundary(r) {
+			cur = &logUnit{epoch: hdr.Epoch, undo: undo, gseq: logfmt.BoundarySeq(r), hasG: true}
+			units = append(units, cur)
+			continue
+		}
+		if cur == nil {
+			cur = &logUnit{epoch: hdr.Epoch, seq: hdr.Seq, undo: undo}
+			units = append(units, cur)
+		}
+		cur.recs = append(cur.recs, r)
+	}
+	return units
+}
+
+// parseLogRegion decodes one core's hardware log, addressed by its
+// layout, into application units (empty when the log demands no
+// action). ent is the core's group-descriptor entry (the zero value
+// for solo machines, whose descriptor line was never written).
+//
+// A header with CommittedTo at or beyond the record area marks an
+// epoch (group-commit) stream. The stream's committed boundary B is
+// the larger of the header's CommittedTo and — when the descriptor
+// entry carries the header's epoch — the descriptor boundary: grouped
+// closes persist the descriptor FIRST and catch the header up after,
+// so a crash between the two leaves the header a close behind. The
+// committed region [RecordsStart, B) holds whole closed epochs, the
+// open region [B, Watermark) the in-flight suffix. Undo streams
+// revert the open suffix (the committed region's data persisted
+// before its commit point and needs no replay); redo streams replay
+// the committed region — a forced close may leave logged lines
+// volatile when they are shared with a still-running transaction,
+// relying on exactly this replay. Either way an epoch is recovered
+// wholesale or not at all, and regions are cut into per-transaction
+// units at their boundary records so cross-core application can run
+// in exact global order.
+//
+// CommittedTo of zero is a legacy per-transaction stream and keeps the
+// original semantics: reverse an ACTIVE undo log, replay a COMMITTED
+// redo log.
+func parseLogRegion(img *pmem.Image, layout mem.Layout, ent logfmt.GroupEntry) (*Report, []*logUnit, error) {
 	raw := img.Data[layout.LogBase : layout.LogBase+layout.LogSize]
 	hdr := logfmt.DecodeHeader(raw)
-	rep := &Report{LogSeq: hdr.Seq, LogState: hdr.State, Mode: hdr.Mode}
+	rep := &Report{LogSeq: hdr.Seq, LogState: hdr.State, Mode: hdr.Mode, LogEpoch: hdr.Epoch}
 	if hdr.Magic != logfmt.Magic {
 		// Never initialized: fresh image, nothing to do.
-		return rep, nil
+		return rep, nil, nil
+	}
+	if hdr.CommittedTo >= logfmt.RecordsStart {
+		boundary := hdr.CommittedTo
+		if uint64(ent.Epoch) == hdr.Epoch && uint64(ent.Boundary) > boundary {
+			boundary = uint64(ent.Boundary)
+		}
+		switch hdr.Mode {
+		case logfmt.ModeUndo:
+			if hdr.Watermark > boundary {
+				recs, err := logfmt.ParseRegion(raw, boundary, hdr.Watermark)
+				if err != nil {
+					return rep, nil, fmt.Errorf("recovery: %w", err)
+				}
+				return rep, splitUnits(recs, hdr, true), nil
+			}
+		case logfmt.ModeRedo:
+			if boundary > logfmt.RecordsStart {
+				recs, err := logfmt.ParseRegion(raw, logfmt.RecordsStart, boundary)
+				if err != nil {
+					return rep, nil, fmt.Errorf("recovery: %w", err)
+				}
+				return rep, splitUnits(recs, hdr, false), nil
+			}
+		}
+		return rep, nil, nil
 	}
 	switch {
 	case hdr.State == logfmt.StateActive && hdr.Mode == logfmt.ModeUndo:
 		recs, err := logfmt.ParseRecords(raw, hdr.Seq)
 		if err != nil {
-			return rep, fmt.Errorf("recovery: %w", err)
+			return rep, nil, fmt.Errorf("recovery: %w", err)
 		}
-		for i := len(recs) - 1; i >= 0; i-- {
-			img.Write(recs[i].Addr, recs[i].Data)
-			rep.RecordsApplied++
-		}
+		return rep, []*logUnit{{seq: hdr.Seq, undo: true, recs: recs}}, nil
 	case hdr.State == logfmt.StateCommitted && hdr.Mode == logfmt.ModeRedo:
 		recs, err := logfmt.ParseRecords(raw, hdr.Seq)
 		if err != nil {
-			return rep, fmt.Errorf("recovery: %w", err)
+			return rep, nil, fmt.Errorf("recovery: %w", err)
 		}
-		for _, r := range recs {
-			img.Write(r.Addr, r.Data)
-			rep.RecordsApplied++
+		return rep, []*logUnit{{seq: hdr.Seq, recs: recs}}, nil
+	}
+	return rep, nil, nil
+}
+
+// groupDesc reads the group-commit descriptor line from the image.
+func groupDesc(img *pmem.Image, layout mem.Layout) [logfmt.MaxGroupCores]logfmt.GroupEntry {
+	base := layout.GroupDesc()
+	return logfmt.DecodeGroupDesc(img.Data[base : base+mem.LineSize])
+}
+
+// applyLogRegion applies one core's hardware log, addressed by its
+// layout, to the image.
+func applyLogRegion(img *pmem.Image, layout mem.Layout) (*Report, error) {
+	desc := groupDesc(img, layout)
+	rep, units, err := parseLogRegion(img, layout, desc[0])
+	if err != nil {
+		return rep, err
+	}
+	// Units arrive in stream (ascending) order: redo replays forward,
+	// undo reverts youngest-first.
+	for _, u := range units {
+		if !u.undo {
+			rep.RecordsApplied += u.apply(img)
+		}
+	}
+	for i := len(units) - 1; i >= 0; i-- {
+		if units[i].undo {
+			rep.RecordsApplied += units[i].apply(img)
 		}
 	}
 	return rep, nil
@@ -107,30 +255,53 @@ func Recover(img *pmem.Image, w workloads.Recoverable) (*Report, *txheap.Heap, e
 }
 
 // RecoverN is Recover for an image taken from a machine with the given
-// core count: every core's private hardware log is applied (core 0
-// first; at most one log can be mid-transaction per core, and the logs
-// address disjoint write sets under the interleaver's
-// transaction-granularity scheduling). The report carries core 0's
-// header fields and the record total across all logs; the heap is
-// rebuilt over the multi-core address map, whose heap region is
-// smaller than the single-core one.
+// core count: every core's private hardware log is parsed against the
+// shared group descriptor, the resulting per-transaction units are
+// merged by their boundary records' cluster-global sequence (legacy
+// streams fall back to (epoch, header seq)), and applied — redo units
+// replay forward in global commit order, undo units revert in reverse
+// global commit order. The global order matters: inside a commit
+// window, transactions on different cores interleave writes to shared
+// lines, and only applying their records in exact global order
+// restores every word to its last group-committed value. The report
+// carries core 0's header fields and the record total across all logs;
+// the heap is rebuilt over the multi-core address map, whose heap
+// region is smaller than the single-core one.
 func RecoverN(img *pmem.Image, w workloads.Recoverable, cores int) (*Report, *txheap.Heap, error) {
 	if cores < 1 {
 		cores = 1
 	}
 	layouts := mem.MultiLayout(uint64(len(img.Data)), cores)
+	desc := groupDesc(img, layouts[0])
 	var rep *Report
+	var units []*logUnit
 	for i, layout := range layouts {
-		r, err := applyLogRegion(img, layout)
+		var ent logfmt.GroupEntry
+		if i < logfmt.MaxGroupCores {
+			ent = desc[i]
+		}
+		r, us, err := parseLogRegion(img, layout, ent)
 		if err != nil {
 			return r, nil, fmt.Errorf("recovery: core %d log: %w", i, err)
 		}
 		if rep == nil {
 			rep = r
-		} else {
-			rep.RecordsApplied += r.RecordsApplied
+		}
+		units = append(units, us...)
+	}
+	sort.SliceStable(units, func(i, j int) bool { return units[i].less(units[j]) })
+	applied := 0
+	for _, u := range units {
+		if !u.undo {
+			applied += u.apply(img)
 		}
 	}
+	for i := len(units) - 1; i >= 0; i-- {
+		if units[i].undo {
+			applied += units[i].apply(img)
+		}
+	}
+	rep.RecordsApplied = applied
 	if err := w.Recover(img); err != nil {
 		return rep, nil, fmt.Errorf("recovery: structure fix-up: %w", err)
 	}

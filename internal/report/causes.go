@@ -26,6 +26,7 @@ var causeHelp = map[profile.Cause]string{
 	profile.CauseWPQEnqueue:   "handing persists to the device write-pending queue",
 	profile.CauseWPQStall:     "waiting for WPQ capacity (queue full back-pressure)",
 	profile.CausePersistSync:  "synchronous persist completion outside any context above",
+	profile.CauseLogEpoch:     "the amortized ordering barrier at a group-commit epoch close",
 }
 
 // CauseHelp returns the explanation for a cause name ("" if unknown).

@@ -29,6 +29,7 @@ type Result struct {
 	WPQBytes         int    `json:"wpq_bytes,omitempty"`
 	Seed             uint64 `json:"seed,omitempty"`
 	Cores            int    `json:"cores,omitempty"`
+	CommitWindow     int    `json:"commit_window,omitempty"`
 	Cycles           uint64 `json:"cycles"`
 	PMWriteBytesData uint64 `json:"pm_write_bytes_data"`
 	PMWriteBytesLog  uint64 `json:"pm_write_bytes_log"`
@@ -58,8 +59,8 @@ type Result struct {
 // measure the same point of the parameter grid and are comparable
 // across baseline and candidate documents.
 func (r Result) Key() string {
-	return fmt.Sprintf("%s|%s|%d|%d|%d|%d|%d|%d|%d",
-		r.Scheme, r.Workload, r.N, r.ValueSize, r.PMWriteNanos, r.Banks, r.WPQBytes, r.Cores, r.Seed)
+	return fmt.Sprintf("%s|%s|%d|%d|%d|%d|%d|%d|%d|%d",
+		r.Scheme, r.Workload, r.N, r.ValueSize, r.PMWriteNanos, r.Banks, r.WPQBytes, r.Cores, r.Seed, r.CommitWindow)
 }
 
 // Report is the top-level BENCH_<experiment>.json document.
@@ -86,6 +87,7 @@ func FromResult(r bench.Result) Result {
 		WPQBytes:         r.WPQBytes,
 		Seed:             r.Seed,
 		Cores:            r.Cores,
+		CommitWindow:     r.RunConfig.CommitWindow,
 		Cycles:           r.Cycles,
 		PMWriteBytesData: r.Counters.PMWriteBytesData,
 		PMWriteBytesLog:  r.Counters.PMWriteBytesLog,
@@ -147,6 +149,9 @@ func FromResults(name string, parallel int, wall time.Duration, mallocs, bytes u
 		}
 		if a.Cores != b.Cores {
 			return a.Cores < b.Cores
+		}
+		if a.CommitWindow != b.CommitWindow {
+			return a.CommitWindow < b.CommitWindow
 		}
 		return a.Seed < b.Seed
 	})

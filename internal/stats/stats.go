@@ -23,6 +23,10 @@ type Counters struct {
 
 	// Transactions.
 	TxBegins, TxCommits, TxAborts uint64
+	// EpochCloses counts group-commit epoch seals (zero below W=2): each
+	// is one amortized drain + barrier + marker covering a window of
+	// committed transactions.
+	EpochCloses uint64
 
 	// Cache events, per level.
 	L1Hits, L1Misses   uint64
@@ -96,6 +100,7 @@ func (c *Counters) Add(o *Counters) {
 	c.TxBegins += o.TxBegins
 	c.TxCommits += o.TxCommits
 	c.TxAborts += o.TxAborts
+	c.EpochCloses += o.EpochCloses
 	c.L1Hits += o.L1Hits
 	c.L1Misses += o.L1Misses
 	c.L2Hits += o.L2Hits
@@ -160,6 +165,7 @@ func (c *Counters) Delta(since Counters) Counters {
 	d.TxBegins -= since.TxBegins
 	d.TxCommits -= since.TxCommits
 	d.TxAborts -= since.TxAborts
+	d.EpochCloses -= since.EpochCloses
 	d.L1Hits -= since.L1Hits
 	d.L1Misses -= since.L1Misses
 	d.L2Hits -= since.L2Hits
@@ -270,6 +276,7 @@ func canonicalRows(c *Counters) []Row {
 		{"tx.begins", c.TxBegins},
 		{"tx.commits", c.TxCommits},
 		{"tx.aborts", c.TxAborts},
+		{"log.epoch.closes", c.EpochCloses},
 		{"l1.hits", c.L1Hits},
 		{"l1.misses", c.L1Misses},
 		{"l2.hits", c.L2Hits},

@@ -152,6 +152,13 @@ func WritePerfetto(w io.Writer, events []Event, opts PerfettoOptions) error {
 			}
 			instant(e, e.Kind.String(), "tx",
 				map[string]any{"seq": e.Arg, "mode": mode})
+		case KEpochClose:
+			mode := "undo"
+			if e.Addr == 1 {
+				mode = "redo"
+			}
+			instant(e, e.Kind.String(), "log",
+				map[string]any{"epoch": e.Arg, "mode": mode})
 		case KLazyDefer:
 			instant(e, e.Kind.String(), "lazy",
 				map[string]any{"addr": e.Addr, "seq": e.Arg})

@@ -25,6 +25,14 @@ import "fmt"
 //  4. lazy-conflict: a store that hits a line left volatile by a
 //     retained transaction (§III-C3) must force that transaction's lazy
 //     drain to complete before the storing core proceeds.
+//  5. epoch-close: under group commit (commit window W > 1) a
+//     transaction commits without its own marker; its logged lines
+//     join the open epoch. Every such line may persist only once a log
+//     sync covers its records (the epoch analog of rule 1), and at the
+//     KEpochClose marker every record of the epoch must sit below the
+//     durable watermark — the all-or-nothing boundary recovery relies
+//     on. A commit that wrote its own marker (W = 1) contributes no
+//     epoch state, so per-transaction streams replay exactly as before.
 //
 // The replay works on emission order, which the single-threaded
 // simulator makes deterministic. Violations detected inside a
@@ -50,8 +58,8 @@ type Violation struct {
 	Index  int    // event index in the replayed stream
 	Cycle  uint64 // emitting core's cycle at the event
 	Core   uint8  // core the violation is attributed to
-	Seq    uint64 // transaction sequence when tx-scoped, else 0
-	Rule   string // "log-before-data", "marker-order", "wpq-fifo", "lazy-conflict"
+	Seq    uint64 // transaction sequence when tx-scoped, epoch number for epoch-close, else 0
+	Rule   string // "log-before-data", "marker-order", "wpq-fifo", "lazy-conflict", "epoch-close"
 	Detail string
 }
 
@@ -92,6 +100,13 @@ type sanCore struct {
 	storeLines map[uint64]struct{} // lines stored this tx
 	txViol     []Violation         // buffered until commit (dropped on abort)
 
+	// Epoch state (rule 5). Populated only by commits that wrote no
+	// marker of their own — grouped commits — so it stays empty on
+	// per-transaction (W = 1) streams.
+	epochLogged map[uint64]struct{} // lines logged by committed-in-window txs
+	epochLogOff map[uint64]uint64   // line -> highest record-end offset, epoch scope
+	epochWM     uint64              // latest synced watermark (not reset at tx begin)
+
 	defers   []uint64      // lazy lines deferred by the committing tx
 	retained []sanRetained // committed txs with volatile lazy data (FIFO)
 
@@ -102,10 +117,12 @@ type sanCore struct {
 
 func newSanCore() *sanCore {
 	return &sanCore{
-		lastMode:   -1,
-		logged:     map[uint64]struct{}{},
-		logOff:     map[uint64]uint64{},
-		storeLines: map[uint64]struct{}{},
+		lastMode:    -1,
+		logged:      map[uint64]struct{}{},
+		logOff:      map[uint64]uint64{},
+		storeLines:  map[uint64]struct{}{},
+		epochLogged: map[uint64]struct{}{},
+		epochLogOff: map[uint64]uint64{},
 	}
 }
 
@@ -234,6 +251,21 @@ func (s *sanitizer) step(i int, e Event) {
 
 	case KTxCommit:
 		s.rep.Transactions++
+		if cs.inTx && !cs.commitSeen {
+			// No marker of its own: a grouped commit. The transaction's
+			// logged lines become the open epoch's obligation (rule 5);
+			// they are checked at every subsequent persist and at the
+			// epoch-close marker. W = 1 commits always carry a marker,
+			// so this branch never runs on per-transaction streams.
+			for line := range cs.logged { //slpmt:determinism-ok set merge is order-independent
+				cs.epochLogged[line] = struct{}{}
+			}
+			for line, off := range cs.logOff { //slpmt:determinism-ok max-merge is order-independent
+				if off > cs.epochLogOff[line] {
+					cs.epochLogOff[line] = off
+				}
+			}
+		}
 		for _, v := range cs.txViol {
 			s.rep.Total++
 			if len(s.rep.Violations) < MaxViolations {
@@ -274,17 +306,27 @@ func (s *sanitizer) step(i int, e Event) {
 		}
 
 	case KLogPersist:
-		if cs.inTx {
-			line := e.Addr &^ (sanLineSize - 1)
-			if e.Arg > cs.logOff[line] {
-				cs.logOff[line] = e.Arg
-			}
+		line := e.Addr &^ (sanLineSize - 1)
+		if cs.inTx && e.Arg > cs.logOff[line] {
+			cs.logOff[line] = e.Arg
+		}
+		// Epoch scope tracks every record write, in or out of a
+		// transaction: spilled records of an already-committed window
+		// transaction reach the device during the next Begin, and the
+		// epoch-close drain runs after KTxCommit. Only consulted for
+		// lines in epochLogged, so W = 1 replay is unaffected.
+		if e.Arg > cs.epochLogOff[line] {
+			cs.epochLogOff[line] = e.Arg
 		}
 
 	case KLogSync:
 		if e.Arg > cs.watermark {
 			cs.watermark = e.Arg
 		}
+		// Latest-wins, not max: the stream offset space restarts when
+		// the log region is reset between epochs, so the most recent
+		// sync is the durable frontier of the current generation.
+		cs.epochWM = e.Arg
 
 	case KCommitMarker:
 		cs.lastMode = int(e.Addr)
@@ -298,6 +340,20 @@ func (s *sanitizer) step(i int, e Event) {
 			}
 			cs.commitSeen = true
 		}
+
+	case KEpochClose:
+		// The epoch's all-or-nothing boundary: every record a grouped
+		// commit contributed must be durable (below the latest synced
+		// watermark) when the close marker lands — otherwise recovery
+		// could tear the epoch it believes committed.
+		for line := range cs.epochLogged { //slpmt:determinism-ok violation set is order-independent (replay tool)
+			if off := cs.epochLogOff[line]; off > cs.epochWM {
+				s.violate(i, e, e.Core, e.Arg, "epoch-close",
+					fmt.Sprintf("epoch %d closed with log records for line %#x beyond the durable watermark (%d > %d)", e.Arg, line, off, cs.epochWM))
+			}
+		}
+		clear(cs.epochLogged)
+		clear(cs.epochLogOff)
 
 	case KLazyDefer:
 		if cs.inTx {
@@ -335,15 +391,22 @@ func (s *sanitizer) replayEnqueue(i int, e Event, cs *sanCore) {
 	// The line may be logged by any core's transaction (shared lines
 	// reach the device through whichever core evicts them).
 	for _, oc := range s.cores { //slpmt:determinism-ok violation buffers are per-core; order does not affect the report
-		if !oc.inTx {
-			continue
+		if oc.inTx {
+			if _, ok := oc.logged[line]; ok {
+				if off := oc.logOff[line]; off > oc.watermark {
+					s.violateTx(i, e, e.Core, oc, "log-before-data",
+						fmt.Sprintf("line %#x persisted with log records beyond the durable watermark (%d > %d)", line, off, oc.watermark))
+				}
+			}
 		}
-		if _, ok := oc.logged[line]; !ok {
-			continue
-		}
-		if off := oc.logOff[line]; off > oc.watermark {
-			s.violateTx(i, e, e.Core, oc, "log-before-data",
-				fmt.Sprintf("line %#x persisted with log records beyond the durable watermark (%d > %d)", line, off, oc.watermark))
+		// Rule 5 half of rule 1: a line logged by a committed-in-window
+		// transaction (epoch still open, no marker yet) must likewise
+		// have its records synced before the data reaches the WPQ.
+		if _, ok := oc.epochLogged[line]; ok {
+			if off := oc.epochLogOff[line]; off > oc.epochWM {
+				s.violate(i, e, e.Core, 0, "epoch-close",
+					fmt.Sprintf("line %#x persisted with open-epoch log records beyond the durable watermark (%d > %d)", line, off, oc.epochWM))
+			}
 		}
 	}
 

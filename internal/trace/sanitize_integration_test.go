@@ -17,24 +17,32 @@ func TestSanitizeRealRuns(t *testing.T) {
 	cases := []struct {
 		scheme string
 		cores  int
+		window int
 	}{
-		{"FG", 1},
-		{"EDE", 1},
-		{"SLPMT", 1},
-		{"SLPMT", 2},
-		{"SLPMT-redo", 1},
-		{"SLPMT-redo", 2},
+		{"FG", 1, 0},
+		{"EDE", 1, 0},
+		{"SLPMT", 1, 0},
+		{"SLPMT", 2, 0},
+		{"SLPMT-redo", 1, 0},
+		{"SLPMT-redo", 2, 0},
+		// Group commit: the epoch-aware rules (rule 5) replace the
+		// per-transaction marker ordering for committed-in-window txs.
+		{"SLPMT", 1, 4},
+		{"SLPMT", 2, 16},
+		{"SLPMT-redo", 1, 4},
+		{"SLPMT-redo", 2, 16},
 	}
 	for _, tc := range cases {
-		t.Run(fmt.Sprintf("%s-%dc", tc.scheme, tc.cores), func(t *testing.T) {
+		t.Run(fmt.Sprintf("%s-%dc-w%d", tc.scheme, tc.cores, tc.window), func(t *testing.T) {
 			tr := trace.New(trace.DefaultCapacity)
 			tr.SetMask(trace.SanitizeMask())
 			bench.Run(bench.RunConfig{
-				Scheme:   tc.scheme,
-				Workload: "hashtable",
-				N:        300,
-				Cores:    tc.cores,
-				Trace:    tr,
+				Scheme:       tc.scheme,
+				Workload:     "hashtable",
+				N:            300,
+				Cores:        tc.cores,
+				CommitWindow: tc.window,
+				Trace:        tr,
 			})
 			rep := trace.Sanitize(tr.Events(), tr.Dropped())
 			if rep.Truncated {

@@ -202,6 +202,97 @@ func TestSanitizeLazyConflict(t *testing.T) {
 	wantClean(t, Sanitize(good, 0))
 }
 
+// groupedTxs is two grouped commits (no per-transaction marker or sync)
+// on core 0 — the open-epoch prefix shared by the epoch tests.
+func groupedTxs() []Event {
+	return []Event{
+		ev(0, 10, KTxBegin, 0, 1),
+		ev(0, 20, KStore, 0x1008, 8),
+		ev(0, 21, KLogAppend, 0x1008, 8),
+		ev(0, 22, KLogPersist, 0x1008, 80),
+		ev(0, 30, KTxCommit, 0, 1), // no marker: joins the epoch
+		ev(0, 40, KTxBegin, 0, 2),
+		ev(0, 50, KStore, 0x2008, 8),
+		ev(0, 51, KLogAppend, 0x2008, 8),
+		ev(0, 52, KLogPersist, 0x2008, 120),
+		ev(0, 60, KTxCommit, 0, 2),
+	}
+}
+
+func TestSanitizeEpochCleanGroupCommit(t *testing.T) {
+	// Well-ordered epoch close: sync covering every record, then the
+	// marker, then the data persists, then the close event.
+	evs := append(groupedTxs(),
+		ev(0, 70, KLogSync, 0x8000, 120),
+		ev(0, 71, KCommitMarker, 0, 2),
+		ev(0, 72, KWPQEnqueue, 0x1000, 64),
+		ev(0, 73, KWPQEnqueue, 0x2000, 128),
+		ev(0, 74, KEpochClose, 0, 1),
+	)
+	rep := Sanitize(evs, 0)
+	wantClean(t, rep)
+	if rep.Transactions != 2 {
+		t.Fatalf("expected 2 commits, got %d", rep.Transactions)
+	}
+}
+
+func TestSanitizeEpochCloseBeyondWatermark(t *testing.T) {
+	// The epoch closes while tx 2's record (end offset 120) is beyond
+	// the synced watermark (80): recovery could tear the epoch.
+	evs := append(groupedTxs(),
+		ev(0, 70, KLogSync, 0x8000, 80), // covers tx 1 only
+		ev(0, 71, KCommitMarker, 0, 2),
+		ev(0, 74, KEpochClose, 0, 1),
+	)
+	wantViolation(t, Sanitize(evs, 0), "epoch-close", "closed with log records")
+	if v := Sanitize(evs, 0).Violations[0]; v.Seq != 1 {
+		t.Fatalf("expected epoch number 1 in Seq, got %d", v.Seq)
+	}
+}
+
+func TestSanitizeEpochLinePersistBeforeSync(t *testing.T) {
+	// A line logged by a committed-in-window transaction persists (cache
+	// eviction) before any sync covers its records — the epoch analog of
+	// log-before-data, outside any running transaction.
+	evs := append(groupedTxs(),
+		ev(0, 70, KWPQEnqueue, 0x1000, 64), // no KLogSync yet
+		ev(0, 75, KLogSync, 0x8000, 120),
+		ev(0, 76, KEpochClose, 0, 1),
+	)
+	wantViolation(t, Sanitize(evs, 0), "epoch-close", "open-epoch log records")
+}
+
+func TestSanitizeEpochCloseClearsState(t *testing.T) {
+	// After a clean close the epoch obligation is gone: the same lines
+	// persisting again (next epoch, new generation) raise nothing.
+	evs := append(groupedTxs(),
+		ev(0, 70, KLogSync, 0x8000, 120),
+		ev(0, 71, KCommitMarker, 0, 2),
+		ev(0, 74, KEpochClose, 0, 1),
+		// next generation: the log region was reset, offsets restart.
+		ev(0, 80, KTxBegin, 0, 3),
+		ev(0, 81, KStore, 0x1008, 8),
+		ev(0, 82, KLogAppend, 0x1008, 8),
+		ev(0, 83, KLogPersist, 0x1008, 80),
+		ev(0, 90, KTxCommit, 0, 3),
+		ev(0, 91, KLogSync, 0x8000, 80),
+		ev(0, 92, KCommitMarker, 0, 3),
+		ev(0, 93, KWPQEnqueue, 0x1000, 64),
+		ev(0, 94, KEpochClose, 0, 2),
+	)
+	wantClean(t, Sanitize(evs, 0))
+}
+
+func TestSanitizeMarkerCommitContributesNoEpochState(t *testing.T) {
+	// A W=1 transaction (marker of its own) leaves no epoch obligation:
+	// a later spurious KEpochClose-free persist of its line is silent,
+	// exactly the pre-epoch replay semantics.
+	evs := append(cleanUndoTx(),
+		ev(0, 60, KWPQEnqueue, 0x1000, 128), // retained-line writeback after commit
+	)
+	wantClean(t, Sanitize(evs, 0))
+}
+
 func TestSanitizeTruncated(t *testing.T) {
 	rep := Sanitize(cleanUndoTx(), 3)
 	if !rep.Truncated {

@@ -49,6 +49,7 @@ const (
 	KWPQDrain            // arg = WPQ occupancy in bytes after the drain
 	KWPQStall            // addr, arg = cycles stalled waiting for WPQ space
 	KCharge              // addr = attribution cause (internal/profile Cause), arg = cycles charged
+	KEpochClose          // addr = log mode (0 undo, 1 redo), arg = closed epoch number
 	numKinds
 )
 
@@ -78,6 +79,7 @@ var kindNames = [numKinds]string{
 	KWPQDrain:       "wpq.drain",
 	KWPQStall:       "wpq.stall",
 	KCharge:         "charge",
+	KEpochClose:     "epoch.close",
 }
 
 // String returns the kind's display name.
@@ -128,7 +130,7 @@ func MetricsMask() uint64 {
 func SanitizeMask() uint64 {
 	return Mask(KTxBegin, KCommitStart, KTxCommit, KTxAbort,
 		KStore, KStoreT,
-		KLogAppend, KLogPersist, KLogSync, KCommitMarker,
+		KLogAppend, KLogPersist, KLogSync, KCommitMarker, KEpochClose,
 		KLazyDefer, KLazyDrainStart, KLazyDrainEnd,
 		KWPQEnqueue, KWPQDrain, KWPQStall)
 }

@@ -64,6 +64,8 @@ type Heap struct {
 	inTx         bool
 	txAllocs     []Extent // allocations made by the current transaction
 	txFrees      []Extent // frees made by the current transaction
+	epochHold    bool     // extend the free quarantine to the epoch close
+	epochFrees   []Extent // committed frees awaiting their epoch's durability
 	totalAllocs  uint64
 	totalFrees   uint64
 	totalBytes   uint64
@@ -104,17 +106,41 @@ func (h *Heap) BeginTx() {
 	h.txFrees = h.txFrees[:0]
 }
 
-// CommitTx releases quarantined frees to the free list.
+// CommitTx releases quarantined frees to the free list — or, under
+// the epoch quarantine, parks them until the epoch's commit point.
 func (h *Heap) CommitTx() {
 	if !h.inTx {
 		panic("txheap: CommitTx outside transaction")
 	}
-	for _, e := range h.txFrees {
-		h.insertFree(e)
+	if h.epochHold {
+		h.epochFrees = append(h.epochFrees, h.txFrees...)
+	} else {
+		for _, e := range h.txFrees {
+			h.insertFree(e)
+		}
 	}
 	h.inTx = false
 	h.txAllocs = h.txAllocs[:0]
 	h.txFrees = h.txFrees[:0]
+}
+
+// EpochQuarantine extends the commit-time free quarantine to the
+// group-commit epoch close. Under a commit window a transaction's
+// commit is volatile until its epoch closes; releasing its frees at
+// commit would let a later transaction of the same window reuse the
+// memory and scribble it with log-free stores — stores no undo record
+// can revert, over blocks the durable (pre-epoch) state still reaches.
+// Parked frees return to the free list via ReleaseEpochFrees.
+func (h *Heap) EpochQuarantine(on bool) { h.epochHold = on }
+
+// ReleaseEpochFrees returns every epoch-parked extent to the free
+// list. Called when an epoch's commit point is durable (its frees can
+// no longer be rolled back).
+func (h *Heap) ReleaseEpochFrees() {
+	for _, e := range h.epochFrees {
+		h.insertFree(e)
+	}
+	h.epochFrees = h.epochFrees[:0]
 }
 
 // AbortTx rolls the allocator back: the transaction's allocations return
@@ -318,6 +344,7 @@ func (h *Heap) Rebuild(reachable []Extent) RebuildReport {
 	h.inTx = false
 	h.txAllocs = h.txAllocs[:0]
 	h.txFrees = h.txFrees[:0]
+	h.epochFrees = h.epochFrees[:0]
 	h.rebuiltGaps += uint64(rep.ReclaimedGaps)
 	h.rebuiltBytes += rep.ReclaimedBytes
 	return rep

@@ -86,6 +86,15 @@ type Options struct {
 	ComputeCyclesPerOp uint64
 	// AllocCycles is the modelled cost of a heap operation.
 	AllocCycles uint64
+	// CommitWindow is the group-commit window W: the engine batches the
+	// ordering persists of up to W committed transactions into one
+	// epoch close (see engine.Config.CommitWindow). 0 or 1 = the
+	// per-transaction protocol.
+	CommitWindow int
+	// EpochCycleBudget force-closes an open epoch at the next commit
+	// after this many cycles, bounding commit-to-durability latency
+	// under group commit. 0 disables the budget.
+	EpochCycleBudget uint64
 	// Trace, when non-nil, attaches a cycle-level event tracer to the
 	// simulated machine (see internal/trace). Tracing is observation
 	// only: it never changes timing or counters.
@@ -140,6 +149,8 @@ func (opts Options) resolve() (string, engine.Config, machine.Config) {
 		opts.ComputeCyclesPerOp = 1
 	}
 	cfg.ComputeCyclesPerOp = opts.ComputeCyclesPerOp
+	cfg.CommitWindow = opts.CommitWindow
+	cfg.EpochCycleBudget = opts.EpochCycleBudget
 	mc := opts.Machine
 	if opts.PMWriteNanos != 0 {
 		mc.PM.WriteCycles = opts.PMWriteNanos * pmem.CyclesPerNs
@@ -159,6 +170,13 @@ func New(opts Options) *System {
 	c := machine.New(mc).Core(0)
 	e := engine.New(c, cfg)
 	h := txheap.New(c, c.Layout, opts.AllocCycles)
+	if cfg.CommitWindow > 1 {
+		// Committed frees stay quarantined until their epoch's commit
+		// point is durable — reuse inside the window would scribble
+		// log-free stores over blocks the durable state still reaches.
+		h.EpochQuarantine(true)
+		e.SetEpochCloseHook(h.ReleaseEpochFrees)
+	}
 	return &System{Eng: e, Mach: c, Heap: h, scheme: name}
 }
 
@@ -249,6 +267,12 @@ func (s *System) View(fn func(tx *Tx)) {
 // effect of running four empty transactions. Harnesses call it at the
 // end of the measured region.
 func (s *System) DrainLazy() { s.Eng.DrainLazy() }
+
+// FinishEpoch force-closes the open group-commit epoch so every
+// committed transaction is durable. A no-op without a commit window.
+// Harnesses call it at durability boundaries (e.g. after a setup
+// phase, before taking a crash snapshot).
+func (s *System) FinishEpoch() { s.Eng.FinishEpoch() }
 
 // Alloc allocates size bytes of persistent memory.
 func (tx *Tx) Alloc(size uint64) Addr {
@@ -384,7 +408,9 @@ func (tx *Tx) Root(slot int) uint64 {
 }
 
 func (s *System) rootAddr(slot int) Addr {
-	if slot < 0 || slot >= int(s.Mach.Layout.RootSize/8) {
+	// The directory's top line is the group-commit descriptor
+	// (Layout.GroupDesc); its slots are out of application reach.
+	if slot < 0 || slot >= int((s.Mach.Layout.RootSize-mem.LineSize)/8) {
 		panic(fmt.Sprintf("slpmt: root slot %d out of range", slot))
 	}
 	return s.Mach.Layout.RootBase + Addr(slot*8)
