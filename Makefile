@@ -59,7 +59,7 @@ microbench:
 # Experiments gated by the perf-regression baseline (default flag
 # parameters: n=1000, value=256, seed=0 — what `-compare baselines/`
 # reproduces).
-BASELINE_EXPERIMENTS := headline scaling fig8 window
+BASELINE_EXPERIMENTS := headline scaling fig8 window numa
 
 # Regenerate the committed perf-regression baselines. Run after an
 # intentional model change (and eyeball the diff before committing).
@@ -85,4 +85,4 @@ compare:
 report:
 	$(GO) run ./cmd/slpmtreport -o report.html baselines/BENCH_headline.json \
 		baselines/BENCH_scaling.json baselines/BENCH_fig8.json \
-		baselines/BENCH_window.json
+		baselines/BENCH_window.json baselines/BENCH_numa.json

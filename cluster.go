@@ -4,13 +4,17 @@ import (
 	"github.com/persistmem/slpmt/internal/engine"
 	"github.com/persistmem/slpmt/internal/machine"
 	"github.com/persistmem/slpmt/internal/mem"
+	"github.com/persistmem/slpmt/internal/pmem"
 	"github.com/persistmem/slpmt/internal/stats"
 	"github.com/persistmem/slpmt/internal/txheap"
 )
 
 // Cluster is a multi-core simulated platform: one System per core, all
 // sharing the LLC, the persistent-memory device (and its write pending
-// queue), and one persistent heap. Each core runs its own transaction
+// queue), and one persistent heap — or, with Options.Sockets > 1, a
+// socket-per-device topology with a per-core sharded heap (each core
+// allocating from its home socket's arena). Each core runs its own
+// transaction
 // engine with a private log region; cross-engine conflicts are detected
 // through the coherence bus — a remote store checks every other
 // engine's retained-transaction signatures and forces lazy drains on a
@@ -46,17 +50,41 @@ func NewCluster(cores int, opts Options) *Cluster {
 	plat := machine.New(mc)
 	cl := &Cluster{Plat: plat}
 	cl.tick.c = plat.Core(0)
-	heap := txheap.New(&cl.tick, plat.Layout, opts.AllocCycles)
+	var heaps []*txheap.Heap
+	if plat.Topo.Sockets() > 1 {
+		// Sharded heap: one handle per core, allocating from the core's
+		// home-socket arena with a shared global fallback. Each handle
+		// charges its own core's clock, so the classic tickMux routing
+		// is unnecessary on this path.
+		clks := make([]txheap.Ticker, cores)
+		layouts := make([]mem.Layout, cores)
+		for i := 0; i < cores; i++ {
+			clks[i] = plat.Core(i)
+			layouts[i] = plat.Core(i).Layout
+		}
+		heaps = txheap.NewSharded(clks, layouts, opts.AllocCycles)
+	} else {
+		shared := txheap.New(&cl.tick, plat.Layout, opts.AllocCycles)
+		heaps = make([]*txheap.Heap, cores)
+		for i := range heaps {
+			heaps[i] = shared
+		}
+	}
 	engines := make([]*engine.Engine, cores)
 	for i := 0; i < cores; i++ {
 		c := plat.Core(i)
 		e := engine.New(c, cfg)
 		engines[i] = e
+		heap := heaps[i]
 		if cfg.CommitWindow > 1 {
 			// See New: epoch-quarantined frees release only once the
 			// freeing epoch's commit point is durable. Group closes seal
 			// every core's epoch together, so releasing the shared
-			// heap's parked frees at any engine's close is sound.
+			// heap's parked frees at any engine's close is sound. On a
+			// sharded heap each engine's close releases its own
+			// handle's frees; sibling handles' frees wait for their own
+			// core's close, which only lengthens the quarantine
+			// (conservative, still sound).
 			heap.EpochQuarantine(true)
 			e.SetEpochCloseHook(heap.ReleaseEpochFrees)
 		}
@@ -138,3 +166,13 @@ func (cl *Cluster) DrainLazy() {
 // Stats returns the merged per-core counters. Cycles is not populated
 // (per-core clocks do not sum meaningfully); use MaxClk for time.
 func (cl *Cluster) Stats() stats.Counters { return cl.Plat.MergedStats() }
+
+// Sockets returns the platform's PM socket count (1 on a single-device
+// machine).
+func (cl *Cluster) Sockets() int { return cl.Plat.Topo.Sockets() }
+
+// SocketStats returns per-socket device statistics — enqueue counts,
+// WPQ-full stall cycles, occupancy — in socket order. The NUMA
+// experiments read it to show how persist traffic spreads over the
+// topology.
+func (cl *Cluster) SocketStats() []pmem.SocketStats { return cl.Plat.Topo.SocketStats() }

@@ -92,7 +92,7 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("experiment", "all", "experiment to run (fig8..fig14, headline, ablation, model, mixes, scaling, breakdown, window, all)")
+		exp      = flag.String("experiment", "all", "experiment to run (fig8..fig14, headline, ablation, model, mixes, scaling, breakdown, window, numa, all)")
 		n        = flag.Int("n", 1000, "insert operations per run")
 		value    = flag.Int("value", 256, "value size in bytes")
 		seed     = flag.Uint64("seed", 0, "key-stream seed (0 = default)")
@@ -108,11 +108,14 @@ func run() error {
 		compare  = flag.String("compare", "", "diff each experiment's BENCH json against <dir>/BENCH_<experiment>.json and exit nonzero on regressions (implies -json)")
 		workload = flag.String("workload", "hashtable", "workload for -trace/-sanitize/-flame mode")
 		scheme   = flag.String("scheme", "SLPMT", "scheme for -trace/-sanitize/-flame mode")
+		sockets  = flag.Int("sockets", 0, "PM sockets: each is its own device behind the interconnect distance matrix (0 or 1 = single device; the numa experiment sweeps its own counts)")
+		remoteNs = flag.Uint64("remote-nanos", 0, "per-hop remote persist-enqueue latency in ns, remote fills pay double (0 = defaults; needs -sockets > 1)")
 	)
 	flag.Parse()
 
 	bench.SetParallelism(*parallel)
-	base := bench.RunConfig{N: *n, ValueSize: *value, Seed: *seed, Verify: true, Cores: *cores, CommitWindow: *window}
+	base := bench.RunConfig{N: *n, ValueSize: *value, Seed: *seed, Verify: true, Cores: *cores, CommitWindow: *window,
+		Sockets: *sockets, RemoteNanos: *remoteNs}
 
 	if *sanitize {
 		base.Scheme = *scheme

@@ -35,6 +35,7 @@ func main() {
 		mixed    = flag.Bool("mixed", false, "interleave updates and deletes with the inserts")
 		all      = flag.Bool("all", false, "run every workload")
 		parallel = flag.Int("parallel", 0, "workers for crash points (0 = GOMAXPROCS, 1 = serial; results identical)")
+		sockets  = flag.Int("sockets", 0, "PM sockets: crash and recover on the multi-device sharded-heap topology (0 or 1 = single device)")
 	)
 	flag.Parse()
 
@@ -51,6 +52,7 @@ func main() {
 			ValueSize: *value,
 			Seed:      *seed,
 			Cores:     *cores,
+			Sockets:   *sockets,
 			Mixed:     *mixed,
 			Stride:    *stride,
 			MaxPoints: *maxPts,

@@ -35,6 +35,8 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "key-stream seed")
 		verify   = flag.Bool("verify", true, "check structure invariants after the run")
 		parallel = flag.Int("parallel", 0, "worker count for multi-scheme runs (0 = GOMAXPROCS)")
+		sockets  = flag.Int("sockets", 0, "PM sockets: each is its own device behind the interconnect distance matrix (0 or 1 = single device)")
+		remoteNs = flag.Uint64("remote-nanos", 0, "per-hop remote persist-enqueue latency in ns, remote fills pay double (0 = defaults; needs -sockets > 1)")
 	)
 	flag.Parse()
 	bench.SetParallelism(*parallel)
@@ -54,6 +56,8 @@ func main() {
 			Seed:         *seed,
 			Verify:       *verify,
 			Cores:        *cores,
+			Sockets:      *sockets,
+			RemoteNanos:  *remoteNs,
 		}
 	}
 	results, err := bench.RunAll(cfgs)

@@ -13,7 +13,9 @@ var simCorePackages = []string{
 	"internal/engine",
 	"internal/machine",
 	"internal/cache",
+	"internal/mem",
 	"internal/pmem",
+	"internal/txheap",
 	"internal/bench",
 	"internal/experiments",
 }

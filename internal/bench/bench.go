@@ -12,6 +12,7 @@ import (
 
 	"github.com/persistmem/slpmt"
 	"github.com/persistmem/slpmt/internal/machine"
+	"github.com/persistmem/slpmt/internal/pmem"
 	"github.com/persistmem/slpmt/internal/profile"
 	"github.com/persistmem/slpmt/internal/stats"
 	"github.com/persistmem/slpmt/internal/trace"
@@ -49,6 +50,17 @@ type RunConfig struct {
 	// deterministically; Cycles is then the parallel phase's makespan
 	// (see RunMulti).
 	Cores int
+	// Sockets is the PM socket (NUMA node) count: each socket is its
+	// own device behind a hop-linear interconnect and the heap is
+	// sharded into per-core home-socket arenas. 0 or 1 = the
+	// single-device machine (byte-identical to builds without the
+	// topology).
+	Sockets int
+	// RemoteNanos overrides the per-hop interconnect latency of a
+	// remote persist enqueue in nanoseconds (remote line fills pay
+	// twice that); 0 keeps the pmem defaults. The NUMA experiment's
+	// local/remote-ratio knob. Only meaningful with Sockets > 1.
+	RemoteNanos uint64
 	// Trace, when non-nil, attaches this tracer to the run's machine and
 	// the result carries the reduced latency/WPQ metrics. The caller
 	// owns the tracer (full event detail); setup events are cleared so
@@ -85,12 +97,22 @@ type Result struct {
 	// snapshotted before verification; nil unless Profile was set. A
 	// pointer keeps Result comparable with ==.
 	Causes *profile.Breakdown
+	// PerSocket holds the per-socket device statistics of a
+	// multi-socket run (enqueue counts, stall cycles, occupancy); nil
+	// on single-device runs. A pointer keeps Result comparable.
+	PerSocket *SocketBreakdown
 	// VerifyErr is non-nil if the post-run invariant check failed.
 	VerifyErr error
 }
 
 // PMWriteBytes is the persistent-memory write traffic of the run.
 func (r Result) PMWriteBytes() uint64 { return r.Counters.PMWriteBytes() }
+
+// SocketBreakdown wraps the per-socket device statistics of one run so
+// Result can carry them behind a comparable pointer.
+type SocketBreakdown struct {
+	Stats []pmem.SocketStats
+}
 
 // runTracer resolves the tracer a run should attach: the caller's
 // full-detail tracer, an internal metrics-masked one, or nil.
@@ -141,6 +163,8 @@ func Run(cfg RunConfig) Result {
 		PMWriteNanos:       cfg.PMWriteNanos,
 		ComputeCyclesPerOp: w.ComputeCost(),
 		CommitWindow:       cfg.CommitWindow,
+		Sockets:            cfg.Sockets,
+		RemoteNanos:        cfg.RemoteNanos,
 		Trace:              tr,
 		Profile:            prof,
 	})
@@ -154,12 +178,14 @@ func Run(cfg RunConfig) Result {
 	load := ycsb.Load{N: cfg.N, ValueSize: cfg.ValueSize, Seed: cfg.Seed}
 	start := sys.Stats().Snapshot()
 	startCycles := sys.Cycles()
-	pm := sys.Mach.Machine().PM
+	// The topology is the occupancy surface: on a single-device machine
+	// it delegates to the one device, so the gauges are unchanged.
+	topo := sys.Mach.Machine().Topo
 	if tr != nil {
 		// Drop setup events and restart the occupancy window at the
 		// measured region's boundary.
 		tr.Reset()
-		pm.ResetOccupancy(startCycles)
+		topo.ResetOccupancy(startCycles)
 	}
 	if prof != nil {
 		// Drop setup charges: the breakdown covers the measured region.
@@ -183,8 +209,11 @@ func Run(cfg RunConfig) Result {
 	if tr != nil {
 		// Retire entries that finished before the region's end so drain
 		// events and the occupancy integral cover the whole interval.
-		pm.QueueDepth(sys.Cycles())
-		reduceTrace(&res, tr, pm)
+		topo.QueueDepth(sys.Cycles())
+		reduceTrace(&res, tr, topo)
+	}
+	if topo.Sockets() > 1 {
+		res.PerSocket = &SocketBreakdown{Stats: topo.SocketStats()}
 	}
 	if prof != nil {
 		// Snapshot before verification advances the clock further.

@@ -38,6 +38,8 @@ func RunMulti(cfg RunConfig) Result {
 		PMWriteNanos:       cfg.PMWriteNanos,
 		ComputeCyclesPerOp: w.ComputeCost(),
 		CommitWindow:       cfg.CommitWindow,
+		Sockets:            cfg.Sockets,
+		RemoteNanos:        cfg.RemoteNanos,
 		Trace:              tr,
 		Profile:            prof,
 	})
@@ -55,7 +57,9 @@ func RunMulti(cfg RunConfig) Result {
 	// The occupancy window always restarts at the measured region on a
 	// multi-core run: the parallel phase's WPQ pressure is the scaling
 	// story, so the gauges are reported whether or not a tracer is on.
-	cl.Plat.PM.ResetOccupancy(startClk)
+	// The topology surface covers every socket's queue (and delegates
+	// to the one device on single-socket machines).
+	cl.Plat.Topo.ResetOccupancy(startClk)
 	if tr != nil {
 		tr.Reset()
 	}
@@ -89,10 +93,13 @@ func RunMulti(cfg RunConfig) Result {
 		Cycles:    cl.MaxClk() - startClk,
 		Counters:  merged.Delta(start),
 	}
-	cl.Plat.PM.QueueDepth(cl.MaxClk())
-	res.Counters.WPQOccMaxBytes, res.Counters.WPQOccAvgBytes = cl.Plat.PM.OccupancyStats()
+	cl.Plat.Topo.QueueDepth(cl.MaxClk())
+	res.Counters.WPQOccMaxBytes, res.Counters.WPQOccAvgBytes = cl.Plat.Topo.OccupancyStats()
 	if tr != nil {
-		reduceTrace(&res, tr, cl.Plat.PM)
+		reduceTrace(&res, tr, cl.Plat.Topo)
+	}
+	if cl.Sockets() > 1 {
+		res.PerSocket = &SocketBreakdown{Stats: cl.SocketStats()}
 	}
 	if prof != nil {
 		// Snapshot before verification advances the clocks further. Each

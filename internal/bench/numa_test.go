@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/persistmem/slpmt/internal/schemes"
+	_ "github.com/persistmem/slpmt/internal/workloads/all"
+)
+
+// TestSocketsOneIdentity pins the refactor's compatibility contract at
+// the system level: Sockets=1 (and the 0 default) runs the topology
+// wrapper, and its every observable — cycles, counters — must be
+// identical to the historical single-device path.
+func TestSocketsOneIdentity(t *testing.T) {
+	for _, cores := range []int{1, 2} {
+		base := Run(RunConfig{Scheme: schemes.SLPMT, Workload: "rbtree",
+			N: 80, ValueSize: 32, Cores: cores, Verify: true})
+		one := Run(RunConfig{Scheme: schemes.SLPMT, Workload: "rbtree",
+			N: 80, ValueSize: 32, Cores: cores, Verify: true, Sockets: 1})
+		if base.Cycles != one.Cycles {
+			t.Errorf("%d cores: Sockets=1 drifted: %d cycles vs %d", cores, one.Cycles, base.Cycles)
+		}
+		if base.Counters != one.Counters {
+			t.Errorf("%d cores: counters drifted:\n%+v\nvs\n%+v", cores, one.Counters, base.Counters)
+		}
+	}
+}
+
+// TestRemoteEnqueueMonotonic: raising the per-hop interconnect latency
+// can only slow a multi-socket run down — the remote-hop charge sits on
+// the critical path of every cross-socket persist.
+func TestRemoteEnqueueMonotonic(t *testing.T) {
+	var prev uint64
+	for i, ns := range []uint64{15, 30, 120, 480} {
+		r := Run(RunConfig{Scheme: schemes.SLPMT, Workload: "hashtable",
+			N: 80, ValueSize: 32, Cores: 2, Sockets: 2, RemoteNanos: ns, Verify: true})
+		if r.VerifyErr != nil {
+			t.Fatalf("%dns: verify: %v", ns, r.VerifyErr)
+		}
+		if i > 0 && r.Cycles < prev {
+			t.Errorf("cycles shrank as the interconnect slowed: %d @ %dns < %d", r.Cycles, ns, prev)
+		}
+		if i > 0 && r.Cycles == prev {
+			t.Errorf("remote latency %dns had no effect: %d cycles", ns, r.Cycles)
+		}
+		prev = r.Cycles
+	}
+}
+
+// TestTwoSocketConservation extends the profiler's core invariant to
+// the multi-device topology: with remote-hop and arena-allocator
+// charges in play, the attributed cycles still sum exactly to each
+// core's clock advance.
+func TestTwoSocketConservation(t *testing.T) {
+	for _, scheme := range conservationSchemes {
+		r := Run(RunConfig{Scheme: scheme, Workload: "hashtable",
+			N: 80, ValueSize: 48, Cores: 2, Sockets: 2, Verify: true, Profile: true})
+		if r.VerifyErr != nil {
+			t.Fatalf("%s: verify: %v", scheme, r.VerifyErr)
+		}
+		if err := r.Causes.Conserved(); err != nil {
+			t.Errorf("%s: %v", scheme, err)
+		}
+	}
+}
+
+// TestPerSocketStatsPopulated: multi-socket results carry the
+// per-socket device breakdown (and single-device results do not), and
+// under round-robin pinning both sockets absorb traffic.
+func TestPerSocketStatsPopulated(t *testing.T) {
+	r := Run(RunConfig{Scheme: schemes.SLPMT, Workload: "hashtable",
+		N: 80, ValueSize: 32, Cores: 2, Sockets: 2})
+	if r.PerSocket == nil || len(r.PerSocket.Stats) != 2 {
+		t.Fatal("2-socket run missing per-socket stats")
+	}
+	for _, st := range r.PerSocket.Stats {
+		if st.Enqueued == 0 {
+			t.Errorf("socket %d absorbed no persists", st.Socket)
+		}
+	}
+	if single := Run(RunConfig{Scheme: schemes.SLPMT, Workload: "hashtable",
+		N: 80, ValueSize: 32, Cores: 2}); single.PerSocket != nil {
+		t.Error("single-device run carries per-socket stats")
+	}
+}

@@ -43,6 +43,8 @@ func Run(w io.Writer, name string, base bench.RunConfig) error {
 		return Breakdown(w, base)
 	case "window":
 		return Window(w, base)
+	case "numa":
+		return Numa(w, base)
 	case "all":
 		for _, n := range Names() {
 			if err := Run(w, n, base); err != nil {
@@ -52,20 +54,20 @@ func Run(w io.Writer, name string, base bench.RunConfig) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q (try fig8..fig14, headline, ablation, model, mixes, scaling, breakdown, window, all)", name)
+		return fmt.Errorf("unknown experiment %q (try fig8..fig14, headline, ablation, model, mixes, scaling, breakdown, window, numa, all)", name)
 	}
 }
 
 // Names returns the individual experiment names in the order "all" runs
 // them. Everything before "scaling" reproduces the paper's single-core
 // evaluation unchanged; "scaling" (multi-core), "breakdown"
-// (cycle-attribution profiling), and "window" (group-commit
-// sensitivity) are extensions.
+// (cycle-attribution profiling), "window" (group-commit sensitivity),
+// and "numa" (multi-device socket topology) are extensions.
 func Names() []string {
 	return []string{
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"headline", "ablation", "model", "mixes", "scaling", "breakdown",
-		"window",
+		"window", "numa",
 	}
 }
 

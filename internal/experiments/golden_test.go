@@ -39,12 +39,13 @@ func maskHostTime(s string) string {
 }
 
 // preRefactorNames is the experiment list of the pre-refactor "all"
-// (everything but the later scaling, breakdown, and window extensions,
-// which did not exist when the goldens were captured).
+// (everything but the later scaling, breakdown, window, and numa
+// extensions, which did not exist when the goldens were captured).
 func preRefactorNames() []string {
+	later := map[string]bool{"scaling": true, "breakdown": true, "window": true, "numa": true}
 	var out []string
 	for _, n := range experiments.Names() {
-		if n != "scaling" && n != "breakdown" && n != "window" {
+		if !later[n] {
 			out = append(out, n)
 		}
 	}

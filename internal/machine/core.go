@@ -18,12 +18,17 @@ import (
 // one OS thread.
 type Core struct {
 	// ID is the core index within its machine.
-	ID  int
-	Clk uint64
-	L1  *cache.Cache
-	L2  *cache.Cache
-	// PM is the shared persistent-memory device (same object on every
-	// core of a machine).
+	ID int
+	// Home is the core's home socket (ID mod sockets; 0 on a
+	// single-socket machine). Persists and PM demand reads to another
+	// socket's address range pay the topology's interconnect distance.
+	Home int
+	Clk  uint64
+	L1   *cache.Cache
+	L2   *cache.Cache
+	// PM is socket 0's persistent-memory device (same object on every
+	// core of a machine; its durable image is shared by all sockets).
+	// Timing-sensitive persist paths route through the topology instead.
 	PM *pmem.Device
 	// Layout is this core's address map: the heap and root regions are
 	// shared with every other core; the log region is private.
@@ -145,6 +150,11 @@ func (c *Core) SetCause(cause profile.Cause) profile.Cause {
 // Tick advances the clock by n compute cycles.
 func (c *Core) Tick(n uint64) { c.charge(profile.CauseCompute, n) }
 
+// TickArena advances the clock by n cycles attributed to the sharded
+// per-core heap allocator (txheap.NewSharded charges through it so
+// arena-allocator time stays distinguishable from workload compute).
+func (c *Core) TickArena(n uint64) { c.charge(profile.CauseAllocArena, n) }
+
 // ReadMem copies the current (volatile) contents at addr into p. Purely
 // functional: no timing. The volatile image is shared by all cores.
 func (c *Core) ReadMem(addr mem.Addr, p []byte) {
@@ -254,7 +264,14 @@ func (c *Core) AccessLine(addr mem.Addr, write bool) *cache.Line {
 	c.Stats.L3Misses++
 	c.charge(profile.CauseLLCMiss, c.sh.L3.Latency())
 
-	// PM demand fill.
+	// PM demand fill: a miss served by a remote socket's medium pays the
+	// interconnect distance on top of the device read latency.
+	if t := c.sh.Topo; t != nil && t.Sockets() > 1 {
+		if extra := t.ReadExtra(c.Home, c.Layout.SocketOf(la)); extra != 0 {
+			c.Trace(trace.KWPQRemote, la, extra)
+			c.charge(profile.CauseWPQRemote, extra)
+		}
+	}
 	c.charge(profile.CausePMRead, c.sh.PM.ReadCycles())
 	c.Stats.PMReadBytes += mem.LineSize
 	c.Trace(trace.KCacheMiss, la, 4)
@@ -375,9 +392,27 @@ func (c *Core) AckBarrier() {
 
 // persist routes a durable write through the sync, streamed or async
 // device path according to the current section, charging the core's
-// stall. The WPQ is shared: each core arbitrates at its own clock.
+// stall. Each socket's WPQ is shared by every core persisting into its
+// address range: cores arbitrate at their own (interleaved) clocks, and
+// a cross-socket persist first pays the interconnect hop distance —
+// stalling the core on the sync/stream paths, delaying the posted entry
+// on the async path.
 func (c *Core) persist(addr mem.Addr, data []byte) {
-	c.sh.PM.SetCore(c.ID)
+	dev := c.PM
+	var hop uint64 // posted-path interconnect delay (async persists)
+	if t := c.sh.Topo; t != nil && t.Sockets() > 1 {
+		s := c.Layout.SocketOf(addr)
+		dev = t.Dev(s)
+		if extra := t.EnqueueExtra(c.Home, s); extra != 0 {
+			c.Trace(trace.KWPQRemote, addr, extra)
+			if c.asyncDepth > 0 {
+				hop = extra
+			} else {
+				c.charge(profile.CauseWPQRemote, extra)
+			}
+		}
+	}
+	dev.SetCore(c.ID)
 	c.PersistCount++
 	c.sh.PersistTotal++
 	if (c.CrashAfter != 0 && c.PersistCount == c.CrashAfter) ||
@@ -385,25 +420,25 @@ func (c *Core) persist(addr mem.Addr, data []byte) {
 		// The write itself completes (it reached the persist domain);
 		// execution stops immediately after.
 		if c.asyncDepth > 0 {
-			c.sh.PM.PersistAsync(c.Clk, addr, data)
+			dev.PersistAsync(c.Clk+hop, addr, data)
 		} else {
-			c.sh.PM.Persist(c.Clk, addr, data)
+			dev.Persist(c.Clk, addr, data)
 		}
 		panic(CrashSignal{At: c.sh.PersistTotal})
 	}
 	var stall uint64
 	switch {
 	case c.asyncDepth > 0:
-		stall = c.sh.PM.PersistAsync(c.Clk, addr, data)
+		stall = dev.PersistAsync(c.Clk+hop, addr, data)
 	case c.streamDepth > 0:
-		stall = c.sh.PM.PersistStream(c.Clk, addr, data)
-		if f := c.sh.PM.LastFinish(); f > c.streamFinish {
+		stall = dev.PersistStream(c.Clk, addr, data)
+		if f := dev.LastFinish(); f > c.streamFinish {
 			c.streamFinish = f
 		}
 	default:
-		stall = c.sh.PM.Persist(c.Clk, addr, data)
+		stall = dev.Persist(c.Clk, addr, data)
 	}
-	c.chargePersist(stall)
+	c.chargePersist(dev, stall)
 	c.chargeStall(stall)
 }
 
@@ -415,8 +450,8 @@ func (c *Core) persist(addr mem.Addr, data []byte) {
 // service/ack remainder.
 //
 //slpmt:noalloc
-func (c *Core) chargePersist(stall uint64) {
-	waited := c.sh.PM.LastWaited()
+func (c *Core) chargePersist(dev *pmem.Device, stall uint64) {
+	waited := dev.LastWaited()
 	if waited > stall {
 		waited = stall
 	}
@@ -424,7 +459,7 @@ func (c *Core) chargePersist(stall uint64) {
 	if cause := c.cause; cause != profile.CauseNone {
 		c.charge(cause, rest)
 	} else {
-		enq := c.sh.PM.Config().EnqueueCycles
+		enq := dev.Config().EnqueueCycles
 		if enq > rest {
 			enq = rest
 		}

@@ -47,6 +47,18 @@ type Config struct {
 	Cores      int
 	L1, L2, L3 cache.Config
 	PM         pmem.Config
+	// Sockets is the PM socket count (0 = 1). With more than one socket
+	// the PM becomes a pmem.Topology: one device (WPQ, banks, drain
+	// clock) per socket behind a distance matrix, the physical address
+	// space striped over the sockets (mem.Layout.SocketOf), and each
+	// core pinned to home socket ID mod Sockets. Sockets = 1 is
+	// cycle-identical to the historical single-device machine.
+	Sockets int
+	// RemoteEnqueueCycles / RemoteReadCycles override the per-hop
+	// interconnect costs of cross-socket persists and demand reads
+	// (0 = pmem defaults). Ignored when Sockets < 2.
+	RemoteEnqueueCycles uint64
+	RemoteReadCycles    uint64
 	// CoherenceCycles is the snoop penalty a bus request pays when the
 	// line is found in another core's private caches (0 = 40, the LLC
 	// latency — a directory-in-LLC lookup plus the remote probe).
@@ -83,6 +95,9 @@ func (c Config) withDefaults() Config {
 	if c.Cores <= 0 {
 		c.Cores = 1
 	}
+	if c.Sockets <= 0 {
+		c.Sockets = 1
+	}
 	if c.L1.SizeBytes == 0 {
 		c.L1 = d.L1
 	}
@@ -108,9 +123,15 @@ func (c Config) withDefaults() Config {
 // Not safe for concurrent use; multi-core execution is simulated by
 // deterministically interleaving the cores on one OS thread.
 type Machine struct {
-	cfg    Config
-	L3     *cache.Cache
-	PM     *pmem.Device
+	cfg Config
+	L3  *cache.Cache
+	// PM is socket 0's device. Its durable image is shared by every
+	// socket of Topo, so functional reads and crash snapshots through PM
+	// are complete regardless of socket count.
+	PM *pmem.Device
+	// Topo is the PM socket topology (always non-nil; one socket on the
+	// historical single-device machine).
+	Topo   *pmem.Topology
 	Layout mem.Layout // core 0's view; heap/root regions are shared
 	cores  []*Core
 
@@ -142,20 +163,28 @@ type CrashSignal struct {
 // New builds a machine.
 func New(cfg Config) *Machine {
 	cfg = cfg.withDefaults()
-	dev := pmem.New(cfg.PM)
-	layouts := mem.MultiLayout(dev.Size(), cfg.Cores)
+	topo := pmem.NewTopology(pmem.TopoConfig{
+		Sockets:             cfg.Sockets,
+		Dev:                 cfg.PM,
+		RemoteEnqueueCycles: cfg.RemoteEnqueueCycles,
+		RemoteReadCycles:    cfg.RemoteReadCycles,
+	})
+	dev := topo.Dev(0)
+	layouts := mem.MultiLayoutSockets(dev.Size(), cfg.Cores, topo.Sockets())
 	m := &Machine{
 		cfg:    cfg,
 		L3:     cache.New(cfg.L3),
 		PM:     dev,
+		Topo:   topo,
 		Layout: layouts[0],
 		vol:    make([]byte, dev.Size()),
 	}
-	dev.SetTracer(cfg.Trace)
+	topo.SetTracer(cfg.Trace)
 	m.cores = make([]*Core, cfg.Cores)
 	for i := range m.cores {
 		m.cores[i] = &Core{
 			ID:     i,
+			Home:   i % topo.Sockets(),
 			L1:     cache.New(cfg.L1),
 			L2:     cache.New(cfg.L2),
 			PM:     dev,

@@ -99,6 +99,15 @@ type Layout struct {
 	// RootBase and RootSize delimit the root directory used by recovery
 	// to find the application's top-level persistent pointers.
 	RootBase, RootSize uint64
+	// Cores and Sockets describe the machine the map was built for.
+	// Sockets < 2 means the historical single-device map (SocketOf is
+	// then constant 0 and no arenas are carved).
+	Cores, Sockets int
+	// ArenaBase and ArenaSize delimit this core's local allocation
+	// arena: a SocketStripe-sized slice of the heap whose stripe lives
+	// on the core's home socket. Zero when Sockets < 2 — the heap is
+	// then one undivided region.
+	ArenaBase, ArenaSize uint64
 }
 
 // Region sizes of the default address map: a 4 MiB hardware log area
@@ -106,6 +115,12 @@ type Layout struct {
 const (
 	LogRegionSize  = 4 << 20
 	RootRegionSize = 4 << 10
+	// SocketStripe is the granularity of the heap's socket interleave on
+	// a multi-socket topology: stripe i of the heap maps to socket
+	// i mod Sockets. It is also the per-core arena size — arena i is
+	// exactly stripe i, so (with cores pinned home = i mod sockets)
+	// every core's arena is socket-local by construction.
+	SocketStripe = 1 << 20
 )
 
 // DefaultLayout returns the address map used throughout the evaluation:
@@ -121,8 +136,32 @@ func DefaultLayout(size uint64) Layout {
 // from the root directory (core 0 highest, so MultiLayout(size, 1)[0]
 // is exactly the historical single-core DefaultLayout).
 func MultiLayout(size uint64, cores int) []Layout {
+	return MultiLayoutSockets(size, cores, 1)
+}
+
+// MultiLayoutSockets returns the per-core address maps of a machine
+// whose PM is a multi-socket topology. The address map itself (heap,
+// log regions, root directory) is byte-identical to MultiLayout for any
+// socket count; sockets only adds an interpretation of it:
+//
+//   - The heap is striped over the sockets at SocketStripe granularity
+//     (see SocketOf). Core i's local arena is stripe i — on core i's
+//     home socket (i mod sockets) by construction. The stripes past the
+//     last core form the shared global fallback pool.
+//   - Core i's private log region sits on socket i mod sockets: the log
+//     stack grows downward from the root directory with core 0 on top,
+//     and SocketOf maps log region k to socket k mod sockets — so every
+//     core's log persists are socket-local.
+//   - The root directory (and the group-commit descriptor line) lives
+//     on socket 0.
+//
+// With sockets < 2 the result is exactly MultiLayout's.
+func MultiLayoutSockets(size uint64, cores, sockets int) []Layout {
 	if cores < 1 {
 		cores = 1
+	}
+	if sockets < 1 {
+		sockets = 1
 	}
 	need := uint64(cores)*LogRegionSize + RootRegionSize + LineSize
 	if size < need {
@@ -130,6 +169,9 @@ func MultiLayout(size uint64, cores int) []Layout {
 	}
 	rootBase := size - RootRegionSize
 	heapSize := rootBase - uint64(cores)*LogRegionSize - LineSize
+	if sockets > 1 && uint64(cores+1)*SocketStripe > heapSize {
+		panic("mem: PM heap too small for per-core socket arenas")
+	}
 	out := make([]Layout, cores)
 	for i := range out {
 		out[i] = Layout{
@@ -140,9 +182,55 @@ func MultiLayout(size uint64, cores int) []Layout {
 			LogSize:  LogRegionSize,
 			RootBase: rootBase,
 			RootSize: RootRegionSize,
+			Cores:    cores,
+			Sockets:  sockets,
+		}
+		if sockets > 1 {
+			out[i].ArenaBase = LineSize + uint64(i)*SocketStripe
+			out[i].ArenaSize = SocketStripe
 		}
 	}
 	return out
+}
+
+// SocketOf returns the socket holding address a under the layout's
+// interleave. Single-socket layouts (including zero-valued ones) map
+// everything to socket 0. The map is:
+//
+//   - root directory: socket 0
+//   - log region of core k (stacked downward from the root): socket
+//     k mod Sockets — local to its owning core
+//   - heap arena stripes (the first Cores stripes): stripe j on socket
+//     j mod Sockets — each core's arena is local to its home socket
+//   - heap global-fallback region (every stripe past the arenas):
+//     line-interleaved across the sockets, spreading shared objects
+//   - the unmapped guard line below the heap: socket 0
+func (l Layout) SocketOf(a Addr) int {
+	if l.Sockets < 2 {
+		return 0
+	}
+	if a >= l.RootBase {
+		return 0
+	}
+	logLow := l.RootBase - uint64(l.Cores)*LogRegionSize
+	if a >= logLow {
+		k := int((l.RootBase - 1 - a) / LogRegionSize)
+		return k % l.Sockets
+	}
+	if a < l.HeapBase {
+		return 0
+	}
+	stripe := (a - l.HeapBase) / SocketStripe
+	if stripe >= uint64(l.Cores) {
+		// Global fallback region (past the last per-core arena stripe):
+		// line-interleaved across the sockets, so large shared objects —
+		// a hashtable's bucket array, a tree's setup-built spine —
+		// spread their lines evenly instead of camping on the arena
+		// owner's socket and serializing every sibling's persists
+		// behind one write queue.
+		return int((a >> LineShift) % uint64(l.Sockets))
+	}
+	return int(stripe % uint64(l.Sockets))
 }
 
 // GroupDesc returns the address of the group-commit descriptor line:

@@ -119,6 +119,12 @@ type Device struct {
 	// integral. None of it feeds back into timing.
 	tr      *trace.Tracer
 	curCore uint8
+	// socket is this device's socket ID on a Topology (0 standalone);
+	// sockTag is trace.WPQArgTag(socket), ORed into the occupancy Arg of
+	// WPQ trace events so consumers can split the per-socket series.
+	// Socket 0 tags with zero — single-socket traces are byte-identical.
+	socket  int
+	sockTag uint64
 	occMax  int
 	// occIntegral accumulates usedBytes·dt between occupancy changes;
 	// the mean occupancy over [occBase, occLastT] is integral/(lastT-base).
@@ -135,6 +141,22 @@ func New(cfg Config) *Device {
 		durable: make([]byte, cfg.Size),
 	}
 }
+
+// newShared returns a per-socket device of a Topology: it shares the
+// topology-wide durable image (every socket's controller reaches the
+// whole physical address space — durability is global) but owns its own
+// WPQ, banks, and occupancy clock (timing is per socket).
+func newShared(cfg Config, durable []byte, socket int) *Device {
+	return &Device{
+		cfg:     cfg,
+		durable: durable,
+		socket:  socket,
+		sockTag: trace.WPQArgTag(socket),
+	}
+}
+
+// Socket returns the device's socket ID on its topology (0 standalone).
+func (d *Device) Socket() int { return d.socket }
 
 // Config returns the effective configuration.
 func (d *Device) Config() Config { return d.cfg }
@@ -194,7 +216,7 @@ func (d *Device) drainUpTo(now uint64) {
 		e := d.queue[i]
 		d.occAdvance(e.finish)
 		d.usedBytes -= e.bytes
-		d.tr.Emit(e.core, e.finish, trace.KWPQDrain, 0, uint64(d.usedBytes))
+		d.tr.Emit(e.core, e.finish, trace.KWPQDrain, 0, uint64(d.usedBytes)|d.sockTag)
 		i++
 	}
 	if i > 0 {
@@ -278,7 +300,7 @@ func (d *Device) Persist(now uint64, addr uint64, data []byte) (stall uint64) {
 	d.lastWaited = waited
 	fin := d.bankFinish(t)
 	d.enqueue(entry{bytes: n, finish: fin, core: d.curCore}, t)
-	d.tr.Emit(d.curCore, t, trace.KWPQEnqueue, addr, uint64(d.usedBytes))
+	d.tr.Emit(d.curCore, t, trace.KWPQEnqueue, addr, uint64(d.usedBytes)|d.sockTag)
 	// Synchronous persist: the commit engine issues one coherence-level
 	// persist request per line and waits for the controller's completion
 	// acknowledgement before the next ordering-constrained operation, so
@@ -329,7 +351,7 @@ func (d *Device) PersistStream(now uint64, addr uint64, data []byte) (stall uint
 	d.lastWaited = waited
 	fin := d.bankFinish(t)
 	d.enqueue(entry{bytes: n, finish: fin, core: d.curCore}, t)
-	d.tr.Emit(d.curCore, t, trace.KWPQEnqueue, addr, uint64(d.usedBytes))
+	d.tr.Emit(d.curCore, t, trace.KWPQEnqueue, addr, uint64(d.usedBytes)|d.sockTag)
 	d.totalStall += stall - d.cfg.EnqueueCycles
 	return stall
 }
@@ -406,7 +428,7 @@ func (d *Device) PersistAsync(now uint64, addr uint64, data []byte) (stall uint6
 	}
 	fin := d.bankFinish(tStart)
 	d.enqueue(entry{bytes: n, finish: fin, core: d.curCore}, t)
-	d.tr.Emit(d.curCore, t, trace.KWPQEnqueue, addr, uint64(d.usedBytes))
+	d.tr.Emit(d.curCore, t, trace.KWPQEnqueue, addr, uint64(d.usedBytes)|d.sockTag)
 	return d.cfg.EnqueueCycles
 }
 
@@ -480,9 +502,16 @@ func (d *Device) Restore(img *Image) {
 		panic("pmem: restore image size mismatch")
 	}
 	copy(d.durable, img.Data)
+	d.clearVolatile()
+}
+
+// clearVolatile drops the WPQ and the occupancy window — the volatile
+// controller state a restore discards. The durable image is untouched.
+func (d *Device) clearVolatile() {
 	d.queue = d.queue[:0]
 	d.usedBytes = 0
 	d.lastFinish = 0
+	d.recent = d.recent[:0]
 	d.occIntegral = 0
 	d.occLastT = 0
 	d.occBase = 0

@@ -77,6 +77,16 @@ const (
 	// transaction CauseLogSync barriers when the commit window exceeds
 	// one transaction.
 	CauseLogEpoch
+	// CauseWPQRemote is cross-socket interconnect time on a multi-socket
+	// PM topology: the hop distance a persist into (or a demand fill
+	// from) a remote socket's device pays before the device's own
+	// latency. Always zero on a single-socket machine.
+	CauseWPQRemote
+	// CauseAllocArena is time in the sharded per-core heap allocator
+	// (txheap.NewSharded). The classic shared heap charges plain
+	// CauseCompute; the sharded allocator charges here so arena
+	// management stays visible in NUMA breakdowns.
+	CauseAllocArena
 
 	numCauses
 )
@@ -105,6 +115,8 @@ var causeNames = [numCauses]string{
 	CauseWPQStall:     "wpq.stall",
 	CausePersistSync:  "persist.sync",
 	CauseLogEpoch:     "log.epoch",
+	CauseWPQRemote:    "wpq.remote",
+	CauseAllocArena:   "alloc.arena",
 }
 
 // causeGroups maps causes to coarse report groups (breakdown-table
@@ -130,6 +142,8 @@ var causeGroups = [numCauses]string{
 	CauseWPQStall:     "wpq",
 	CausePersistSync:  "wpq",
 	CauseLogEpoch:     "log",
+	CauseWPQRemote:    "wpq",
+	CauseAllocArena:   "compute",
 }
 
 // causeKinds ties every cause to the trace kinds that witness it in the
@@ -158,6 +172,8 @@ var causeKinds = [numCauses][]trace.Kind{
 	CauseWPQStall:     {trace.KWPQStall},
 	CausePersistSync:  {trace.KWPQDrain},
 	CauseLogEpoch:     {trace.KEpochClose},
+	CauseWPQRemote:    {trace.KWPQRemote},
+	CauseAllocArena:   {trace.KCharge},
 }
 
 // String returns the canonical dotted name.

@@ -26,6 +26,12 @@ type CampaignConfig struct {
 	// persist total). 0 or 1 is the single-core campaign; Mixed is
 	// insert-only cross-core and therefore rejected with Cores > 1.
 	Cores int
+	// Sockets runs each point on a multi-socket PM topology with the
+	// sharded per-core heap (0 or 1 = the single-device machine).
+	// Recovery then rebuilds the heap as per-core arena handles and the
+	// verifier additionally asserts every arena's live extents
+	// reconciled with the durable prefix (txheap.Heap.Check).
+	Sockets int
 	// Mixed interleaves updates and deletes with the inserts (for
 	// workloads implementing Mutable); default is the paper's
 	// insert-only ycsb-load.
@@ -180,6 +186,7 @@ func execute(cfg CampaignConfig, crashAfter uint64) (info runInfo, totalPersists
 		Scheme:             cfg.Scheme,
 		ComputeCyclesPerOp: w.ComputeCost(),
 		CommitWindow:       cfg.CommitWindow,
+		Sockets:            cfg.Sockets,
 	})
 	sys.Mach.CrashAfter = crashAfter
 
@@ -237,6 +244,7 @@ func executeMulti(cfg CampaignConfig, crashAfter uint64) (info runInfo, totalPer
 		Scheme:             cfg.Scheme,
 		ComputeCyclesPerOp: w.ComputeCost(),
 		CommitWindow:       cfg.CommitWindow,
+		Sockets:            cfg.Sockets,
 	})
 	cl.Plat.CrashAfterTotal = crashAfter
 
@@ -310,12 +318,23 @@ func verifyPoint(cfg CampaignConfig, info runInfo, res *CampaignResult) error {
 	if cores < 1 {
 		cores = 1
 	}
-	rep, _, err := RecoverN(info.img, rec, cores)
+	sockets := cfg.Sockets
+	if sockets < 1 {
+		sockets = 1
+	}
+	rep, heaps, err := RecoverSharded(info.img, rec, cores, sockets)
 	if err != nil {
 		return err
 	}
 	res.RecordsApplied += rep.RecordsApplied
 	res.LeakedBytes += rep.Heap.ReclaimedBytes
+	if sockets > 1 {
+		// Sharded rebuild: every arena (and the global fallback) must
+		// tile exactly into live blocks, free extents, and virgin space.
+		if err := heaps[0].Check(); err != nil {
+			return fmt.Errorf("sharded heap reconciliation: %w", err)
+		}
+	}
 
 	if cfg.CommitWindow > 1 {
 		// Group commit: the recovered image must equal the oracle after
@@ -362,14 +381,14 @@ func verifyPoint(cfg CampaignConfig, info runInfo, res *CampaignResult) error {
 func setupPersists(cfg CampaignConfig) (uint64, error) {
 	w := workloads.MustNew(cfg.Workload)
 	if cfg.Cores > 1 {
-		cl := slpmt.NewCluster(cfg.Cores, slpmt.Options{Scheme: cfg.Scheme, CommitWindow: cfg.CommitWindow})
+		cl := slpmt.NewCluster(cfg.Cores, slpmt.Options{Scheme: cfg.Scheme, CommitWindow: cfg.CommitWindow, Sockets: cfg.Sockets})
 		if err := w.Setup(cl.Use(0)); err != nil {
 			return 0, err
 		}
 		cl.Use(0).FinishEpoch()
 		return cl.Plat.PersistTotal, nil
 	}
-	sys := slpmt.New(slpmt.Options{Scheme: cfg.Scheme, CommitWindow: cfg.CommitWindow})
+	sys := slpmt.New(slpmt.Options{Scheme: cfg.Scheme, CommitWindow: cfg.CommitWindow, Sockets: cfg.Sockets})
 	if err := w.Setup(sys); err != nil {
 		return 0, err
 	}

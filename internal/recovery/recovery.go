@@ -268,10 +268,26 @@ func Recover(img *pmem.Image, w workloads.Recoverable) (*Report, *txheap.Heap, e
 // the heap is rebuilt over the multi-core address map, whose heap
 // region is smaller than the single-core one.
 func RecoverN(img *pmem.Image, w workloads.Recoverable, cores int) (*Report, *txheap.Heap, error) {
+	rep, heaps, err := RecoverSharded(img, w, cores, 1)
+	if err != nil {
+		return rep, nil, err
+	}
+	return rep, heaps[0], nil
+}
+
+// RecoverSharded is RecoverN for an image taken from a multi-socket
+// machine with a sharded per-core heap: log application and the
+// structure fix-up are identical (the log regions do not move), but the
+// allocator is rebuilt as the per-core arena handles of the sharded
+// layout, each arena reconciling its own reachable extents with the
+// durable prefix. Returns one heap handle per core (all sharing the
+// rebuilt spans); with sockets <= 1 the single classic heap is returned
+// in every slot.
+func RecoverSharded(img *pmem.Image, w workloads.Recoverable, cores, sockets int) (*Report, []*txheap.Heap, error) {
 	if cores < 1 {
 		cores = 1
 	}
-	layouts := mem.MultiLayout(uint64(len(img.Data)), cores)
+	layouts := mem.MultiLayoutSockets(uint64(len(img.Data)), cores, sockets)
 	desc := groupDesc(img, layouts[0])
 	var rep *Report
 	var units []*logUnit
@@ -309,7 +325,16 @@ func RecoverN(img *pmem.Image, w workloads.Recoverable, cores int) (*Report, *tx
 	if err != nil {
 		return rep, nil, fmt.Errorf("recovery: reachability: %w", err)
 	}
-	heap := txheap.New(nil, layouts[0], 0)
-	rep.Heap = heap.Rebuild(reach)
-	return rep, heap, nil
+	heaps := make([]*txheap.Heap, cores)
+	if sockets > 1 {
+		heaps = txheap.NewSharded(make([]txheap.Ticker, cores), layouts, 0)
+		rep.Heap = txheap.RebuildSharded(heaps, reach)
+	} else {
+		heap := txheap.New(nil, layouts[0], 0)
+		rep.Heap = heap.Rebuild(reach)
+		for i := range heaps {
+			heaps[i] = heap
+		}
+	}
+	return rep, heaps, nil
 }

@@ -27,6 +27,8 @@ var causeHelp = map[profile.Cause]string{
 	profile.CauseWPQStall:     "waiting for WPQ capacity (queue full back-pressure)",
 	profile.CausePersistSync:  "synchronous persist completion outside any context above",
 	profile.CauseLogEpoch:     "the amortized ordering barrier at a group-commit epoch close",
+	profile.CauseWPQRemote:    "cross-socket interconnect hops of remote persists and fills",
+	profile.CauseAllocArena:   "sharded per-core heap allocator (arena) management",
 }
 
 // CauseHelp returns the explanation for a cause name ("" if unknown).

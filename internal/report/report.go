@@ -30,6 +30,8 @@ type Result struct {
 	Seed             uint64 `json:"seed,omitempty"`
 	Cores            int    `json:"cores,omitempty"`
 	CommitWindow     int    `json:"commit_window,omitempty"`
+	Sockets          int    `json:"sockets,omitempty"`
+	RemoteNanos      uint64 `json:"remote_nanos,omitempty"`
 	Cycles           uint64 `json:"cycles"`
 	PMWriteBytesData uint64 `json:"pm_write_bytes_data"`
 	PMWriteBytesLog  uint64 `json:"pm_write_bytes_log"`
@@ -53,14 +55,19 @@ type Result struct {
 	// profile (bench.RunConfig.Profile). Maps marshal in sorted key
 	// order, so the document stays byte-deterministic.
 	CyclesByCause map[string]uint64 `json:"cycles_by_cause,omitempty"`
+
+	// WPQSocketOccMax is the per-socket maximum WPQ occupancy in bytes
+	// (socket number → bytes), present on multi-socket runs. Like
+	// CyclesByCause, map marshalling keeps the document deterministic.
+	WPQSocketOccMax map[string]uint64 `json:"wpq_socket_occ_max,omitempty"`
 }
 
 // Key identifies the run configuration: two results with the same key
 // measure the same point of the parameter grid and are comparable
 // across baseline and candidate documents.
 func (r Result) Key() string {
-	return fmt.Sprintf("%s|%s|%d|%d|%d|%d|%d|%d|%d|%d",
-		r.Scheme, r.Workload, r.N, r.ValueSize, r.PMWriteNanos, r.Banks, r.WPQBytes, r.Cores, r.Seed, r.CommitWindow)
+	return fmt.Sprintf("%s|%s|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d",
+		r.Scheme, r.Workload, r.N, r.ValueSize, r.PMWriteNanos, r.Banks, r.WPQBytes, r.Cores, r.Seed, r.CommitWindow, r.Sockets, r.RemoteNanos)
 }
 
 // Report is the top-level BENCH_<experiment>.json document.
@@ -88,6 +95,8 @@ func FromResult(r bench.Result) Result {
 		Seed:             r.Seed,
 		Cores:            r.Cores,
 		CommitWindow:     r.RunConfig.CommitWindow,
+		Sockets:          r.RunConfig.Sockets,
+		RemoteNanos:      r.RunConfig.RemoteNanos,
 		Cycles:           r.Cycles,
 		PMWriteBytesData: r.Counters.PMWriteBytesData,
 		PMWriteBytesLog:  r.Counters.PMWriteBytesLog,
@@ -105,6 +114,12 @@ func FromResult(r bench.Result) Result {
 	}
 	if r.Causes != nil {
 		out.CyclesByCause = r.Causes.ByName()
+	}
+	if r.PerSocket != nil {
+		out.WPQSocketOccMax = make(map[string]uint64, len(r.PerSocket.Stats))
+		for _, s := range r.PerSocket.Stats {
+			out.WPQSocketOccMax[fmt.Sprint(s.Socket)] = s.OccMaxBytes
+		}
 	}
 	return out
 }
@@ -152,6 +167,12 @@ func FromResults(name string, parallel int, wall time.Duration, mallocs, bytes u
 		}
 		if a.CommitWindow != b.CommitWindow {
 			return a.CommitWindow < b.CommitWindow
+		}
+		if a.Sockets != b.Sockets {
+			return a.Sockets < b.Sockets
+		}
+		if a.RemoteNanos != b.RemoteNanos {
+			return a.RemoteNanos < b.RemoteNanos
 		}
 		return a.Seed < b.Seed
 	})

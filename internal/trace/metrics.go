@@ -158,10 +158,14 @@ func BucketWPQ(events []Event, n int) *WPQSeries {
 			b.StallCycles += e.Arg
 			continue
 		}
-		if e.Arg > b.OccMax {
-			b.OccMax = e.Arg
+		// On a multi-socket topology the series merges the per-socket
+		// streams: occ is any one queue's post-event occupancy (the
+		// socket tag in the high Arg byte is stripped).
+		occ := WPQOcc(e.Arg)
+		if occ > b.OccMax {
+			b.OccMax = occ
 		}
-		sums[i] += e.Arg
+		sums[i] += occ
 		samples[i]++
 	}
 	for i := range buckets {

@@ -168,13 +168,22 @@ func WritePerfetto(w io.Writer, events []Event, opts PerfettoOptions) error {
 		case KCohSnoop, KCohInval, KCohDowngrade, KCohWriteback:
 			instant(e, e.Kind.String(), "coh", map[string]any{"addr": e.Addr})
 		case KWPQEnqueue, KWPQDrain:
+			// One counter track per socket: socket 0 keeps the historical
+			// track name, so single-socket documents are unchanged.
+			name := wpqTrack
+			if s := WPQSocket(e.Arg); s != 0 {
+				name = fmt.Sprintf("%s [socket %d]", wpqTrack, s)
+			}
 			doc.TraceEvents = append(doc.TraceEvents, pfEvent{
-				Name: wpqTrack, Ph: "C", Ts: ts(e.Cycle), Pid: pfPid,
-				Args: map[string]any{"bytes": e.Arg},
+				Name: name, Ph: "C", Ts: ts(e.Cycle), Pid: pfPid,
+				Args: map[string]any{"bytes": WPQOcc(e.Arg)},
 			})
 		case KWPQStall:
 			instant(e, "wpq.stall", "wpq",
 				map[string]any{"addr": e.Addr, "stall_cycles": e.Arg})
+		case KWPQRemote:
+			instant(e, "wpq.remote", "wpq",
+				map[string]any{"addr": e.Addr, "hop_cycles": e.Arg})
 		case KCharge:
 			instant(e, "charge", "charge",
 				map[string]any{"cause": e.Addr, "cycles": e.Arg})

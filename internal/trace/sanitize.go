@@ -111,8 +111,11 @@ type sanCore struct {
 	retained []sanRetained // committed txs with volatile lazy data (FIFO)
 
 	pendingLazy []uint64 // lines whose obligations must clear before the next program event
-	wpqFifo     []uint64 // outstanding WPQ enqueue sizes (bytes)
-	wpqSynced   bool     // occupancy replay locked on (pre-cut residue skipped)
+	// Per-socket WPQ replay state (socket 0 is the only key on
+	// single-socket streams): outstanding enqueue sizes in FIFO order,
+	// and whether the replay has locked on past pre-cut residue.
+	wpqFifo   map[int][]uint64
+	wpqSynced map[int]bool
 }
 
 func newSanCore() *sanCore {
@@ -123,6 +126,8 @@ func newSanCore() *sanCore {
 		storeLines:  map[uint64]struct{}{},
 		epochLogged: map[uint64]struct{}{},
 		epochLogOff: map[uint64]uint64{},
+		wpqFifo:     map[int][]uint64{},
+		wpqSynced:   map[int]bool{},
 	}
 }
 
@@ -133,9 +138,13 @@ type sanitizer struct {
 	// obligations counts, per line, the retained transactions (across
 	// all cores) whose lazy copy of the line is still volatile.
 	obligations map[uint64]int
-	occ         int64 // replayed WPQ occupancy (bytes); -1 before lock-on
-	prevDrain   bool  // previous event was a KWPQDrain (batch tracking)
-	prevDrainAt uint64
+	// occ is the replayed per-socket WPQ occupancy (bytes); a socket is
+	// absent before its replay locks on. Each socket's device has its
+	// own queue, so the occupancy series replays independently.
+	occ           map[int]int64
+	prevDrain     bool // previous event was a KWPQDrain (batch tracking)
+	prevDrainAt   uint64
+	prevDrainSock int
 }
 
 // Sanitize replays events (oldest first, as Tracer.Events returns them)
@@ -145,7 +154,7 @@ func Sanitize(events []Event, dropped uint64) *Report {
 	s := &sanitizer{
 		cores:       map[uint8]*sanCore{},
 		obligations: map[uint64]int{},
-		occ:         -1,
+		occ:         map[int]int64{},
 	}
 	s.rep.Events = len(events)
 	s.rep.Truncated = dropped > 0
@@ -228,11 +237,12 @@ func (s *sanitizer) step(i int, e Event) {
 	// retirement cycles never go backwards (the WPQ pops its queue in
 	// finish-time order).
 	if e.Kind == KWPQDrain {
-		if s.prevDrain && e.Cycle < s.prevDrainAt {
+		sock := WPQSocket(e.Arg)
+		if s.prevDrain && sock == s.prevDrainSock && e.Cycle < s.prevDrainAt {
 			s.violate(i, e, e.Core, 0, "wpq-fifo",
 				fmt.Sprintf("drain at cycle %d after drain at cycle %d in the same batch", e.Cycle, s.prevDrainAt))
 		}
-		s.prevDrain, s.prevDrainAt = true, e.Cycle
+		s.prevDrain, s.prevDrainAt, s.prevDrainSock = true, e.Cycle, sock
 	} else {
 		s.prevDrain = false
 	}
@@ -427,56 +437,62 @@ func (s *sanitizer) replayEnqueue(i int, e Event, cs *sanCore) {
 		}
 	}
 
-	// Rule 3 occupancy replay. The first observed event sets the
-	// baseline (the stream may start with entries already queued).
-	if s.occ < 0 {
-		s.occ = int64(e.Arg)
+	// Rule 3 occupancy replay, per socket. The first observed event of a
+	// socket sets its baseline (the stream may start with entries
+	// already queued).
+	sock := WPQSocket(e.Arg)
+	occ := int64(WPQOcc(e.Arg))
+	prev, seen := s.occ[sock]
+	s.occ[sock] = occ
+	if !seen {
 		return
 	}
-	delta := int64(e.Arg) - s.occ
-	s.occ = int64(e.Arg)
+	delta := occ - prev
 	if delta <= 0 {
 		s.violate(i, e, e.Core, 0, "wpq-fifo",
-			fmt.Sprintf("enqueue did not raise WPQ occupancy (%d -> %d)", s.occ-delta, e.Arg))
+			fmt.Sprintf("enqueue did not raise WPQ occupancy (%d -> %d)", prev, occ))
 		return
 	}
-	cs.wpqFifo = append(cs.wpqFifo, uint64(delta))
+	cs.wpqFifo[sock] = append(cs.wpqFifo[sock], uint64(delta))
 }
 
 // replayDrain applies one WPQ drain to the occupancy replay and matches
 // it against the draining core's outstanding enqueues.
 func (s *sanitizer) replayDrain(i int, e Event) {
 	cs := s.core(e.Core)
-	if s.occ < 0 {
-		s.occ = int64(e.Arg)
+	sock := WPQSocket(e.Arg)
+	occ := int64(WPQOcc(e.Arg))
+	prev, seen := s.occ[sock]
+	s.occ[sock] = occ
+	if !seen {
 		return
 	}
-	delta := s.occ - int64(e.Arg)
-	s.occ = int64(e.Arg)
+	delta := prev - occ
 	if delta <= 0 {
 		s.violate(i, e, e.Core, 0, "wpq-fifo",
-			fmt.Sprintf("drain did not lower WPQ occupancy (%d -> %d)", s.occ+delta, e.Arg))
+			fmt.Sprintf("drain did not lower WPQ occupancy (%d -> %d)", prev, occ))
 		return
 	}
-	if len(cs.wpqFifo) == 0 {
+	fifo := cs.wpqFifo[sock]
+	if len(fifo) == 0 {
 		return // residue enqueued before the stream cut
 	}
 	// Match in FIFO order; the device's bank model can legitimately
 	// retire same-core entries slightly out of enqueue order, so fall
 	// back to the first size match before declaring a violation.
-	if cs.wpqFifo[0] == uint64(delta) {
-		cs.wpqFifo = cs.wpqFifo[1:]
-		cs.wpqSynced = true
+	if fifo[0] == uint64(delta) {
+		cs.wpqFifo[sock] = fifo[1:]
+		cs.wpqSynced[sock] = true
 		return
 	}
-	for j := 1; j < len(cs.wpqFifo); j++ {
-		if cs.wpqFifo[j] == uint64(delta) {
-			cs.wpqFifo = append(cs.wpqFifo[:j], cs.wpqFifo[j+1:]...)
-			cs.wpqSynced = true
+	for j := 1; j < len(fifo); j++ {
+		if fifo[j] == uint64(delta) {
+			cs.wpqFifo[sock] = append(fifo[:j], fifo[j+1:]...)
+			cs.wpqSynced[sock] = true
 			return
 		}
 	}
-	if !cs.wpqSynced {
+	if !cs.wpqSynced[sock] {
 		return // still skipping pre-cut residue for this core
 	}
 	s.violate(i, e, e.Core, 0, "wpq-fifo",

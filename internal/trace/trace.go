@@ -50,6 +50,7 @@ const (
 	KWPQStall            // addr, arg = cycles stalled waiting for WPQ space
 	KCharge              // addr = attribution cause (internal/profile Cause), arg = cycles charged
 	KEpochClose          // addr = log mode (0 undo, 1 redo), arg = closed epoch number
+	KWPQRemote           // addr = target of a cross-socket access, arg = interconnect hop cycles
 	numKinds
 )
 
@@ -80,7 +81,25 @@ var kindNames = [numKinds]string{
 	KWPQStall:       "wpq.stall",
 	KCharge:         "charge",
 	KEpochClose:     "epoch.close",
+	KWPQRemote:      "wpq.remote",
 }
+
+// Per-socket WPQ occupancy encoding. On a multi-socket topology each
+// socket's device reports its own occupancy, so the KWPQEnqueue/KWPQDrain
+// Arg carries the socket ID in the top byte and the occupancy in the low
+// 56 bits. Socket 0 tags with zero, so single-socket traces are
+// byte-identical to the historical encoding.
+const wpqSocketShift = 56
+
+// WPQArgTag returns the Arg tag a device on the given socket ORs into
+// its occupancy values.
+func WPQArgTag(socket int) uint64 { return uint64(socket) << wpqSocketShift }
+
+// WPQSocket extracts the socket ID from a KWPQEnqueue/KWPQDrain Arg.
+func WPQSocket(arg uint64) int { return int(arg >> wpqSocketShift) }
+
+// WPQOcc extracts the occupancy bytes from a KWPQEnqueue/KWPQDrain Arg.
+func WPQOcc(arg uint64) uint64 { return arg & (1<<wpqSocketShift - 1) }
 
 // String returns the kind's display name.
 func (k Kind) String() string {

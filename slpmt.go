@@ -86,6 +86,18 @@ type Options struct {
 	ComputeCyclesPerOp uint64
 	// AllocCycles is the modelled cost of a heap operation.
 	AllocCycles uint64
+	// Sockets is the number of PM sockets (NUMA nodes) of the simulated
+	// platform: each socket is its own device (WPQ, banks, drain clock)
+	// behind a hop-linear interconnect distance matrix, and each core is
+	// pinned to home socket core%Sockets. 0 or 1 models the single-device
+	// machine, byte-identical to builds without the topology.
+	Sockets int
+	// RemoteNanos overrides the per-hop interconnect latency a remote
+	// persist enqueue pays, in nanoseconds; remote line fills pay twice
+	// that (reads cross the interconnect both ways). Zero keeps the
+	// defaults (pmem.DefaultRemoteEnqueueCycles/ReadCycles). Only
+	// meaningful with Sockets > 1.
+	RemoteNanos uint64
 	// CommitWindow is the group-commit window W: the engine batches the
 	// ordering persists of up to W committed transactions into one
 	// epoch close (see engine.Config.CommitWindow). 0 or 1 = the
@@ -155,6 +167,13 @@ func (opts Options) resolve() (string, engine.Config, machine.Config) {
 	if opts.PMWriteNanos != 0 {
 		mc.PM.WriteCycles = opts.PMWriteNanos * pmem.CyclesPerNs
 	}
+	if opts.Sockets > 1 {
+		mc.Sockets = opts.Sockets
+	}
+	if opts.RemoteNanos != 0 {
+		mc.RemoteEnqueueCycles = opts.RemoteNanos * pmem.CyclesPerNs
+		mc.RemoteReadCycles = 2 * opts.RemoteNanos * pmem.CyclesPerNs
+	}
 	if opts.Trace != nil {
 		mc.Trace = opts.Trace
 	}
@@ -167,9 +186,18 @@ func (opts Options) resolve() (string, engine.Config, machine.Config) {
 // New builds a single-core System for the given options.
 func New(opts Options) *System {
 	name, cfg, mc := opts.resolve()
-	c := machine.New(mc).Core(0)
+	m := machine.New(mc)
+	c := m.Core(0)
 	e := engine.New(c, cfg)
-	h := txheap.New(c, c.Layout, opts.AllocCycles)
+	var h *txheap.Heap
+	if m.Topo.Sockets() > 1 {
+		// Multi-socket layouts carve per-core arenas; even one core
+		// allocates through the sharded handle so its objects land on
+		// its home socket's stripe.
+		h = txheap.NewSharded([]txheap.Ticker{c}, []mem.Layout{c.Layout}, opts.AllocCycles)[0]
+	} else {
+		h = txheap.New(c, c.Layout, opts.AllocCycles)
+	}
 	if cfg.CommitWindow > 1 {
 		// Committed frees stay quarantined until their epoch's commit
 		// point is durable — reuse inside the window would scribble
