@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build test race check bench microbench fmt vet sanitize \
-	baseline compare report
+	stream-check baseline compare report
 
 all: build
 
@@ -14,10 +14,11 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass: full tests over the root package (cluster), the
-# bench harness, the machine, and the tracer, plus the targeted subset
-# that exercises the parallel experiment runner.
+# bench harness, the machine, and the tracer with its streaming binlog
+# (double-buffered writer goroutine), plus the targeted subset that
+# exercises the parallel experiment runner.
 race:
-	$(GO) test -race . ./internal/bench/ ./internal/machine/ ./internal/trace/
+	$(GO) test -race . ./internal/bench/ ./internal/machine/ ./internal/trace/...
 	$(GO) test -race ./internal/experiments/ \
 		./internal/recovery/ -run 'Parallel|ForEach|Grid|RunAll|Collector|Smoke'
 
@@ -36,6 +37,15 @@ vet:
 # WPQ FIFO, lazy-drain obligations. Zero violations required.
 sanitize:
 	$(GO) run ./cmd/slpmtbench -workload hashtable -cores 2 -n 300 -value 64 -sanitize
+
+# Streamed-trace equivalence gate: a 2-core hashtable run streams its
+# trace into an SLPSEG01 binlog (stream-out/, with NDJSON telemetry),
+# the binlog replays through the persist-order sanitizer, and the
+# streamed Summary/Sanitize/WPQ reductions must byte-match the
+# in-memory analyses over the same binlog. Nonzero exit on divergence.
+stream-check:
+	$(GO) run ./cmd/slpmtbench -workload hashtable -cores 2 -n 300 -value 64 \
+		-trace-stream stream-out -stream-check -sanitize
 
 # Full gate: formatting, vet, build, tests, race subset.
 check:

@@ -53,6 +53,23 @@
 //
 //	slpmtbench -workload hashtable -cores 2 -trace out.json
 //
+// -trace-stream switches to streaming single-run mode: the run's event
+// stream spills into a chunked SLPSEG01 binlog under the given
+// directory as it executes (memory stays bounded by the spill ring plus
+// one segment buffer, so it scales to runs the in-memory ring cannot
+// hold), live telemetry snapshots are written to telemetry.ndjson (one
+// line per -interval cycles), and the printed latency/WPQ metrics come
+// from the online streaming consumers. Tail the directory live with
+// `slpmttrace -trace-stream dir -follow`. -stream-check additionally
+// replays the binlog through the in-memory analyses and exits nonzero
+// if any streamed reduction diverges — the CI stream-check gate.
+// Combining with -sanitize replays the binlog through the persist-order
+// checker instead of keeping the event stream in memory:
+//
+//	slpmtbench -workload hashtable -cores 2 -trace-stream out/ -interval 65536
+//	slpmtbench -workload hashtable -cores 2 -trace-stream out/ -stream-check
+//	slpmtbench -workload hashtable -cores 2 -trace-stream out/ -sanitize
+//
 // -sanitize runs one -workload/-scheme execution under the persist-order
 // sanitizer (trace.Sanitize): the run is traced with the sanitizer's
 // kind mask and the event stream is replayed against the paper's §III
@@ -103,6 +120,9 @@ func run() error {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 		tracePth = flag.String("trace", "", "trace one run of -workload/-scheme and export events to this path (.json = Perfetto, .bin = binary)")
+		streamD  = flag.String("trace-stream", "", "stream one run of -workload/-scheme into an SLPSEG01 binlog directory (bounded memory; composes with -sanitize)")
+		interval = flag.Uint64("interval", 0, "telemetry snapshot interval in cycles for -trace-stream (0 = default)")
+		streamCk = flag.Bool("stream-check", false, "with -trace-stream: verify the streamed Summary/Sanitize/WPQ reductions byte-match the in-memory analyses over the binlog (exit nonzero on divergence)")
 		sanitize = flag.Bool("sanitize", false, "replay one run of -workload/-scheme through the persist-order sanitizer (exit nonzero on violations)")
 		flamePth = flag.String("flame", "", "profile one run of -workload/-scheme, print the cycle-attribution breakdown, and write folded stacks to this path")
 		compare  = flag.String("compare", "", "diff each experiment's BENCH json against <dir>/BENCH_<experiment>.json and exit nonzero on regressions (implies -json)")
@@ -117,6 +137,11 @@ func run() error {
 	base := bench.RunConfig{N: *n, ValueSize: *value, Seed: *seed, Verify: true, Cores: *cores, CommitWindow: *window,
 		Sockets: *sockets, RemoteNanos: *remoteNs}
 
+	if *streamD != "" {
+		base.Scheme = *scheme
+		base.Workload = *workload
+		return runStreamed(os.Stdout, base, *streamD, *interval, *streamCk, *sanitize)
+	}
 	if *sanitize {
 		base.Scheme = *scheme
 		base.Workload = *workload

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"reflect"
+	"sort"
+
+	"github.com/persistmem/slpmt/internal/bench"
+	"github.com/persistmem/slpmt/internal/trace"
+	"github.com/persistmem/slpmt/internal/trace/stream"
+)
+
+// runStreamed executes one benchmark with the streaming trace pipeline
+// attached: the event stream spills into an SLPSEG01 binlog under dir
+// (memory stays bounded by the spill ring plus one segment buffer),
+// live telemetry snapshots land in telemetry.ndjson, and the printed
+// metrics come from the online consumers. With sanitize the binlog is
+// replayed through the persist-order checker, and dropped events are a
+// hard error because the replay would be unsound. With check the
+// streamed reductions are additionally verified byte-for-byte against
+// the in-memory analyses over the same binlog — the CI stream-check
+// gate.
+func runStreamed(out io.Writer, cfg bench.RunConfig, dir string, interval uint64, check, sanitize bool) error {
+	cfg.StreamDir = dir
+	cfg.StreamInterval = interval
+	r := bench.Run(cfg)
+	if r.VerifyErr != nil {
+		return fmt.Errorf("%s/%s failed verification: %v", cfg.Scheme, cfg.Workload, r.VerifyErr)
+	}
+
+	cores := cfg.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	fmt.Fprintf(out, "streamed run: %s/%s n=%d value=%dB cores=%d seed=%d\n",
+		cfg.Scheme, cfg.Workload, r.N, r.ValueSize, cores, cfg.Seed)
+	fmt.Fprintf(out, "cycles: %d\n", r.Cycles)
+
+	d, err := stream.Open(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "binlog: %d segments in %s, closed=%v\n", len(d.Segments()), dir, d.Closed())
+	fmt.Fprintf(out, "events: %d captured, %d dropped\n", r.Summary.Events, r.Summary.Dropped)
+	if r.Intervals != nil {
+		fmt.Fprintf(out, "telemetry: %d intervals in %s\n",
+			len(r.Intervals.Intervals), filepath.Join(dir, bench.TelemetryFile))
+	}
+	fmt.Fprintln(out)
+	fmt.Fprint(out, r.Summary.String())
+	if r.WPQ != nil {
+		fmt.Fprintf(out, "\nWPQ occupancy over the run (high-water %dB, mean %dB):\n",
+			r.Counters.WPQOccMaxBytes, r.Counters.WPQOccAvgBytes)
+		fmt.Fprint(out, r.WPQ.String())
+	}
+
+	if sanitize {
+		if r.Summary.Dropped > 0 {
+			return fmt.Errorf("streamed run dropped %d events; the sanitizer replay is unsound", r.Summary.Dropped)
+		}
+		zs := stream.NewSanitize()
+		if _, err := stream.Feed(d, zs); err != nil {
+			return err
+		}
+		rep := zs.Report(r.Summary.Dropped)
+		fmt.Fprintf(out, "\nstreamed sanitizer: %d events replayed, %d transactions, %d aborts\n",
+			rep.Events, rep.Transactions, rep.Aborts)
+		if !rep.Clean() {
+			for _, v := range rep.Violations {
+				fmt.Fprintf(out, "violation: %s\n", v)
+			}
+			return fmt.Errorf("%d persist-order violations", rep.Total)
+		}
+		fmt.Fprintln(out, "persist-order sanitizer: 0 violations")
+	}
+	if check {
+		if err := streamCheck(out, d, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// streamCheck slurps the binlog back into memory and verifies that the
+// run's streamed reductions match the in-memory analyses over the very
+// same events. Any divergence is a bug in the streaming pipeline, not
+// in the run.
+func streamCheck(out io.Writer, d *stream.Dir, r bench.Result) error {
+	evs, st, err := d.Events()
+	if err != nil {
+		return fmt.Errorf("stream-check: %w", err)
+	}
+	if st.Torn != nil {
+		return fmt.Errorf("stream-check: %v", st.Torn)
+	}
+	if want := trace.Summarize(evs, r.Summary.Dropped); r.Summary != want {
+		return fmt.Errorf("stream-check: streamed summary diverges from in-memory:\nstreamed:\n%swant:\n%s",
+			r.Summary.String(), want.String())
+	}
+	wantWPQ := trace.BucketWPQ(evs, 16)
+	switch {
+	case (r.WPQ == nil) != (wantWPQ == nil):
+		return fmt.Errorf("stream-check: WPQ series presence differs from in-memory")
+	case wantWPQ != nil && !reflect.DeepEqual(r.WPQ, wantWPQ):
+		return fmt.Errorf("stream-check: streamed WPQ series diverges from in-memory:\nstreamed:\n%swant:\n%s",
+			r.WPQ.String(), wantWPQ.String())
+	}
+	zs := stream.NewSanitize()
+	if _, err := stream.Feed(d, zs); err != nil {
+		return err
+	}
+	got := renderReport(zs.Report(r.Summary.Dropped))
+	want := renderReport(trace.Sanitize(evs, r.Summary.Dropped))
+	if got != want {
+		return fmt.Errorf("stream-check: streamed sanitize report diverges from in-memory:\nstreamed:\n%swant:\n%s", got, want)
+	}
+	fmt.Fprintf(out, "\nstream-check: summary, WPQ, and sanitize byte-match in-memory over %d events (%d segments)\n",
+		st.Events, st.Segments)
+	return nil
+}
+
+// renderReport flattens a sanitize report for byte comparison, with the
+// violation set order-normalized (the sanitizer reports it in map
+// order, which is explicitly order-independent).
+func renderReport(rep *trace.Report) string {
+	vs := append([]trace.Violation(nil), rep.Violations...)
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].Index != vs[j].Index {
+			return vs[i].Index < vs[j].Index
+		}
+		return vs[i].Detail < vs[j].Detail
+	})
+	s := fmt.Sprintf("events=%d tx=%d aborts=%d truncated=%v total=%d\n",
+		rep.Events, rep.Transactions, rep.Aborts, rep.Truncated, rep.Total)
+	for _, v := range vs {
+		s += v.String() + "\n"
+	}
+	return s
+}

@@ -14,6 +14,16 @@
 // The -cores/-seed knobs match slpmtbench: cores > 1 shards the same
 // deterministic key stream round-robin across a cluster, and the crash
 // point counts machine-wide persist events.
+//
+// -trace-stream switches to binlog inspection mode: instead of
+// executing a run, the given SLPSEG01 stream directory (written by
+// slpmtbench -trace-stream) is dumped — per-segment headers, the first
+// -records events, and the streamed latency summary. -follow tails a
+// still-growing stream, printing segments as their rotation fsync
+// completes and exiting when the writer drops the CLOSED sentinel:
+//
+//	slpmttrace -trace-stream out/
+//	slpmttrace -trace-stream out/ -follow -records 0
 package main
 
 import (
@@ -44,10 +54,19 @@ func main() {
 		crash    = flag.Uint64("crash", 0, "crash after this persist event (0 = run to completion)")
 		doRec    = flag.Bool("recover", false, "run recovery on the image and report")
 		maxRecs  = flag.Int("records", 16, "max log records to print")
+		streamD  = flag.String("trace-stream", "", "inspect an SLPSEG01 trace-stream directory (from slpmtbench -trace-stream) instead of executing a run")
+		follow   = flag.Bool("follow", false, "with -trace-stream: tail the stream live as segments complete; exits when the writer closes it")
 	)
 	flag.Parse()
 	if *cores < 1 {
 		*cores = 1
+	}
+	if *streamD != "" {
+		if err := inspectStream(os.Stdout, *streamD, *follow, *maxRecs); err != nil {
+			fmt.Fprintf(os.Stderr, "slpmttrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	img, crashed, events := execute(*workload, *scheme, *n, *value, *cores, *seed, *crash)

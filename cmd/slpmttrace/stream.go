@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/persistmem/slpmt/internal/trace"
+	"github.com/persistmem/slpmt/internal/trace/stream"
+)
+
+// inspectStream dumps an SLPSEG01 stream directory (written by
+// slpmtbench -trace-stream): per-segment headers, the first maxEvents
+// events, and the streamed latency summary. With follow it tails the
+// stream instead — segments print as they complete (their rotation
+// fsync has happened) and the summary prints once the writer drops the
+// CLOSED sentinel. A torn final segment is reported but not fatal: the
+// durable prefix is still summarized, matching crash-recovery
+// semantics.
+func inspectStream(out io.Writer, dir string, follow bool, maxEvents int) error {
+	d, err := stream.Open(dir)
+	if err != nil {
+		return err
+	}
+	if !follow {
+		segs := d.Segments()
+		fmt.Fprintf(out, "stream %s: %d segments, closed=%v\n", dir, len(segs), d.Closed())
+		for i, name := range segs {
+			hdr, err := d.Header(i)
+			if err != nil {
+				fmt.Fprintf(out, "segment %s: %v\n", name, err)
+				continue
+			}
+			fmt.Fprintf(out, "segment %s: %d events, cycles [%d,%d], dropped=%d\n",
+				name, hdr.Count, hdr.FirstCycle, hdr.LastCycle, hdr.Dropped)
+			for _, cc := range hdr.CoreCounts {
+				fmt.Fprintf(out, "  core %d: %d events\n", cc.Core, cc.Count)
+			}
+		}
+	} else {
+		fmt.Fprintf(out, "following stream %s (exits when the writer closes it)\n", dir)
+	}
+
+	summ := stream.NewSummarizer()
+	printed := 0
+	consume := func(e trace.Event) {
+		summ.Consume(e)
+		if printed < maxEvents {
+			fmt.Fprintf(out, "  [%3d] core=%d cycle=%-10d %-14s addr=%#x arg=%d\n",
+				printed, e.Core, e.Cycle, e.Kind, e.Addr, e.Arg)
+			printed++
+		}
+	}
+	fmt.Fprintf(out, "\nfirst %d events:\n", maxEvents)
+	var st *stream.Stats
+	if follow {
+		st, err = d.Follow(consume, 0)
+	} else {
+		st, err = d.Iter(consume)
+	}
+	if err != nil {
+		return err
+	}
+	if st.Events > printed {
+		fmt.Fprintf(out, "  ... %d more\n", st.Events-printed)
+	}
+	if st.Torn != nil {
+		fmt.Fprintf(out, "\ntorn final segment (crash tear): %v\n", st.Torn)
+		fmt.Fprintf(out, "durable prefix of %d complete events recovered\n", st.Events)
+	}
+	fmt.Fprintf(out, "\n%d events over %d segments (dropped=%d, closed=%v)\n",
+		st.Events, st.Segments, st.Dropped, st.Closed)
+	fmt.Fprint(out, summ.Summary(st.Events, st.Dropped).String())
+	return nil
+}

@@ -26,6 +26,25 @@ func (k Kind) Name() string { return kindNames[k] }
 // Emit records one event.
 func Emit(k Kind, arg uint64) {}
 
+// Event is one trace record (miniature of the real one, enough for the
+// stream-consumer registration rule).
+type Event struct {
+	Cycle uint64
+	Kind  Kind
+}
+
+// Mask builds a kind-filter bitmask.
+func Mask(kinds ...Kind) uint64 {
+	var m uint64
+	for _, k := range kinds {
+		m |= 1 << uint(k)
+	}
+	return m
+}
+
+// AllKinds is the universal mask.
+const AllKinds = ^uint64(0)
+
 // WritePerfetto renders one event kind.
 func WritePerfetto(k Kind) string {
 	switch k {

@@ -1,0 +1,69 @@
+// Package streamconsumer exercises the stream-consumer registration
+// rule: events are filtered by a consumer's Kinds mask before delivery,
+// so a trace.Kind referenced in Consume but absent from the mask is
+// dead handling and must be flagged.
+package streamconsumer
+
+import "fixtures/internal/trace"
+
+// Good registers exactly the kinds it handles.
+type Good struct{ n int }
+
+func (g *Good) Kinds() uint64 { return trace.Mask(trace.KGood, trace.KNoEmit) }
+
+func (g *Good) Consume(e trace.Event) {
+	switch e.Kind {
+	case trace.KGood, trace.KNoEmit:
+		g.n++
+	}
+}
+
+// Universal inspects every kind under the AllKinds mask.
+type Universal struct{ n int }
+
+func (u *Universal) Kinds() uint64 { return trace.AllKinds }
+
+func (u *Universal) Consume(e trace.Event) {
+	if e.Kind == trace.KNoName {
+		u.n++
+	}
+}
+
+// Helper routes its mask through a package-level function, like the
+// real two-pass WPQ consumers do.
+type Helper struct{ n int }
+
+func helperMask() uint64 { return trace.Mask(trace.KGood) }
+
+func (h *Helper) Kinds() uint64 { return helperMask() }
+
+func (h *Helper) Consume(e trace.Event) {
+	if e.Kind == trace.KGood {
+		h.n++
+	}
+}
+
+// Leaky handles a kind its mask does not register: KNoName events are
+// filtered out before delivery, so the branch is dead.
+type Leaky struct{ n int }
+
+func (l *Leaky) Kinds() uint64 { return trace.Mask(trace.KGood) }
+
+func (l *Leaky) Consume(e trace.Event) {
+	switch e.Kind {
+	case trace.KGood:
+		l.n++
+	case trace.KNoName: // want "does not register"
+		l.n += 2
+	}
+}
+
+// NotAConsumer has a Consume method but no Kinds mask — outside the
+// contract, so the rule stays silent even though it references kinds.
+type NotAConsumer struct{ n int }
+
+func (n *NotAConsumer) Consume(e trace.Event) {
+	if e.Kind == trace.KNoPerfetto {
+		n.n++
+	}
+}

@@ -13,7 +13,7 @@ import (
 // canonical row so no counter silently vanishes from the reports.
 var TraceCoverage = &ModuleAnalyzer{
 	Name: "trace-coverage",
-	Doc:  "every trace.Kind emitted, named, and Perfetto-mapped; every stats.Counters field rendered; every profile.Cause named, kind-mapped, and documented in the report renderer",
+	Doc:  "every trace.Kind emitted, named, and Perfetto-mapped; every stats.Counters field rendered; every profile.Cause named, kind-mapped, and documented in the report renderer; every stream consumer's handled kinds registered in its Kinds mask",
 	Run:  runTraceCoverage,
 }
 
@@ -21,6 +21,7 @@ func runTraceCoverage(p *ModulePass) {
 	checkKindCoverage(p)
 	checkCounterRows(p)
 	checkCauseCoverage(p)
+	checkStreamConsumers(p)
 }
 
 // kindConst describes one exported trace.Kind constant.
@@ -303,6 +304,181 @@ func causeRef(info *types.Info, profPkg *types.Package, expr ast.Expr) string {
 		return ""
 	}
 	return c.Name()
+}
+
+// checkStreamConsumers enforces the stream-consumer registration
+// contract (internal/trace/stream.Consumer): delivery filters events by
+// the consumer's Kinds mask, so a trace.Kind referenced inside a
+// Consume body but absent from the type's Kinds mask is dead handling —
+// the consumer would silently never see those events. Masks resolve
+// through trace.AllKinds (universal), trace.Mask(...) calls, and
+// same-package helper functions; an unresolvable mask is treated as
+// universal rather than guessed at (no false positives).
+func checkStreamConsumers(p *ModulePass) {
+	tracePkg := p.Module.LookupSuffix("internal/trace")
+	if tracePkg == nil {
+		return
+	}
+	eventObj, ok := tracePkg.Types.Scope().Lookup("Event").(*types.TypeName)
+	if !ok {
+		return
+	}
+
+	for _, pkg := range p.Module.Packages {
+		// Collect Kinds/Consume method declarations by receiver type, and
+		// package-level functions for mask-helper resolution.
+		kindsFns := map[string]*ast.FuncDecl{}
+		consumeFns := map[string]*ast.FuncDecl{}
+		helpers := map[string]*ast.FuncDecl{}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fd.Recv == nil {
+					helpers[fd.Name.Name] = fd
+					continue
+				}
+				recv := recvTypeName(fd)
+				if recv == "" {
+					continue
+				}
+				switch fd.Name.Name {
+				case "Kinds":
+					if fd.Type.Params.NumFields() == 0 && fd.Type.Results.NumFields() == 1 {
+						kindsFns[recv] = fd
+					}
+				case "Consume":
+					if fd.Type.Params.NumFields() == 1 && len(fd.Type.Params.List[0].Names) <= 1 &&
+						types.Identical(pkg.Info.TypeOf(fd.Type.Params.List[0].Type), eventObj.Type()) {
+						consumeFns[recv] = fd
+					}
+				}
+			}
+		}
+
+		for recv, consume := range consumeFns { //slpmt:determinism-ok findings are position-sorted by the driver
+			kindsFn, ok := kindsFns[recv]
+			if !ok || consume.Body == nil {
+				continue
+			}
+			registered, universal := resolveKindsMask(p, pkg, tracePkg, kindsFn, helpers, 0)
+			if universal {
+				continue
+			}
+			ast.Inspect(consume.Body, func(n ast.Node) bool {
+				expr, ok := n.(ast.Expr)
+				if !ok {
+					return true
+				}
+				if kn := kindRef(pkg.Info, tracePkg.Types, expr); kn != "" && !registered[kn] {
+					p.Reportf(expr.Pos(),
+						"stream consumer %s handles trace kind %s in Consume but its Kinds mask does not register it (events of that kind are filtered out before delivery)",
+						recv, kn)
+					registered[kn] = true // one finding per kind per consumer
+				}
+				return true
+			})
+		}
+	}
+}
+
+// recvTypeName returns a method's receiver type name, stripping any
+// pointer.
+func recvTypeName(fd *ast.FuncDecl) string {
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// resolveKindsMask evaluates a Kinds method (or mask helper) body to
+// the set of registered Kind constant names. universal=true means the
+// mask admits everything — either it really is trace.AllKinds, or it
+// could not be resolved statically and the check must stay silent.
+func resolveKindsMask(p *ModulePass, pkg *Package, tracePkg *Package, fd *ast.FuncDecl, helpers map[string]*ast.FuncDecl, depth int) (map[string]bool, bool) {
+	if fd.Body == nil || depth > 4 {
+		return nil, true
+	}
+	var ret ast.Expr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok && ret == nil && len(r.Results) == 1 {
+			ret = r.Results[0]
+		}
+		return ret == nil
+	})
+	if ret == nil {
+		return nil, true
+	}
+	return resolveMaskExpr(p, pkg, tracePkg, ret, helpers, depth)
+}
+
+// resolveMaskExpr resolves one mask-valued expression.
+func resolveMaskExpr(p *ModulePass, pkg *Package, tracePkg *Package, expr ast.Expr, helpers map[string]*ast.FuncDecl, depth int) (map[string]bool, bool) {
+	switch e := expr.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		// trace.AllKinds (a constant) is the universal mask.
+		if obj := exprObj(pkg.Info, expr); obj != nil &&
+			obj.Name() == "AllKinds" && obj.Pkg() != nil && obj.Pkg().Path() == tracePkg.Types.Path() {
+			return nil, true
+		}
+		return nil, true // other idents: unresolvable, stay silent
+	case *ast.CallExpr:
+		name := calleeName(e)
+		if name == "Mask" {
+			if obj := exprObj(pkg.Info, e.Fun); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == tracePkg.Types.Path() {
+				set := map[string]bool{}
+				for _, arg := range e.Args {
+					kn := kindRef(pkg.Info, tracePkg.Types, arg)
+					if kn == "" {
+						return nil, true // non-constant argument: unresolvable
+					}
+					set[kn] = true
+				}
+				return set, false
+			}
+		}
+		if name == "AllKinds" {
+			if obj := exprObj(pkg.Info, e.Fun); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == tracePkg.Types.Path() {
+				return nil, true
+			}
+		}
+		// A same-package helper like wpqMask(): recurse into its body.
+		if helper, ok := helpers[name]; ok {
+			return resolveKindsMask(p, pkg, tracePkg, helper, helpers, depth+1)
+		}
+		return nil, true
+	case *ast.BinaryExpr:
+		// Union of two resolvable masks (m1 | m2).
+		l, lu := resolveMaskExpr(p, pkg, tracePkg, e.X, helpers, depth)
+		r, ru := resolveMaskExpr(p, pkg, tracePkg, e.Y, helpers, depth)
+		if lu || ru {
+			return nil, true
+		}
+		for k := range r { //slpmt:determinism-ok merging into a set, order-independent
+			l[k] = true
+		}
+		return l, false
+	case *ast.ParenExpr:
+		return resolveMaskExpr(p, pkg, tracePkg, e.X, helpers, depth)
+	}
+	return nil, true
+}
+
+// exprObj resolves an identifier or selector to its types.Object.
+func exprObj(info *types.Info, expr ast.Expr) types.Object {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
 }
 
 // checkCounterRows verifies canonicalRows renders every Counters field.

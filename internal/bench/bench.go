@@ -16,6 +16,7 @@ import (
 	"github.com/persistmem/slpmt/internal/profile"
 	"github.com/persistmem/slpmt/internal/stats"
 	"github.com/persistmem/slpmt/internal/trace"
+	"github.com/persistmem/slpmt/internal/trace/stream"
 	"github.com/persistmem/slpmt/internal/workloads"
 	"github.com/persistmem/slpmt/internal/ycsb"
 )
@@ -77,6 +78,20 @@ type RunConfig struct {
 	// Observation-only: cycles, counters and non-KCharge trace events
 	// are identical with or without it.
 	Profile bool
+	// StreamDir, when non-empty, streams the measured region's trace to
+	// an on-disk SLPSEG01 binlog in this directory: a spill sink is
+	// attached so the ring never drops however long the run, the
+	// Summary/WPQ reductions replay the binlog through the online
+	// consumers (identical to the in-memory ones by construction), and
+	// Result.Intervals carries the live telemetry series (also written
+	// as NDJSON to StreamDir/telemetry.ndjson). Without Trace or
+	// Metrics, a full-detail spill ring of StreamRingEvents is
+	// attached. Observation-only: simulated cycles, counters, and
+	// goldens are byte-identical with streaming on.
+	StreamDir string
+	// StreamInterval is the telemetry snapshot window in simulated
+	// cycles (0 = the stream package default).
+	StreamInterval uint64
 }
 
 // Result is the outcome of one benchmark execution.
@@ -101,6 +116,10 @@ type Result struct {
 	// multi-socket run (enqueue counts, stall cycles, occupancy); nil
 	// on single-device runs. A pointer keeps Result comparable.
 	PerSocket *SocketBreakdown
+	// Intervals is the telemetry interval series of a streamed run
+	// (StreamDir set); nil otherwise. A pointer keeps Result
+	// comparable.
+	Intervals *IntervalSeries
 	// VerifyErr is non-nil if the post-run invariant check failed.
 	VerifyErr error
 }
@@ -112,6 +131,12 @@ func (r Result) PMWriteBytes() uint64 { return r.Counters.PMWriteBytes() }
 // Result can carry them behind a comparable pointer.
 type SocketBreakdown struct {
 	Stats []pmem.SocketStats
+}
+
+// IntervalSeries wraps a streamed run's telemetry snapshots so Result
+// can carry them behind a comparable pointer.
+type IntervalSeries struct {
+	Intervals []stream.Interval
 }
 
 // runTracer resolves the tracer a run should attach: the caller's
@@ -153,6 +178,9 @@ func Run(cfg RunConfig) Result {
 	mc.PM.Banks = cfg.Banks
 	mc.PM.WPQBytes = cfg.WPQBytes
 	tr := runTracer(cfg)
+	if cfg.StreamDir != "" && tr == nil {
+		tr = trace.New(StreamRingEvents)
+	}
 	var prof *profile.Profile
 	if cfg.Profile {
 		prof = profile.New(1)
@@ -181,11 +209,17 @@ func Run(cfg RunConfig) Result {
 	// The topology is the occupancy surface: on a single-device machine
 	// it delegates to the one device, so the gauges are unchanged.
 	topo := sys.Mach.Machine().Topo
+	var sw *streamRun
 	if tr != nil {
 		// Drop setup events and restart the occupancy window at the
 		// measured region's boundary.
 		tr.Reset()
 		topo.ResetOccupancy(startCycles)
+		if cfg.StreamDir != "" {
+			// Attach the binlog sink after the boundary so the stream
+			// holds exactly the measured region.
+			sw = attachStream(cfg, tr)
+		}
 	}
 	if prof != nil {
 		// Drop setup charges: the breakdown covers the measured region.
@@ -210,7 +244,12 @@ func Run(cfg RunConfig) Result {
 		// Retire entries that finished before the region's end so drain
 		// events and the occupancy integral cover the whole interval.
 		topo.QueueDepth(sys.Cycles())
-		reduceTrace(&res, tr, topo)
+		if sw != nil {
+			sw.finish(tr)
+			reduceStream(&res, tr, sw, topo)
+		} else {
+			reduceTrace(&res, tr, topo)
+		}
 	}
 	if topo.Sockets() > 1 {
 		res.PerSocket = &SocketBreakdown{Stats: topo.SocketStats()}

@@ -6,6 +6,7 @@ import (
 	"github.com/persistmem/slpmt"
 	"github.com/persistmem/slpmt/internal/machine"
 	"github.com/persistmem/slpmt/internal/profile"
+	"github.com/persistmem/slpmt/internal/trace"
 	"github.com/persistmem/slpmt/internal/workloads"
 	"github.com/persistmem/slpmt/internal/ycsb"
 )
@@ -28,6 +29,9 @@ func RunMulti(cfg RunConfig) Result {
 	mc.PM.Banks = cfg.Banks
 	mc.PM.WPQBytes = cfg.WPQBytes
 	tr := runTracer(cfg)
+	if cfg.StreamDir != "" && tr == nil {
+		tr = trace.New(StreamRingEvents)
+	}
 	var prof *profile.Profile
 	if cfg.Profile {
 		prof = profile.New(cores)
@@ -60,8 +64,14 @@ func RunMulti(cfg RunConfig) Result {
 	// The topology surface covers every socket's queue (and delegates
 	// to the one device on single-socket machines).
 	cl.Plat.Topo.ResetOccupancy(startClk)
+	var sw *streamRun
 	if tr != nil {
 		tr.Reset()
+		if cfg.StreamDir != "" {
+			// Attach the binlog sink after the boundary so the stream
+			// holds exactly the measured region.
+			sw = attachStream(cfg, tr)
+		}
 	}
 	if prof != nil {
 		prof.Reset()
@@ -96,7 +106,12 @@ func RunMulti(cfg RunConfig) Result {
 	cl.Plat.Topo.QueueDepth(cl.MaxClk())
 	res.Counters.WPQOccMaxBytes, res.Counters.WPQOccAvgBytes = cl.Plat.Topo.OccupancyStats()
 	if tr != nil {
-		reduceTrace(&res, tr, cl.Plat.Topo)
+		if sw != nil {
+			sw.finish(tr)
+			reduceStream(&res, tr, sw, cl.Plat.Topo)
+		} else {
+			reduceTrace(&res, tr, cl.Plat.Topo)
+		}
 	}
 	if cl.Sockets() > 1 {
 		res.PerSocket = &SocketBreakdown{Stats: cl.SocketStats()}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/persistmem/slpmt/internal/trace"
+	"github.com/persistmem/slpmt/internal/trace/stream"
+)
+
+// StreamRingEvents is the spill-ring capacity attached when a run
+// streams (RunConfig.StreamDir) without a caller-provided tracer: small
+// enough that trace-side memory is dominated by the segment buffer, big
+// enough that spill handoffs amortize.
+const StreamRingEvents = 1 << 15
+
+// TelemetryFile is the NDJSON telemetry file written inside StreamDir:
+// one line per closed interval (see stream.Interval).
+const TelemetryFile = "telemetry.ndjson"
+
+// streamRun carries one run's streaming state between attach and
+// reduce.
+type streamRun struct {
+	w    *stream.Writer
+	tele *stream.Telemetry
+	nd   *os.File
+	dir  string
+}
+
+// attachStream starts the binlog writer with a live telemetry
+// snapshotter and attaches it as the tracer's spill sink. Called after
+// the measured-region Reset so setup events never reach the stream.
+func attachStream(cfg RunConfig, tr *trace.Tracer) *streamRun {
+	if err := os.MkdirAll(cfg.StreamDir, 0o755); err != nil {
+		panic(fmt.Sprintf("bench: stream dir: %v", err))
+	}
+	nd, err := os.Create(filepath.Join(cfg.StreamDir, TelemetryFile))
+	if err != nil {
+		panic(fmt.Sprintf("bench: telemetry file: %v", err))
+	}
+	tele := stream.NewTelemetry(cfg.StreamInterval, nd)
+	w, err := stream.NewWriter(cfg.StreamDir, 0, tele)
+	if err != nil {
+		nd.Close()
+		panic(fmt.Sprintf("bench: stream writer: %v", err))
+	}
+	tr.SetSink(w)
+	return &streamRun{w: w, tele: tele, nd: nd, dir: cfg.StreamDir}
+}
+
+// finish flushes the ring's tail into the stream and closes the binlog
+// (final segment fsync + CLOSED sentinel). Must run after the last
+// trace event of the measured region (including the occupancy
+// retirement pass).
+func (s *streamRun) finish(tr *trace.Tracer) {
+	tr.Flush()
+	s.w.SetDropped(tr.Dropped())
+	if err := s.w.Close(); err != nil {
+		panic(fmt.Sprintf("bench: trace stream: %v", err))
+	}
+	if err := s.nd.Close(); err != nil {
+		panic(fmt.Sprintf("bench: telemetry file: %v", err))
+	}
+	tr.SetSink(nil)
+}
+
+// reduceStream is reduceTrace's streaming twin: the summary and WPQ
+// series come from replaying the on-disk binlog through the online
+// consumers (identical to the in-memory reductions by construction),
+// and the result carries the telemetry interval series.
+func reduceStream(res *Result, tr *trace.Tracer, s *streamRun, pm interface {
+	OccupancyStats() (uint64, uint64)
+}) {
+	d, err := stream.Open(s.dir)
+	if err != nil {
+		panic(fmt.Sprintf("bench: open stream: %v", err))
+	}
+	summ := stream.NewSummarizer()
+	st, err := stream.Feed(d, summ)
+	if err != nil {
+		panic(fmt.Sprintf("bench: replay stream: %v", err))
+	}
+	res.Summary = summ.Summary(st.Events, tr.Dropped())
+	wpq, err := stream.BucketWPQ(d, 16)
+	if err != nil {
+		panic(fmt.Sprintf("bench: stream wpq: %v", err))
+	}
+	res.WPQ = wpq
+	res.Counters.WPQOccMaxBytes, res.Counters.WPQOccAvgBytes = pm.OccupancyStats()
+	if err := s.tele.Err(); err != nil {
+		panic(fmt.Sprintf("bench: telemetry: %v", err))
+	}
+	res.Intervals = &IntervalSeries{Intervals: s.tele.Intervals()}
+}

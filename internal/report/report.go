@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/persistmem/slpmt/internal/bench"
+	"github.com/persistmem/slpmt/internal/trace/stream"
 )
 
 // Result is the machine-readable form of one bench.Run outcome.
@@ -49,6 +50,17 @@ type Result struct {
 	LazyDrainP99     uint64 `json:"lazy_drain_p99,omitempty"`
 	WPQOccMaxBytes   uint64 `json:"wpq_occ_max_bytes,omitempty"`
 	WPQOccAvgBytes   uint64 `json:"wpq_occ_avg_bytes,omitempty"`
+
+	// DroppedEvents is the number of trace events the tracer's ring
+	// discarded (zero on untraced runs and on streamed runs, whose spill
+	// sink never drops). Nonzero means every trace-derived metric above
+	// is a lower bound, so consumers should flag it.
+	DroppedEvents uint64 `json:"dropped_events,omitempty"`
+
+	// Intervals is the live-telemetry interval series, present when the
+	// run streamed its trace (bench.RunConfig.StreamDir): one entry per
+	// closed snapshot window, mirroring the run's telemetry.ndjson.
+	Intervals []stream.Interval `json:"intervals,omitempty"`
 
 	// CyclesByCause is the cycle-attribution breakdown (cause name →
 	// cycles, merged across cores), present when the run carried a
@@ -111,6 +123,10 @@ func FromResult(r bench.Result) Result {
 		LazyDrainP99:     r.Summary.LazyP99,
 		WPQOccMaxBytes:   r.Counters.WPQOccMaxBytes,
 		WPQOccAvgBytes:   r.Counters.WPQOccAvgBytes,
+		DroppedEvents:    r.Summary.Dropped,
+	}
+	if r.Intervals != nil {
+		out.Intervals = r.Intervals.Intervals
 	}
 	if r.Causes != nil {
 		out.CyclesByCause = r.Causes.ByName()

@@ -128,6 +128,65 @@ func TestRenderHTML(t *testing.T) {
 	}
 }
 
+// TestStreamedRunReport pins the streaming additions to the schema:
+// a streamed run's document carries the telemetry interval series
+// under the "intervals" wire key, and the HTML report renders the
+// live-telemetry sparkline panel for it.
+func TestStreamedRunReport(t *testing.T) {
+	r := bench.Run(bench.RunConfig{
+		Scheme: schemes.SLPMT, Workload: "hashtable",
+		N: 60, ValueSize: 32, Verify: true,
+		StreamDir: t.TempDir(), StreamInterval: 1 << 12,
+	})
+	rep := FromResults("headline", 1, time.Millisecond, 0, 0, []bench.Result{r})
+	if len(rep.Results[0].Intervals) == 0 {
+		t.Fatal("streamed run produced no interval series")
+	}
+	data, err := json.Marshal(rep.Results[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["intervals"]; !ok {
+		t.Error(`streamed result missing "intervals" wire key`)
+	}
+	if _, ok := m["dropped_events"]; ok {
+		t.Error("zero dropped_events should be omitted from the wire")
+	}
+	var sb strings.Builder
+	if err := RenderHTML(&sb, []Report{rep}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "live telemetry") {
+		t.Error("HTML report missing the live-telemetry panel")
+	}
+}
+
+// TestDroppedEventsBanner: a result whose tracer ring overflowed is
+// flagged on the wire (dropped_events) and as an HTML warning banner.
+func TestDroppedEventsBanner(t *testing.T) {
+	rep := fixture()
+	rep.Results[0].DroppedEvents = 1234
+	data, err := json.Marshal(rep.Results[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"dropped_events":1234`) {
+		t.Errorf("dropped_events not on the wire: %s", data)
+	}
+	var sb strings.Builder
+	if err := RenderHTML(&sb, []Report{rep}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "trace events dropped") || !strings.Contains(out, "1234 events dropped") {
+		t.Error("HTML report missing the dropped-events warning banner")
+	}
+}
+
 // TestJSONKeys pins the exact wire names — external scripts parse
 // these documents, so renames are breaking changes.
 func TestJSONKeys(t *testing.T) {

@@ -52,15 +52,17 @@ func Summarize(events []Event, dropped uint64) Summary {
 		}
 	}
 	s.Commits = len(commits)
-	s.CommitP50, s.CommitP95, s.CommitP99 = percentiles(commits)
+	s.CommitP50, s.CommitP95, s.CommitP99 = Percentiles(commits)
 	s.LazyDrains = len(lazies)
-	s.LazyP50, s.LazyP95, s.LazyP99 = percentiles(lazies)
+	s.LazyP50, s.LazyP95, s.LazyP99 = Percentiles(lazies)
 	return s
 }
 
-// percentiles returns the p50/p95/p99 of xs by nearest-rank on the
-// sorted sample (0s for an empty sample). xs is sorted in place.
-func percentiles(xs []uint64) (p50, p95, p99 uint64) {
+// Percentiles returns the p50/p95/p99 of xs by nearest-rank on the
+// sorted sample (0s for an empty sample). xs is sorted in place. The
+// streaming summarizer (internal/trace/stream) shares it so streamed
+// and in-memory summaries are identical by construction.
+func Percentiles(xs []uint64) (p50, p95, p99 uint64) {
 	if len(xs) == 0 {
 		return 0, 0, 0
 	}

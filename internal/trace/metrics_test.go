@@ -33,11 +33,11 @@ func TestPercentilesNearestRank(t *testing.T) {
 	for i := range xs {
 		xs[i] = uint64(i + 1) // 1..100
 	}
-	p50, p95, p99 := percentiles(xs)
+	p50, p95, p99 := Percentiles(xs)
 	if p50 != 50 || p95 != 95 || p99 != 99 {
 		t.Fatalf("percentiles = %d/%d/%d", p50, p95, p99)
 	}
-	if a, b, c := percentiles(nil); a != 0 || b != 0 || c != 0 {
+	if a, b, c := Percentiles(nil); a != 0 || b != 0 || c != 0 {
 		t.Fatal("empty sample must yield zeros")
 	}
 }

@@ -131,6 +131,17 @@ func newSanCore() *sanCore {
 	}
 }
 
+// maxRetainedTx bounds each core's retained-transaction list in the
+// incremental replay: a stream whose lazy drains never appear (a
+// crash-truncated binlog, a mid-run cut) would otherwise grow the
+// obligation state without bound. When the cap is hit the oldest
+// retained transaction's obligations are released unchecked — the
+// replay stays sound for everything it still tracks, and the bound
+// keeps a streaming sanitizer O(active state), not O(events). The cap
+// is far above what any committed workload retains between drains, so
+// bounded and unbounded replays agree on every golden.
+const maxRetainedTx = 4096
+
 // sanitizer is the whole-stream replay state.
 type sanitizer struct {
 	rep   Report
@@ -147,21 +158,49 @@ type sanitizer struct {
 	prevDrainSock int
 }
 
+// Sanitizer is the incremental persist-order checker: the same state
+// machine Sanitize runs over a slice, exposed event-at-a-time so a
+// spilled-to-disk stream can be replayed with memory bounded by the
+// active transaction/WPQ state instead of the event count. Feed events
+// oldest-first with Step, then call Report once.
+type Sanitizer struct {
+	s sanitizer
+	n int
+}
+
+// NewSanitizer returns an empty incremental replay.
+func NewSanitizer() *Sanitizer {
+	return &Sanitizer{s: sanitizer{
+		cores:       map[uint8]*sanCore{},
+		obligations: map[uint64]int{},
+		occ:         map[int]int64{},
+	}}
+}
+
+// Step replays one event.
+func (z *Sanitizer) Step(e Event) {
+	z.s.step(z.n, e)
+	z.n++
+}
+
+// Report finalizes the replay. dropped is the producing tracer's
+// ring-overflow count (a lossy stream makes the verdict best-effort
+// and sets Truncated).
+func (z *Sanitizer) Report(dropped uint64) *Report {
+	z.s.rep.Events = z.n
+	z.s.rep.Truncated = dropped > 0
+	return &z.s.rep
+}
+
 // Sanitize replays events (oldest first, as Tracer.Events returns them)
 // and reports every persist-ordering violation. dropped is the tracer's
 // ring-overflow count; pass Tracer.Dropped().
 func Sanitize(events []Event, dropped uint64) *Report {
-	s := &sanitizer{
-		cores:       map[uint8]*sanCore{},
-		obligations: map[uint64]int{},
-		occ:         map[int]int64{},
+	z := NewSanitizer()
+	for _, e := range events {
+		z.Step(e)
 	}
-	s.rep.Events = len(events)
-	s.rep.Truncated = dropped > 0
-	for i, e := range events {
-		s.step(i, e)
-	}
-	return &s.rep
+	return z.Report(dropped)
 }
 
 func (s *sanitizer) core(id uint8) *sanCore {
@@ -290,6 +329,16 @@ func (s *sanitizer) step(i int, e Event) {
 				s.obligations[l]++
 			}
 			cs.retained = append(cs.retained, sanRetained{seq: cs.seq, lines: lines})
+			if len(cs.retained) > maxRetainedTx {
+				// Bounded retired-tx state: release the oldest
+				// obligations unchecked (see maxRetainedTx).
+				for _, l := range cs.retained[0].lines {
+					if s.obligations[l] > 0 {
+						s.obligations[l]--
+					}
+				}
+				cs.retained = append(cs.retained[:0], cs.retained[1:]...)
+			}
 			cs.defers = cs.defers[:0]
 		}
 		cs.inTx = false
@@ -372,8 +421,8 @@ func (s *sanitizer) step(i int, e Event) {
 
 	case KLazyDrainEnd:
 		n := int(e.Arg)
-		if n > len(cs.retained) {
-			n = len(cs.retained) // stream cut mid-run: obligations before the cut are unknown
+		if n < 0 || n > len(cs.retained) {
+			n = len(cs.retained) // stream cut mid-run (or corrupt arg): obligations before the cut are unknown
 		}
 		for _, r := range cs.retained[:n] {
 			for _, l := range r.lines {

@@ -163,17 +163,36 @@ const (
 	MetricsCapacity = 1 << 17
 )
 
+// Sink receives the ring's spills, turning the one-shot tracer into a
+// streaming source (see internal/trace/stream). Spill takes ownership
+// of the filled buffer and returns a replacement buffer of the same
+// capacity to keep recording into — the double-buffer handoff: while
+// the sink processes (writes, reduces) one buffer, the tracer fills
+// the other, and the exchange point is the only synchronization. Reset
+// tells the sink the measured-region boundary moved: everything
+// spilled so far belongs to setup and must be discarded.
+type Sink interface {
+	Spill(events []Event) []Event
+	Reset()
+}
+
 // Tracer is a preallocated ring buffer of events. When the ring wraps,
-// the oldest events are overwritten and counted as dropped. A nil
-// *Tracer is valid and means "tracing disabled": every method is safe
-// to call and Emit returns after one branch. Not safe for concurrent
-// use (the simulator is single-threaded per machine).
+// the oldest events are overwritten and counted as dropped — unless a
+// Sink is attached, in which case a full buffer is handed to the sink
+// and recording continues into the sink's replacement buffer with
+// nothing dropped. A nil *Tracer is valid and means "tracing
+// disabled": every method is safe to call and Emit returns after one
+// branch. Not safe for concurrent use (the simulator is
+// single-threaded per machine); a Sink may process spilled buffers on
+// another goroutine because the handoff transfers ownership.
 type Tracer struct {
 	buf     []Event
 	head    int // next slot to write
 	full    bool
 	dropped uint64
 	mask    uint64
+	sink    Sink
+	spilled uint64
 }
 
 // New returns a tracer with the given ring capacity (<= 0 selects
@@ -189,6 +208,41 @@ func New(capacity int) *Tracer {
 // are rejected in Emit's fast path.
 func (t *Tracer) SetMask(m uint64) { t.mask = m }
 
+// SetSink attaches a spill sink: from now on a full ring is handed to
+// the sink instead of wrapping, so no events are dropped and memory
+// stays bounded by the ring itself. Pass nil to detach.
+func (t *Tracer) SetSink(s Sink) { t.sink = s }
+
+// Spilled returns how many events have been handed to the sink.
+func (t *Tracer) Spilled() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.spilled
+}
+
+// Flush hands the buffered tail to the attached sink, leaving the ring
+// empty. Harnesses call it once at the end of the measured region so
+// the on-disk stream covers every event; a no-op without a sink.
+func (t *Tracer) Flush() {
+	if t == nil || t.sink == nil || t.head == 0 {
+		return
+	}
+	t.spill(t.head)
+}
+
+// spill exchanges the first n buffered events for a fresh buffer. Not
+// on the noalloc emit path: the defensive re-size below may allocate.
+func (t *Tracer) spill(n int) {
+	t.spilled += uint64(n)
+	nb := t.sink.Spill(t.buf[:n])
+	if cap(nb) < cap(t.buf) { // sink returned a short buffer; keep capacity stable
+		nb = make([]Event, cap(t.buf))
+	}
+	t.buf = nb[:cap(t.buf)]
+	t.head = 0
+}
+
 // Emit records one event. The nil-receiver/mask check is the entire
 // disabled path; the record body lives in a separate method so this
 // one stays small enough to inline at every instrumentation site.
@@ -202,16 +256,20 @@ func (t *Tracer) Emit(core uint8, cycle uint64, kind Kind, addr, arg uint64) {
 }
 
 // record writes the event into the ring, overwriting the oldest entry
-// when full.
+// when full — or, with a sink attached, spilling the full buffer and
+// continuing into the replacement so nothing is ever dropped.
 //
 //slpmt:noalloc
 func (t *Tracer) record(core uint8, cycle uint64, kind Kind, addr, arg uint64) {
+	if t.head == len(t.buf) { // only reachable with a sink attached
+		t.spill(t.head)
+	}
 	if t.full {
 		t.dropped++
 	}
 	t.buf[t.head] = Event{Cycle: cycle, Addr: addr, Arg: arg, Kind: kind, Core: core}
 	t.head++
-	if t.head == len(t.buf) {
+	if t.head == len(t.buf) && t.sink == nil {
 		t.head = 0
 		t.full = true
 	}
@@ -249,7 +307,9 @@ func (t *Tracer) Events() []Event {
 }
 
 // Reset discards every held event and the drop count, keeping the ring
-// and the mask. Harnesses call it at the measured-region boundary.
+// and the mask. Harnesses call it at the measured-region boundary. An
+// attached sink is reset too: spills made before the boundary belong
+// to setup and are discarded by the sink.
 func (t *Tracer) Reset() {
 	if t == nil {
 		return
@@ -257,6 +317,10 @@ func (t *Tracer) Reset() {
 	t.head = 0
 	t.full = false
 	t.dropped = 0
+	t.spilled = 0
+	if t.sink != nil {
+		t.sink.Reset()
+	}
 }
 
 // Binary stream format: an 8-byte magic, a little-endian uint64 event
@@ -266,6 +330,51 @@ const (
 	binMagic   = "SLPTRC01"
 	recordSize = 8 + 8 + 8 + 1 + 1
 )
+
+// RecordSize is the encoded width of one event record — shared by the
+// one-shot SLPTRC01 stream and the chunked segment format
+// (internal/trace/stream).
+const RecordSize = recordSize
+
+// PutRecord encodes e into rec, which must be at least RecordSize long.
+func PutRecord(rec []byte, e Event) {
+	binary.LittleEndian.PutUint64(rec[0:], e.Cycle)
+	binary.LittleEndian.PutUint64(rec[8:], e.Addr)
+	binary.LittleEndian.PutUint64(rec[16:], e.Arg)
+	rec[24] = uint8(e.Kind)
+	rec[25] = e.Core
+}
+
+// GetRecord decodes one event from rec (at least RecordSize bytes).
+func GetRecord(rec []byte) Event {
+	return Event{
+		Cycle: binary.LittleEndian.Uint64(rec[0:]),
+		Addr:  binary.LittleEndian.Uint64(rec[8:]),
+		Arg:   binary.LittleEndian.Uint64(rec[16:]),
+		Kind:  Kind(rec[24]),
+		Core:  rec[25],
+	}
+}
+
+// TruncatedError reports a binary stream that ends mid-record: the
+// header promised Want records but the data runs out inside record
+// Record (0-based), Offset bytes into the stream. The durable prefix —
+// every complete record before the tear — was decoded before the error
+// was returned by the callers that tolerate tears (the segment
+// reader); ReadBinary rejects the whole stream.
+type TruncatedError struct {
+	Record int   // index of the record the stream tore inside
+	Want   int   // records the header promised
+	Offset int64 // byte offset of the torn record's start
+	Err    error // underlying read error
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("trace: stream truncated at byte %d (record %d of %d): %v",
+		e.Offset, e.Record, e.Want, e.Err)
+}
+
+func (e *TruncatedError) Unwrap() error { return e.Err }
 
 // WriteBinary serializes the held events (oldest-first) to w.
 func (t *Tracer) WriteBinary(w io.Writer) error {
@@ -283,11 +392,7 @@ func WriteBinary(w io.Writer, events []Event) error {
 	buf := make([]byte, 0, 64*recordSize)
 	for i, e := range events {
 		var rec [recordSize]byte
-		binary.LittleEndian.PutUint64(rec[0:], e.Cycle)
-		binary.LittleEndian.PutUint64(rec[8:], e.Addr)
-		binary.LittleEndian.PutUint64(rec[16:], e.Arg)
-		rec[24] = uint8(e.Kind)
-		rec[25] = e.Core
+		PutRecord(rec[:], e)
 		buf = append(buf, rec[:]...)
 		if len(buf) == cap(buf) || i == len(events)-1 {
 			if _, err := w.Write(buf); err != nil {
@@ -299,33 +404,72 @@ func WriteBinary(w io.Writer, events []Event) error {
 	return nil
 }
 
-// ReadBinary parses a binary trace stream produced by WriteBinary.
+// ReadBinary parses a binary trace stream produced by WriteBinary. It
+// decodes through the chunked path — memory grows with the records
+// actually present, never with the count the header claims — and a
+// stream that ends mid-record is rejected with a position-carrying
+// *TruncatedError rather than a generic short-read.
 func ReadBinary(r io.Reader) ([]Event, error) {
-	var hdr [16]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: short header: %w", err)
+	var events []Event
+	count, err := DecodeRecords(r, func(e Event) { events = append(events, e) })
+	if err != nil {
+		return nil, err
 	}
-	if string(hdr[:8]) != binMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", hdr[:8])
-	}
-	count := binary.LittleEndian.Uint64(hdr[8:])
-	const maxEvents = 1 << 28 // refuse absurd headers before allocating
-	if count > maxEvents {
-		return nil, fmt.Errorf("trace: unreasonable event count %d", count)
-	}
-	events := make([]Event, count)
-	var rec [recordSize]byte
-	for i := range events {
-		if _, err := io.ReadFull(r, rec[:]); err != nil {
-			return nil, fmt.Errorf("trace: short record %d: %w", i, err)
-		}
-		events[i] = Event{
-			Cycle: binary.LittleEndian.Uint64(rec[0:]),
-			Addr:  binary.LittleEndian.Uint64(rec[8:]),
-			Arg:   binary.LittleEndian.Uint64(rec[16:]),
-			Kind:  Kind(rec[24]),
-			Core:  rec[25],
+	if len(events) != count {
+		// DecodeRecords already returns *TruncatedError for a torn
+		// record; this covers a clean EOF between records.
+		return nil, &TruncatedError{
+			Record: len(events), Want: count,
+			Offset: 16 + int64(len(events))*recordSize, Err: io.ErrUnexpectedEOF,
 		}
 	}
 	return events, nil
+}
+
+// DecodeRecords parses a SLPTRC01 stream incrementally, calling fn for
+// every complete record, in chunks of bounded size. It returns the
+// record count the header promised. If the stream ends mid-record the
+// complete prefix has already been delivered to fn and the error is a
+// *TruncatedError carrying the tear position; a clean end between
+// records before count is reached is NOT an error here (the caller
+// compares count against what fn saw) — segment readers use that to
+// recover a durable prefix.
+func DecodeRecords(r io.Reader, fn func(Event)) (count int, err error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("trace: short header: %w", err)
+	}
+	if string(hdr[:8]) != binMagic {
+		return 0, fmt.Errorf("trace: bad magic %q", hdr[:8])
+	}
+	c := binary.LittleEndian.Uint64(hdr[8:])
+	const maxEvents = 1 << 40 // refuse absurd headers
+	if c > maxEvents {
+		return 0, fmt.Errorf("trace: unreasonable event count %d", c)
+	}
+	count = int(c)
+	const chunkRecords = 1 << 12
+	buf := make([]byte, chunkRecords*recordSize)
+	for seen := 0; seen < count; {
+		want := count - seen
+		if want > chunkRecords {
+			want = chunkRecords
+		}
+		n, rerr := io.ReadFull(r, buf[:want*recordSize])
+		whole := n / recordSize
+		for i := 0; i < whole; i++ {
+			fn(GetRecord(buf[i*recordSize:]))
+		}
+		seen += whole
+		if rerr != nil {
+			if n%recordSize != 0 {
+				return count, &TruncatedError{
+					Record: seen, Want: count,
+					Offset: 16 + int64(seen)*recordSize, Err: rerr,
+				}
+			}
+			return count, nil // clean end between records: durable prefix delivered
+		}
+	}
+	return count, nil
 }

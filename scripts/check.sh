@@ -29,11 +29,15 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race =="
-go test -race . ./internal/bench/ ./internal/machine/ ./internal/trace/
+go test -race . ./internal/bench/ ./internal/machine/ ./internal/trace/...
 go test -race ./internal/experiments/ \
 	./internal/recovery/ -run 'Parallel|ForEach|Grid|RunAll|Collector|Smoke'
 
 echo "== persist-order sanitizer =="
 go run ./cmd/slpmtbench -workload hashtable -cores 2 -n 300 -value 64 -sanitize
+
+echo "== trace stream (binlog equivalence + streamed sanitizer) =="
+go run ./cmd/slpmtbench -workload hashtable -cores 2 -n 300 -value 64 \
+	-trace-stream stream-out -stream-check -sanitize
 
 echo "ALL CHECKS PASSED"
