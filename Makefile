@@ -30,7 +30,7 @@ fmt:
 # see internal/analyze and cmd/slpmtvet).
 vet:
 	$(GO) vet ./...
-	$(GO) run ./cmd/slpmtvet
+	$(GO) run ./cmd/slpmtvet -time
 
 # Replay a traced 2-core run through the persist-order sanitizer
 # (internal/trace/sanitize.go): log-before-data, commit-marker order,

@@ -10,14 +10,28 @@
 //     agrees nothing heap-allocates inside annotated functions
 //   - trace-coverage: every trace.Kind is emitted, named, and
 //     Perfetto-mapped; every stats.Counters field has a canonical row
+//   - chargeflow: Core.charge is the verified choke point for clock
+//     advances (§9 conservation), every profile.Cause is reachable from
+//     a charge site, and every SetCause restores the prior cause on all
+//     paths
+//   - obsonly: nothing reachable from trace/profile/report/stream
+//     consumer entry points mutates simulation or package-level state
+//   - waiver-audit: every //slpmt:<analyzer>-ok directive carries a
+//     justification ('-ok: reason')
+//
+// The module is loaded and type-checked once; all analyzers share the
+// typed package graph (and the chargeflow/obsonly passes share one
+// interprocedural callgraph + effect-summary build) and run in
+// parallel. -serial runs the passes sequentially for timing
+// comparisons; -time prints phase wall times.
 //
 // Usage:
 //
-//	slpmtvet [-escape=false] [packages...]
+//	slpmtvet [-escape=false] [-serial] [-time] [packages...]
 //
 // With no package patterns, ./... is analyzed. Exits 1 if any
 // diagnostic survives (findings are waivable line-by-line with
-// //slpmt:<analyzer>-ok <reason> comments). Run it via `make vet`,
+// //slpmt:<analyzer>-ok: <reason> comments). Run it via `make vet`,
 // which also runs go vet.
 package main
 
@@ -25,12 +39,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/persistmem/slpmt/internal/analyze"
 )
 
 func main() {
 	escape := flag.Bool("escape", true, "cross-check //slpmt:noalloc functions against go build -gcflags=-m")
+	serial := flag.Bool("serial", false, "run analyzer passes sequentially instead of in parallel")
+	timing := flag.Bool("time", false, "print load/analyze/escape wall times to stderr")
 	flag.Parse()
 
 	patterns := flag.Args()
@@ -38,24 +55,50 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	start := time.Now()
 	m, err := analyze.Load(dir, patterns...)
 	if err != nil {
 		fatal(err)
 	}
+	loadDone := time.Now()
+
+	// The escape cross-check shells out to `go build`; overlap it with
+	// the in-process analyzer passes.
+	type escResult struct {
+		diags []analyze.Diagnostic
+		err   error
+	}
+	escCh := make(chan escResult, 1)
+	if *escape {
+		go func() {
+			esc, err := analyze.CheckEscapes(m, patterns...)
+			escCh <- escResult{esc, err}
+		}()
+	}
 
 	diags := analyze.Run(m,
 		[]*analyze.Analyzer{analyze.Determinism, analyze.Noalloc},
-		[]*analyze.ModuleAnalyzer{analyze.TraceCoverage},
-		analyze.Options{},
+		[]*analyze.ModuleAnalyzer{
+			analyze.TraceCoverage,
+			analyze.Chargeflow,
+			analyze.Obsonly,
+			analyze.WaiverAudit,
+		},
+		analyze.Options{Serial: *serial},
 	)
+	runDone := time.Now()
 	if *escape {
-		esc, err := analyze.CheckEscapes(m, patterns...)
-		if err != nil {
-			fatal(err)
+		res := <-escCh
+		if res.err != nil {
+			fatal(res.err)
 		}
-		diags = append(diags, esc...)
+		diags = append(diags, res.diags...)
 	}
 
+	if *timing {
+		fmt.Fprintf(os.Stderr, "slpmtvet: load %.2fs, analyze %.2fs, total %.2fs\n",
+			loadDone.Sub(start).Seconds(), runDone.Sub(loadDone).Seconds(), time.Since(start).Seconds())
+	}
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)
 	}

@@ -8,17 +8,21 @@
 //
 // Findings can be waived at a specific line with a directive comment
 //
-//	//slpmt:<analyzer>-ok <reason>
+//	//slpmt:<analyzer>-ok: <reason>
 //
 // placed on the flagged line or the line directly above it. The reason
-// is free text but should say why the construct is safe (for the
-// determinism pass, typically "collected keys are sorted below").
+// must say why the construct is safe (for the determinism pass,
+// typically "collected keys are sorted below"); the waiver-audit pass
+// fails the run on any directive missing the colon or the
+// justification, so a waiver can never land silently.
 package analyze
 
 import (
 	"fmt"
 	"go/token"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Diagnostic is one finding, resolved to a file position.
@@ -102,22 +106,72 @@ type Options struct {
 	// tests use it, since fixture packages live under a synthetic module
 	// path that no production filter matches.
 	AllPackages bool
+	// Serial disables the parallel driver and runs every pass on the
+	// calling goroutine, in registration order. Diagnostics are
+	// identical either way (the final sort is total); Serial exists for
+	// timing comparisons and debugging.
+	Serial bool
 }
 
 // Run executes the per-package and module passes over m and returns the
 // surviving diagnostics in stable (position, analyzer) order.
+//
+// Passes run in parallel, one goroutine per (analyzer, package) pair
+// plus one per module analyzer, bounded by GOMAXPROCS. This is safe
+// because after Load returns, the Module — FileSet, ASTs, types.Info
+// maps, suppression index — is read-only, and the one piece of shared
+// mutable state (the interprocedural Effects build) is behind a
+// sync.Once. Each pass appends to a private slice; the merge is locked
+// and the final position sort makes output order independent of
+// scheduling.
 func Run(m *Module, pkgAnalyzers []*Analyzer, modAnalyzers []*ModuleAnalyzer, opts Options) []Diagnostic {
-	var diags []Diagnostic
+	var (
+		mu    sync.Mutex
+		diags []Diagnostic
+	)
+	var jobs []func()
 	for _, a := range pkgAnalyzers {
 		for _, pkg := range m.Packages {
 			if !opts.AllPackages && a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
 				continue
 			}
-			a.Run(&Pass{Analyzer: a, Module: m, Pkg: pkg, diags: &diags})
+			a, pkg := a, pkg
+			jobs = append(jobs, func() {
+				var local []Diagnostic
+				a.Run(&Pass{Analyzer: a, Module: m, Pkg: pkg, diags: &local})
+				mu.Lock()
+				diags = append(diags, local...)
+				mu.Unlock()
+			})
 		}
 	}
 	for _, a := range modAnalyzers {
-		a.Run(&ModulePass{Analyzer: a, Module: m, diags: &diags})
+		a := a
+		jobs = append(jobs, func() {
+			var local []Diagnostic
+			a.Run(&ModulePass{Analyzer: a, Module: m, diags: &local})
+			mu.Lock()
+			diags = append(diags, local...)
+			mu.Unlock()
+		})
+	}
+	if opts.Serial {
+		for _, job := range jobs {
+			job()
+		}
+	} else {
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		var wg sync.WaitGroup
+		for _, job := range jobs {
+			job := job
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer func() { <-sem; wg.Done() }()
+				job()
+			}()
+		}
+		wg.Wait()
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

@@ -2,6 +2,9 @@ package analyze
 
 import (
 	"fmt"
+	"go/parser"
+	"go/token"
+	"go/types"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -9,10 +12,11 @@ import (
 )
 
 var pkgAnalyzers = []*Analyzer{Determinism, Noalloc}
-var modAnalyzers = []*ModuleAnalyzer{TraceCoverage}
+var modAnalyzers = []*ModuleAnalyzer{TraceCoverage, Chargeflow, Obsonly, WaiverAudit}
 
-// wantRe extracts expected-diagnostic annotations: a `// want "substr"`
-// comment on the line a finding is reported at.
+// wantRe extracts expected-diagnostic annotations: `// want "substr"`
+// comments on the line a finding is reported at (a line may carry
+// several, one per expected diagnostic).
 var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
 
 // TestFixtures golden-checks every analyzer against the seeded fixture
@@ -39,13 +43,11 @@ func TestFixtures(t *testing.T) {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					sub := wantRe.FindStringSubmatch(c.Text)
-					if sub == nil {
-						continue
-					}
 					pos := m.Fset.Position(c.Pos())
 					k := key{pos.Filename, pos.Line}
-					wants[k] = append(wants[k], sub[1])
+					for _, sub := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						wants[k] = append(wants[k], sub[1])
+					}
 				}
 			}
 		}
@@ -129,7 +131,168 @@ func TestRealTreeClean(t *testing.T) {
 		t.Errorf("%s", d)
 	}
 	if len(diags) > 0 {
-		t.Fatalf("%d findings on the real tree; fix them or waive with //slpmt:<analyzer>-ok <reason>", len(diags))
+		t.Fatalf("%d findings on the real tree; fix them or waive with //slpmt:<analyzer>-ok: <reason>", len(diags))
+	}
+}
+
+// TestParallelMatchesSerial pins the parallel driver's determinism: the
+// same module analyzed serially and in parallel must produce identical
+// diagnostic lists (the position sort makes output order independent of
+// goroutine scheduling).
+func TestParallelMatchesSerial(t *testing.T) {
+	dir, err := filepath.Abs("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := func() *Module {
+		m, err := Load(dir)
+		if err != nil {
+			t.Fatalf("load fixtures: %v", err)
+		}
+		return m
+	}
+	// Separate Module per run: the shared Effects cache must not leak
+	// results between configurations (and a fresh build per run also
+	// exercises the sync.Once under the parallel driver).
+	serial := Run(load(), pkgAnalyzers, modAnalyzers, Options{AllPackages: true, Serial: true})
+	parallel := Run(load(), pkgAnalyzers, modAnalyzers, Options{AllPackages: true})
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial produced %d diagnostics, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].String() != parallel[i].String() {
+			t.Errorf("diagnostic %d differs:\n  serial:   %s\n  parallel: %s", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestWaiverGrammar pins the directive parser and the audit pass
+// against all three grammar outcomes: legacy colon-less, colon with an
+// empty reason, and the accepted form. Both rejected forms must still
+// suppress (tightening the grammar never silently re-arms a waiver).
+func TestWaiverGrammar(t *testing.T) {
+	const src = `package w
+
+func f(m map[int]int) int {
+	s := 0
+	for k := range m { //slpmt:determinism-ok legacy reason
+		s += k
+	}
+	for k := range m { //slpmt:determinism-ok:
+		s += k
+	}
+	for k := range m { //slpmt:determinism-ok: commutative sum
+		s += k
+	}
+	return s
+}
+`
+	m := &Module{Fset: token.NewFileSet(), suppress: map[string]map[int]map[string]bool{}}
+	f, err := parser.ParseFile(m.Fset, "w.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.indexDirectives("w.go", f)
+
+	ws := m.Waivers()
+	if len(ws) != 3 {
+		t.Fatalf("parsed %d waivers, want 3", len(ws))
+	}
+	if ws[0].Colon || ws[0].Reason != "legacy reason" {
+		t.Errorf("legacy form parsed as %+v", ws[0])
+	}
+	if !ws[1].Colon || ws[1].Reason != "" {
+		t.Errorf("empty-reason form parsed as %+v", ws[1])
+	}
+	if !ws[2].Colon || ws[2].Reason != "commutative sum" {
+		t.Errorf("accepted form parsed as %+v", ws[2])
+	}
+	for _, w := range ws {
+		if !m.suppressed("determinism", m.Fset.Position(w.Pos)) {
+			t.Errorf("%s: directive does not suppress", m.Fset.Position(w.Pos))
+		}
+	}
+
+	diags := Run(m, nil, []*ModuleAnalyzer{WaiverAudit}, Options{})
+	if len(diags) != 2 {
+		t.Fatalf("audit produced %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "legacy colon-less form") {
+		t.Errorf("legacy form: got %q", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, "no justification") {
+		t.Errorf("empty reason: got %q", diags[1].Message)
+	}
+}
+
+// TestEffectsSummaries spot-checks the interprocedural layer the
+// chargeflow/obsonly passes are built on: callgraph edges (static and
+// interface-expanded), effect summaries, and transitive Mutates.
+func TestEffectsSummaries(t *testing.T) {
+	dir, err := filepath.Abs("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(dir)
+	if err != nil {
+		t.Fatalf("load fixtures: %v", err)
+	}
+	eff := m.Effects()
+	if eff != m.Effects() {
+		t.Fatal("Effects not cached across calls")
+	}
+
+	lookup := func(pkgSuffix, recv, name string) *types.Func {
+		t.Helper()
+		for f, fi := range eff.Graph.Funcs {
+			if f.Name() != name || !strings.HasSuffix(fi.Pkg.Path, pkgSuffix) {
+				continue
+			}
+			if recvTypeNameOf(f) == recv {
+				return f
+			}
+		}
+		t.Fatalf("function %s.%s.%s not in callgraph", pkgSuffix, recv, name)
+		return nil
+	}
+
+	charge := lookup("internal/machine", "Core", "charge")
+	tick := lookup("internal/machine", "Core", "Tick")
+	bump := lookup("internal/machine", "Core", "Bump")
+	consume := lookup("streamconsumer", "Mutator", "Consume")
+	copyCount := lookup("internal/machine", "", "CopyCount")
+
+	// charge writes Clk directly; Tick only transitively.
+	if got := eff.Funcs[charge].SimWrites; len(got) != 1 || got[0].Desc != "machine.Core.Clk" {
+		t.Errorf("charge SimWrites = %+v, want one machine.Core.Clk", got)
+	}
+	if len(eff.Funcs[tick].SimWrites) != 0 || !eff.Funcs[tick].Mutates {
+		t.Errorf("Tick: direct writes %d (want 0), Mutates %v (want true)",
+			len(eff.Funcs[tick].SimWrites), eff.Funcs[tick].Mutates)
+	}
+	// Value-receiver copies carry no effect.
+	if fe := eff.Funcs[copyCount]; len(fe.SimWrites) != 0 || fe.Mutates {
+		t.Errorf("CopyCount: writes into a value copy must not count: %+v", fe)
+	}
+	// Static edge Tick -> charge.
+	found := false
+	for _, cs := range eff.Graph.Funcs[tick].Calls {
+		if cs.Callee == charge {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("callgraph misses the Tick -> charge edge")
+	}
+	// Mutator.Consume reaches Bump's Count write.
+	reached, _ := eff.Graph.ReachableFrom([]*types.Func{consume})
+	if !reached[bump] {
+		t.Error("Consume -> Bump not reachable")
+	}
+	// Cause references feed the reachability rule.
+	refs := eff.Funcs[tick].CauseRefs
+	if len(refs) != 1 || refs[0].Name() != "CauseGood" {
+		t.Errorf("Tick CauseRefs = %v, want [CauseGood]", refs)
 	}
 }
 

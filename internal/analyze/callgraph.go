@@ -1,0 +1,302 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is the interprocedural half of the analyzer suite: a
+// module-wide callgraph over the source-checked packages. Per-function
+// effect summaries (effects.go) hang off its nodes, and the chargeflow
+// and obsonly analyzers answer reachability questions against it — so
+// it is built once per Module (Module.Effects) and shared.
+//
+// Resolution rules:
+//   - Static calls (package functions, methods on concrete receivers)
+//     resolve through go/types object identity, which holds module-wide
+//     because the loader source-checks every module package against the
+//     same FileSet.
+//   - Calls through an interface method expand to every module-declared
+//     concrete type whose method set implements the interface — the
+//     sound over-approximation that makes stream.Consumer.Consume and
+//     trace.Sink edges visible without whole-program pointer analysis.
+//   - Function literals are attributed to their enclosing declaration:
+//     a closure's calls and writes count as its creator's (the closure
+//     executes on the creator's behalf or escapes through it).
+//   - Calls to plain func-typed values do not produce edges; their
+//     bodies, if module closures, were already attributed to the
+//     function that built them.
+//   - Out-of-module callees (stdlib) produce no edges: they cannot name
+//     simulator types, so they carry no simulator effects.
+
+// CallSite is one resolved call edge.
+type CallSite struct {
+	Callee  *types.Func
+	Pos     token.Pos
+	Dynamic bool // resolved through interface dispatch
+}
+
+// FuncInfo is one module function: its declaration and outgoing edges.
+type FuncInfo struct {
+	Obj   *types.Func
+	Decl  *ast.FuncDecl
+	Pkg   *Package
+	Calls []CallSite
+}
+
+// Callgraph holds every module-declared function and its call edges.
+type Callgraph struct {
+	// Funcs maps each module function object to its node.
+	Funcs map[*types.Func]*FuncInfo
+	// moduleTypes are the named (non-interface) types declared anywhere
+	// in the module, for interface-dispatch expansion.
+	moduleTypes []*types.Named
+	// rev maps callee -> callers, for reverse reachability.
+	rev map[*types.Func][]*types.Func
+}
+
+// buildCallgraph collects declarations, module types, and call edges.
+func buildCallgraph(m *Module) *Callgraph {
+	g := &Callgraph{Funcs: map[*types.Func]*FuncInfo{}, rev: map[*types.Func][]*types.Func{}}
+
+	for _, pkg := range m.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if named, ok := tn.Type().(*types.Named); ok && !types.IsInterface(named) {
+				g.moduleTypes = append(g.moduleTypes, named)
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.Funcs[obj] = &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg}
+			}
+		}
+	}
+
+	for _, fi := range g.Funcs {
+		g.collectCalls(fi)
+	}
+	for caller, fi := range g.Funcs {
+		for _, cs := range fi.Calls {
+			g.rev[cs.Callee] = append(g.rev[cs.Callee], caller)
+		}
+	}
+	return g
+}
+
+// collectCalls walks one declaration body (closures included) and
+// resolves every call expression to zero or more edges.
+func (g *Callgraph) collectCalls(fi *FuncInfo) {
+	info := fi.Pkg.Info
+	seen := map[*types.Func]bool{}
+	add := func(callee *types.Func, pos token.Pos, dyn bool) {
+		if callee == nil || seen[callee] {
+			return
+		}
+		seen[callee] = true
+		fi.Calls = append(fi.Calls, CallSite{Callee: callee, Pos: pos, Dynamic: dyn})
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := staticCallee(info, call)
+		if callee == nil {
+			return true
+		}
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type()) {
+			// Interface dispatch: expand to module implementations.
+			for _, impl := range g.implementations(recv.Type(), callee.Name()) {
+				add(impl, call.Pos(), true)
+			}
+			return true
+		}
+		add(callee, call.Pos(), false)
+		return true
+	})
+	// Edges in deterministic order (Inspect order is already stable,
+	// but interface expansion iterates moduleTypes — sort by position
+	// then name so downstream reports never depend on build order).
+	sort.SliceStable(fi.Calls, func(i, j int) bool {
+		if fi.Calls[i].Pos != fi.Calls[j].Pos {
+			return fi.Calls[i].Pos < fi.Calls[j].Pos
+		}
+		return fi.Calls[i].Callee.FullName() < fi.Calls[j].Callee.FullName()
+	})
+}
+
+// implementations returns the module-declared methods named name on
+// concrete module types whose pointer method set implements iface.
+func (g *Callgraph) implementations(ifaceType types.Type, name string) []*types.Func {
+	iface, ok := ifaceType.Underlying().(*types.Interface)
+	if !ok || iface.Empty() {
+		return nil
+	}
+	var out []*types.Func
+	for _, named := range g.moduleTypes {
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, named.Obj().Pkg(), name)
+		if m, ok := obj.(*types.Func); ok && g.Funcs[m] != nil {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// staticCallee resolves a call expression's callee object, or nil for
+// conversions, builtins, and calls of plain func values.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := unparen(fun.X).(*ast.Ident); ok {
+			f, _ := info.Uses[id].(*types.Func)
+			return f
+		}
+	}
+	return nil
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// ReachableFrom returns every module function reachable from the roots
+// (roots included), plus a predecessor map for rendering call chains in
+// diagnostics.
+func (g *Callgraph) ReachableFrom(roots []*types.Func) (map[*types.Func]bool, map[*types.Func]*types.Func) {
+	reached := map[*types.Func]bool{}
+	pred := map[*types.Func]*types.Func{}
+	queue := make([]*types.Func, 0, len(roots))
+	for _, r := range roots {
+		if g.Funcs[r] != nil && !reached[r] {
+			reached[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for _, cs := range g.Funcs[f].Calls {
+			if g.Funcs[cs.Callee] == nil || reached[cs.Callee] {
+				continue
+			}
+			reached[cs.Callee] = true
+			pred[cs.Callee] = f
+			queue = append(queue, cs.Callee)
+		}
+	}
+	return reached, pred
+}
+
+// ReachesInto returns every module function from which at least one
+// sink is reachable (sinks included) — reverse reachability over the
+// call edges.
+func (g *Callgraph) ReachesInto(sinks map[*types.Func]bool) map[*types.Func]bool {
+	reached := map[*types.Func]bool{}
+	var queue []*types.Func
+	for s := range sinks { //slpmt:determinism-ok: BFS visit order does not affect the resulting set
+		if reached[s] {
+			continue
+		}
+		reached[s] = true
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for _, caller := range g.rev[f] {
+			if !reached[caller] {
+				reached[caller] = true
+				queue = append(queue, caller)
+			}
+		}
+	}
+	return reached
+}
+
+// Chain renders the call chain root -> ... -> f recorded by
+// ReachableFrom's predecessor map, in "a → b → c" display form,
+// truncated in the middle when long.
+func Chain(pred map[*types.Func]*types.Func, f *types.Func) string {
+	var names []string
+	for cur := f; cur != nil; cur = pred[cur] {
+		names = append(names, funcDisplay(cur))
+		if len(names) > 16 {
+			break
+		}
+	}
+	// Reverse into root-first order.
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	if len(names) > 5 {
+		names = append(names[:2], append([]string{"…"}, names[len(names)-2:]...)...)
+	}
+	out := names[0]
+	for _, n := range names[1:] {
+		out += " → " + n
+	}
+	return out
+}
+
+// funcDisplay renders a function as pkg.Name or pkg.(*Recv).Name with
+// the package's base name only.
+func funcDisplay(f *types.Func) string {
+	name := f.Name()
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if f.Pkg() != nil {
+		return pkgBase(f.Pkg().Path()) + "." + name
+	}
+	return name
+}
+
+func pkgBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,547 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Chargeflow statically promotes the §9 conservation contract — "every
+// clock advance flows through Core.charge with a cause" — from a
+// dynamic invariant (Conserved() on a handful of golden configs) to a
+// compile-time one, in three rules over the shared effect summaries:
+//
+//  1. Choke point: any direct store to machine.Core.Clk outside
+//     Core.charge/Core.chargeProfile, or to Core.cause outside
+//     Core.SetCause, is an error. With the stores funneled, Conserved()
+//     holds by construction for any code the analyzer accepts.
+//  2. Cause reachability: every exported profile.Cause constant must be
+//     referenced by at least one function from which a charge sink
+//     (Core.charge, Core.chargeProfile, Core.SetCause, Profile.Add) is
+//     reachable. A cause no charge path can ever name is either dead or
+//     — worse — a miswired attribution that silently lands in another
+//     bucket.
+//  3. Restore discipline: every captured attribution context
+//     (prev := c.SetCause(x)) must be restored (c.SetCause(prev),
+//     directly or deferred) on all paths out of the function, checked
+//     by a structural CFG walk. A leaked context misattributes every
+//     cycle charged after the caller returns.
+var Chargeflow = &ModuleAnalyzer{
+	Name: "chargeflow",
+	Doc:  "Core.charge is the verified choke point for clock advances; causes must be charge-reachable and SetCause contexts restored on all paths",
+	Run:  runChargeflow,
+}
+
+func runChargeflow(pass *ModulePass) {
+	m := pass.Module
+	machinePkg := m.LookupSuffix("internal/machine")
+	profPkg := m.LookupSuffix("internal/profile")
+	if machinePkg == nil || profPkg == nil {
+		return // nothing to enforce in this module
+	}
+	clkField, causeField := coreChargeFields(machinePkg)
+	eff := m.Effects()
+
+	// Rule 1: the write choke point.
+	for fobj, fe := range eff.Funcs { //slpmt:determinism-ok: diagnostics are position-sorted by the driver
+		for _, w := range fe.SimWrites {
+			switch {
+			case w.Field != nil && w.Field == clkField:
+				if !isCoreMethod(fobj, "charge", "chargeProfile") {
+					pass.Reportf(w.Pos, "direct write to machine.Core.Clk outside Core.charge/chargeProfile breaks the conservation choke point (§9): route the advance through c.charge(cause, n)")
+				}
+			case w.Field != nil && w.Field == causeField:
+				if !isCoreMethod(fobj, "SetCause") {
+					pass.Reportf(w.Pos, "direct write to machine.Core.cause outside Core.SetCause bypasses attribution bookkeeping: use prev := c.SetCause(...) and c.SetCause(prev)")
+				}
+			}
+		}
+	}
+
+	// Rule 2: cause reachability. Collect the charge sinks, the set of
+	// functions that can reach one, and the Cause constants those
+	// functions reference; any exported Cause outside that union can
+	// never be charged.
+	sinks := map[*types.Func]bool{}
+	for fobj := range eff.Funcs { //slpmt:determinism-ok: populates a set; order-free
+		if isChargeSink(fobj) {
+			sinks[fobj] = true
+		}
+	}
+	reaches := eff.Graph.ReachesInto(sinks)
+	used := map[*types.Const]bool{}
+	for fobj, fe := range eff.Funcs { //slpmt:determinism-ok: populates a set; order-free
+		if !reaches[fobj] {
+			continue
+		}
+		for _, c := range fe.CauseRefs {
+			used[c] = true
+		}
+	}
+	scope := profPkg.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || !isCauseConst(c) || c.Name() == "CauseNone" {
+			continue
+		}
+		if !used[c] {
+			pass.Reportf(c.Pos(), "profile.Cause %s is reachable from no charge or SetCause site: wire it into a charge path or delete it (an unchargeable cause can never appear in a conserved breakdown)", c.Name())
+		}
+	}
+
+	// Rule 3: SetCause restore discipline, per function.
+	for fobj, fi := range eff.Graph.Funcs { //slpmt:determinism-ok: diagnostics are position-sorted by the driver
+		if fobj.Name() == "SetCause" {
+			continue // the definition itself
+		}
+		checkRestores(pass, fi.Pkg.Info, fi.Decl.Body)
+	}
+}
+
+// coreChargeFields resolves the Clk and cause field objects of
+// machine.Core (nil if the module's Core lacks them).
+func coreChargeFields(machinePkg *Package) (clk, cause *types.Var) {
+	tn, ok := machinePkg.Types.Scope().Lookup("Core").(*types.TypeName)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		switch f := st.Field(i); f.Name() {
+		case "Clk":
+			clk = f
+		case "cause":
+			cause = f
+		}
+	}
+	return clk, cause
+}
+
+// isCoreMethod reports whether f is a method with receiver type named
+// Core (in any package — the caller already matched the field object,
+// which pins the package) and one of the given names.
+func isCoreMethod(f *types.Func, names ...string) bool {
+	if recvTypeNameOf(f) != "Core" {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isChargeSink reports whether f is one of the functions that
+// legitimately consume a profile.Cause: the Core charge/attribution
+// methods and the profiler's own accumulator.
+func isChargeSink(f *types.Func) bool {
+	switch f.Name() {
+	case "charge", "chargeProfile", "SetCause":
+		return recvTypeNameOf(f) == "Core"
+	case "Add":
+		return recvTypeNameOf(f) == "Profile"
+	}
+	return false
+}
+
+// recvTypeNameOf returns the bare name of f's receiver type, or "".
+func recvTypeNameOf(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	if named := namedOf(sig.Recv().Type()); named != nil {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// --- Rule 3: the restore-discipline walker -------------------------------
+//
+// A structural dataflow over the statement tree. State is the set of
+// pending saves (local variables holding a prior cause captured by
+// prev := c.SetCause(x)) plus the subset covered by a deferred restore.
+// Branches are walked on cloned state and merged by union (a save
+// restored on only some paths stays pending — conservative); loop
+// bodies must leave every save they open; returns and the function's
+// fall-off end require pending ⊆ deferred. Paths that provably
+// terminate in panic are exempt. Function literals are independent
+// scopes (except the `defer func() { c.SetCause(prev) }()` idiom,
+// which registers prev as deferred in the enclosing scope).
+
+type restoreState struct {
+	pending  map[*types.Var]token.Pos // save var -> SetCause save site
+	deferred map[*types.Var]bool
+}
+
+func newRestoreState() *restoreState {
+	return &restoreState{pending: map[*types.Var]token.Pos{}, deferred: map[*types.Var]bool{}}
+}
+
+func (st *restoreState) clone() *restoreState {
+	c := newRestoreState()
+	for v, p := range st.pending { //slpmt:determinism-ok: map copy; order-free
+		c.pending[v] = p
+	}
+	for v := range st.deferred { //slpmt:determinism-ok: map copy; order-free
+		c.deferred[v] = true
+	}
+	return c
+}
+
+func (st *restoreState) merge(o *restoreState) {
+	for v, p := range o.pending { //slpmt:determinism-ok: set union; order-free
+		if _, ok := st.pending[v]; !ok {
+			st.pending[v] = p
+		}
+	}
+	for v := range o.deferred { //slpmt:determinism-ok: set union; order-free
+		st.deferred[v] = true
+	}
+}
+
+// guarded reports whether a discarded-result SetCause is acceptable
+// here: some saved context is pending or deferred, so the re-pointing
+// is a mid-stream refinement inside a region that will be restored.
+func (st *restoreState) guarded() bool {
+	return len(st.pending) > 0 || len(st.deferred) > 0
+}
+
+type restoreWalker struct {
+	pass     *ModulePass
+	info     *types.Info
+	reported map[token.Pos]bool // save sites already reported (dedup across paths)
+}
+
+func checkRestores(pass *ModulePass, info *types.Info, body *ast.BlockStmt) {
+	if body == nil || !containsSetCause(body) {
+		return
+	}
+	w := &restoreWalker{pass: pass, info: info, reported: map[token.Pos]bool{}}
+	st := newRestoreState()
+	terminated := w.block(body, st)
+	if !terminated {
+		w.checkExit(st, body.End())
+	}
+}
+
+// containsSetCause cheaply gates the walk.
+func containsSetCause(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && calleeName(call) == "SetCause" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkExit reports every pending, non-deferred save at a function exit.
+func (w *restoreWalker) checkExit(st *restoreState, at token.Pos) {
+	for v, savePos := range st.pending { //slpmt:determinism-ok: dedup map + driver position sort make output order-free
+		if st.deferred[v] || w.reported[savePos] {
+			continue
+		}
+		w.reported[savePos] = true
+		w.pass.Reportf(savePos, "attribution context saved into %s is not restored on all paths: a return can leave the core charging to the wrong cause — restore with c.SetCause(%s) or defer it", v.Name(), v.Name())
+	}
+}
+
+// block walks a statement list; returns true if every path through it
+// terminates (return or panic).
+func (w *restoreWalker) block(b *ast.BlockStmt, st *restoreState) bool {
+	for _, s := range b.List {
+		if w.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// setCauseCall returns the CallExpr if e is a (possibly parenthesized)
+// call to a method named SetCause.
+func setCauseCall(e ast.Expr) *ast.CallExpr {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok || calleeName(call) != "SetCause" {
+		return nil
+	}
+	return call
+}
+
+// argVar resolves a call's single argument to a variable object, nil
+// otherwise.
+func (w *restoreWalker) argVar(call *ast.CallExpr) *types.Var {
+	if len(call.Args) != 1 {
+		return nil
+	}
+	id, ok := unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := w.info.Uses[id].(*types.Var)
+	return v
+}
+
+// stmt walks one statement, mutating st; returns true if the statement
+// terminates the path (return, panic, break/continue/goto out of the
+// straight line).
+func (w *restoreWalker) stmt(s ast.Stmt, st *restoreState) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		// Save form: v := c.SetCause(x) / v = c.SetCause(x).
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			if call := setCauseCall(s.Rhs[0]); call != nil {
+				// The argument may itself restore a pending save
+				// (x := c.SetCause(prev) both restores prev and opens x).
+				if av := w.argVar(call); av != nil {
+					delete(st.pending, av)
+					delete(st.deferred, av)
+				}
+				if id, ok := unparen(s.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+					var v *types.Var
+					if s.Tok == token.DEFINE {
+						v, _ = w.info.Defs[id].(*types.Var)
+					} else {
+						v, _ = w.info.Uses[id].(*types.Var)
+					}
+					if v != nil {
+						if prevPos, open := st.pending[v]; open && !st.deferred[v] && !w.reported[prevPos] {
+							w.reported[prevPos] = true
+							w.pass.Reportf(s.Pos(), "re-saving into %s overwrites an attribution context that was never restored (saved at an earlier SetCause): restore it first", v.Name())
+						}
+						st.pending[v] = call.Pos()
+					}
+					return false
+				}
+				// Result assigned somewhere unusual (field, index):
+				// treat as discarded.
+				if !st.guarded() {
+					w.reportNaked(call)
+				}
+				return false
+			}
+		}
+		w.scanExprs(st, s.Rhs...)
+		return false
+	case *ast.ExprStmt:
+		if call := setCauseCall(s.X); call != nil {
+			if av := w.argVar(call); av != nil {
+				if _, open := st.pending[av]; open {
+					delete(st.pending, av)
+					delete(st.deferred, av)
+					return false
+				}
+			}
+			// Discarded result with a non-pending argument.
+			if !st.guarded() {
+				w.reportNaked(call)
+			}
+			return false
+		}
+		if isPanicCall(s.X) {
+			return true
+		}
+		w.scanExprs(st, s.X)
+		return false
+	case *ast.DeferStmt:
+		if calleeName(s.Call) == "SetCause" {
+			if av := w.argVar(s.Call); av != nil {
+				st.deferred[av] = true
+			}
+			return false
+		}
+		// defer func() { ... c.SetCause(prev) ... }() registers every
+		// pending var the closure restores.
+		if lit, ok := unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && calleeName(call) == "SetCause" {
+					if av := w.argVar(call); av != nil {
+						st.deferred[av] = true
+					}
+				}
+				return true
+			})
+		}
+		return false
+	case *ast.ReturnStmt:
+		w.scanExprs(st, s.Results...)
+		w.checkExit(st, s.Pos())
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.scanExprs(st, s.Cond)
+		thenSt := st.clone()
+		thenTerm := w.block(s.Body, thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.stmt(s.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*st = *elseSt
+		case elseTerm:
+			*st = *thenSt
+		default:
+			*st = *thenSt
+			st.merge(elseSt)
+		}
+		return false
+	case *ast.BlockStmt:
+		return w.block(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.scanExprs(st, s.Cond)
+		w.loopBody(s.Body, st)
+		return false
+	case *ast.RangeStmt:
+		w.scanExprs(st, s.X)
+		w.loopBody(s.Body, st)
+		return false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		w.branchStmt(s, st)
+		return false
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		// break/continue/goto leave the straight line; the surrounding
+		// loop/switch merge keeps the entry state alive.
+		return true
+	case *ast.GoStmt:
+		w.scanExprs(st, s.Call)
+		return false
+	case *ast.DeclStmt:
+		return false
+	default:
+		return false
+	}
+}
+
+// loopBody walks a loop body on cloned state and reports any save the
+// body opens but does not close: the next iteration (or the loop exit)
+// would clobber or leak it.
+func (w *restoreWalker) loopBody(body *ast.BlockStmt, st *restoreState) {
+	inner := st.clone()
+	terminated := w.block(body, inner)
+	if !terminated {
+		for v, savePos := range inner.pending { //slpmt:determinism-ok: dedup map + driver position sort make output order-free
+			if _, atEntry := st.pending[v]; atEntry || inner.deferred[v] || w.reported[savePos] {
+				continue
+			}
+			w.reported[savePos] = true
+			w.pass.Reportf(savePos, "attribution context saved into %s does not survive the loop body: restore it before the next iteration or the loop exit", v.Name())
+		}
+	}
+	st.merge(inner)
+}
+
+// branchStmt walks each case clause of a switch/select on cloned state
+// and merges the results by union.
+func (w *restoreWalker) branchStmt(s ast.Stmt, st *restoreState) {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.scanExprs(st, s.Tag)
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	if body == nil {
+		return
+	}
+	merged := st.clone()
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+		case *ast.CommClause:
+			stmts = c.Body
+		}
+		caseSt := st.clone()
+		terminated := false
+		for _, cs := range stmts {
+			if w.stmt(cs, caseSt) {
+				terminated = true
+				break
+			}
+		}
+		if !terminated {
+			merged.merge(caseSt)
+		}
+	}
+	*st = *merged
+}
+
+// scanExprs finds SetCause calls in expression position (conditions,
+// call arguments) and function literals. A SetCause whose result feeds
+// an arbitrary expression is treated as discarded; literals are
+// independent restore scopes.
+func (w *restoreWalker) scanExprs(st *restoreState, exprs ...ast.Expr) {
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				checkRestores(w.pass, w.info, n.Body)
+				return false
+			case *ast.CallExpr:
+				if calleeName(n) == "SetCause" {
+					if av := w.argVar(n); av != nil {
+						if _, open := st.pending[av]; open {
+							delete(st.pending, av)
+							delete(st.deferred, av)
+							return true
+						}
+					}
+					if !st.guarded() {
+						w.reportNaked(n)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (w *restoreWalker) reportNaked(call *ast.CallExpr) {
+	if w.reported[call.Pos()] {
+		return
+	}
+	w.reported[call.Pos()] = true
+	w.pass.Reportf(call.Pos(), "SetCause discards the prior attribution context with no saved context pending: capture prev := c.SetCause(...) and restore it on every path")
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
 )
 
 // Module is a loaded, type-checked module: every package matched by the
@@ -33,6 +34,13 @@ type Module struct {
 	// suppress maps file -> line -> analyzer names waived on that line
 	// by //slpmt:<name>-ok directives.
 	suppress map[string]map[int]map[string]bool
+	// waivers is every directive in source order, for the audit pass.
+	waivers []Waiver
+
+	// Shared interprocedural state (callgraph + effect summaries),
+	// built on first use and safe under the parallel driver.
+	effOnce sync.Once
+	effects *Effects
 }
 
 // Package is one type-checked module package.
@@ -42,7 +50,28 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	module *Module
 }
+
+// Waiver is one //slpmt:<name>-ok directive as written in source. The
+// accepted grammar is
+//
+//	//slpmt:<analyzer>-ok: <justification>
+//
+// The colon-less legacy form still suppresses (so a grammar migration
+// can never silently re-arm old findings) but the waiver-audit pass
+// rejects it, as it does an empty justification.
+type Waiver struct {
+	Name   string // analyzer name
+	Colon  bool   // written in the "-ok:" form
+	Reason string // trailing justification, trimmed
+	Pos    token.Pos
+}
+
+// Waivers returns every suppression directive in the module, in load
+// order (per-file source order).
+func (m *Module) Waivers() []Waiver { return m.waivers }
 
 // Lookup returns the loaded package with the exact import path.
 func (m *Module) Lookup(path string) *Package { return m.byPath[path] }
@@ -69,7 +98,7 @@ func (m *Module) suppressed(analyzer string, pos token.Position) bool {
 	return lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer]
 }
 
-var directiveRe = regexp.MustCompile(`^//slpmt:([a-z-]+)-ok(\s|$)`)
+var directiveRe = regexp.MustCompile(`^//slpmt:([a-z-]+)-ok(:?)(?:$|\s+(.*?)\s*$)`)
 
 // listPkg is the subset of `go list -json` output the loader consumes.
 type listPkg struct {
@@ -164,16 +193,17 @@ func Load(dir string, patterns ...string) (*Module, error) {
 			m.indexDirectives(full, f)
 		}
 		info := &types.Info{
-			Types: map[ast.Expr]types.TypeAndValue{},
-			Defs:  map[*ast.Ident]types.Object{},
-			Uses:  map[*ast.Ident]types.Object{},
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
 		}
 		conf := types.Config{Importer: imp}
 		tpkg, err := conf.Check(p.ImportPath, m.Fset, files, info)
 		if err != nil {
 			return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
 		}
-		pkg := &Package{Path: p.ImportPath, Dir: p.Dir, Files: files, Types: tpkg, Info: info}
+		pkg := &Package{Path: p.ImportPath, Dir: p.Dir, Files: files, Types: tpkg, Info: info, module: m}
 		m.Packages = append(m.Packages, pkg)
 		m.byPath[p.ImportPath] = pkg
 	}
@@ -201,6 +231,12 @@ func (m *Module) indexDirectives(filename string, f *ast.File) {
 				lines[line] = map[string]bool{}
 			}
 			lines[line][sub[1]] = true
+			m.waivers = append(m.waivers, Waiver{
+				Name:   sub[1],
+				Colon:  sub[2] == ":",
+				Reason: sub[3],
+				Pos:    c.Pos(),
+			})
 		}
 	}
 }

@@ -39,8 +39,11 @@ func mapRange(m map[int]int) int {
 	for _, v := range m { // want "range over map"
 		s += v
 	}
-	for k := range m { //slpmt:determinism-ok keys feed a commutative sum
+	for k := range m { //slpmt:determinism-ok keys feed a commutative sum // want "legacy colon-less form"
 		s += k
+	}
+	for k := range m { //slpmt:determinism-ok: keys feed a commutative sum
+		s -= k
 	}
 	for _, v := range []int{1, 2} { // slices iterate in order
 		s += v

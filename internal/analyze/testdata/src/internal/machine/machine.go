@@ -1,0 +1,70 @@
+// Package machine is a miniature of the real machine package — just
+// enough surface (Core with Clk/cause, the charge choke point,
+// SetCause) for the chargeflow and obsonly analyzers — with one
+// deliberate violation per choke-point rule.
+package machine
+
+import "fixtures/internal/profile"
+
+// Core is the per-core simulation state (miniature).
+type Core struct {
+	Clk   uint64
+	cause profile.Cause
+	Count uint64
+}
+
+// charge is the conservation choke point: the only legal writer of Clk.
+func (c *Core) charge(cause profile.Cause, n uint64) {
+	c.Clk += n
+	c.chargeProfile(cause, n)
+}
+
+// chargeProfile records the attribution (miniature: a no-op).
+func (c *Core) chargeProfile(cause profile.Cause, n uint64) {}
+
+// SetCause installs an attribution context, returning the prior one.
+func (c *Core) SetCause(cause profile.Cause) profile.Cause {
+	prev := c.cause
+	c.cause = cause
+	return prev
+}
+
+// Tick advances one cycle through the choke point.
+func (c *Core) Tick() { c.charge(profile.CauseGood, 1) }
+
+// UseCauses makes every intentionally charge-reachable fixture cause
+// reachable — the negative space of the unreachable-cause rule.
+func (c *Core) UseCauses() {
+	c.charge(profile.CauseNoName, 1)
+	c.charge(profile.CauseNoKind, 1)
+	c.charge(profile.CauseNoHelp, 1)
+}
+
+// Skip advances the clock around the choke point.
+func (c *Core) Skip() {
+	c.Clk += 3 // want "direct write to machine.Core.Clk"
+}
+
+// Hijack rewrites the attribution context around SetCause.
+func (c *Core) Hijack() {
+	c.cause = profile.CauseGood // want "direct write to machine.Core.cause"
+}
+
+// Waived advances the clock directly under a justified waiver.
+func (c *Core) Waived() {
+	//slpmt:chargeflow-ok: fixture for the waiver path; not a simulated cycle
+	c.Clk = 0
+}
+
+// Bump mutates observable state; a stream consumer calls it in the
+// obsonly fixtures (the mutating-method case).
+func (c *Core) Bump() {
+	c.Count++ // want "writes machine.Core.Count"
+}
+
+// CopyCount stores into a value-typed local copy: no effect escapes,
+// so no analyzer may flag it.
+func CopyCount(c Core) uint64 {
+	c.Count = 0
+	return c.Clk
+}

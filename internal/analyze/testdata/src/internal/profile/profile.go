@@ -15,6 +15,7 @@ const (
 	CauseNoName              // want "has no causeNames entry"
 	CauseNoKind              // want "maps to no trace kind"
 	CauseNoHelp              // want "has no causeHelp entry"
+	CauseUnused              // want "reachable from no charge or SetCause site"
 
 	numCauses
 )
@@ -24,6 +25,7 @@ var causeNames = [numCauses]string{
 	CauseGood:   "good",
 	CauseNoKind: "nokind",
 	CauseNoHelp: "nohelp",
+	CauseUnused: "unused",
 }
 
 var causeKinds = [numCauses][]trace.Kind{
@@ -32,6 +34,7 @@ var causeKinds = [numCauses][]trace.Kind{
 	CauseNoName: {trace.KGood},
 	CauseNoKind: {}, // empty: the cause has no witnessing trace kind
 	CauseNoHelp: {trace.KGood},
+	CauseUnused: {trace.KGood}, // plumbed everywhere except a charge path
 }
 
 // String returns the canonical name.

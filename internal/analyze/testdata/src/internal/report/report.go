@@ -10,6 +10,7 @@ var causeHelp = map[profile.Cause]string{
 	profile.CauseGood:   "the good cause",
 	profile.CauseNoName: "documented but unnamed",
 	profile.CauseNoKind: "documented but unwitnessed",
+	profile.CauseUnused: "documented but never charge-reachable",
 }
 
 // CauseHelp returns the explanation for a cause.

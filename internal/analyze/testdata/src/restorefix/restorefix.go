@@ -1,0 +1,105 @@
+// Package restorefix seeds one violation of every SetCause
+// restore-discipline rule, with the allowed shapes next to each: the
+// chargeflow CFG walk must accept the balanced forms and flag the
+// leaks line-for-line.
+package restorefix
+
+import (
+	"fixtures/internal/machine"
+	"fixtures/internal/profile"
+)
+
+// Balanced saves and restores explicitly.
+func Balanced(c *machine.Core) {
+	prev := c.SetCause(profile.CauseGood)
+	c.Tick()
+	c.SetCause(prev)
+}
+
+// DeferBalanced restores through defer, covering early returns.
+func DeferBalanced(c *machine.Core, n int) {
+	prev := c.SetCause(profile.CauseGood)
+	defer c.SetCause(prev)
+	if n == 0 {
+		return
+	}
+	c.Tick()
+}
+
+// DeferClosure restores through a deferred closure.
+func DeferClosure(c *machine.Core) {
+	prev := c.SetCause(profile.CauseGood)
+	defer func() { c.SetCause(prev) }()
+	c.Tick()
+}
+
+// Guarded re-points attribution mid-stream while a save is pending —
+// the engine's commit-marker refinement pattern; allowed.
+func Guarded(c *machine.Core) {
+	prev := c.SetCause(profile.CauseGood)
+	c.SetCause(profile.CauseNoName)
+	c.Tick()
+	c.SetCause(prev)
+}
+
+// BranchBalanced restores on every path explicitly.
+func BranchBalanced(c *machine.Core, x bool) {
+	prev := c.SetCause(profile.CauseGood)
+	if x {
+		c.SetCause(prev)
+		return
+	}
+	c.Tick()
+	c.SetCause(prev)
+}
+
+// Leaky returns early without restoring.
+func Leaky(c *machine.Core, x bool) {
+	prev := c.SetCause(profile.CauseGood) // want "not restored on all paths"
+	if x {
+		return
+	}
+	c.SetCause(prev)
+}
+
+// Naked discards the prior context with nothing pending to recover it.
+func Naked(c *machine.Core) {
+	c.SetCause(profile.CauseGood) // want "discards the prior attribution context"
+	c.Tick()
+}
+
+// Overwrite clobbers an unrestored save.
+func Overwrite(c *machine.Core) {
+	prev := c.SetCause(profile.CauseGood)
+	c.Tick()
+	prev = c.SetCause(profile.CauseNoName) // want "overwrites an attribution context"
+	c.SetCause(prev)
+}
+
+// LoopLeak opens a save the loop body never closes: the next iteration
+// clobbers it.
+func LoopLeak(c *machine.Core, n int) {
+	for i := 0; i < n; i++ {
+		prev := c.SetCause(profile.CauseGood) // want "does not survive the loop body"
+		c.Tick()
+		_ = prev
+	}
+}
+
+// LoopBalanced closes its save every iteration.
+func LoopBalanced(c *machine.Core, n int) {
+	for i := 0; i < n; i++ {
+		prev := c.SetCause(profile.CauseGood)
+		c.Tick()
+		c.SetCause(prev)
+	}
+}
+
+// PanicExempt terminates in panic: no restore required on that path.
+func PanicExempt(c *machine.Core, x bool) {
+	prev := c.SetCause(profile.CauseGood)
+	if x {
+		panic("fixture")
+	}
+	c.SetCause(prev)
+}

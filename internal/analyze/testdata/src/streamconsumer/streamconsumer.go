@@ -4,7 +4,10 @@
 // dead handling and must be flagged.
 package streamconsumer
 
-import "fixtures/internal/trace"
+import (
+	"fixtures/internal/machine"
+	"fixtures/internal/trace"
+)
 
 // Good registers exactly the kinds it handles.
 type Good struct{ n int }
@@ -66,4 +69,33 @@ func (n *NotAConsumer) Consume(e trace.Event) {
 	if e.Kind == trace.KNoPerfetto {
 		n.n++
 	}
+}
+
+// Mutator reaches into simulation state from an observer entry point:
+// both the direct field write and the mutating-method call are obsonly
+// errors (the method's write is reported at its body, with the call
+// chain back to Consume).
+type Mutator struct{ core *machine.Core }
+
+func (m *Mutator) Kinds() uint64 { return trace.Mask(trace.KGood) }
+
+func (m *Mutator) Consume(e trace.Event) {
+	m.core.Count += e.Cycle // want "writes machine.Core.Count"
+	m.core.Bump()
+}
+
+// hostBuffered and hostDropped mirror the double-buffered binlog
+// sink's host-side accounting: package-level state touched from a
+// consumer. The buffered counter is intentional (waived); the drop
+// counter below is the unwaived leak the pass must catch.
+var hostBuffered, hostDropped uint64
+
+// Sink is the waived-sink fixture.
+type Sink struct{}
+
+func (s *Sink) Kinds() uint64 { return trace.AllKinds }
+
+func (s *Sink) Consume(e trace.Event) {
+	hostDropped++  // want "package-level state streamconsumer.hostDropped"
+	hostBuffered++ //slpmt:obsonly-ok: double-buffered host-side spill accounting; simulation code never reads it back
 }

@@ -358,7 +358,7 @@ func checkStreamConsumers(p *ModulePass) {
 			}
 		}
 
-		for recv, consume := range consumeFns { //slpmt:determinism-ok findings are position-sorted by the driver
+		for recv, consume := range consumeFns { //slpmt:determinism-ok: findings are position-sorted by the driver
 			kindsFn, ok := kindsFns[recv]
 			if !ok || consume.Body == nil {
 				continue
@@ -460,7 +460,7 @@ func resolveMaskExpr(p *ModulePass, pkg *Package, tracePkg *Package, expr ast.Ex
 		if lu || ru {
 			return nil, true
 		}
-		for k := range r { //slpmt:determinism-ok merging into a set, order-independent
+		for k := range r { //slpmt:determinism-ok: merging into a set, order-independent
 			l[k] = true
 		}
 		return l, false

@@ -1,0 +1,28 @@
+package analyze
+
+import "strings"
+
+// WaiverAudit enforces the waiver grammar: every suppression directive
+// must carry a justification,
+//
+//	//slpmt:<analyzer>-ok: <reason>
+//
+// The colon-less legacy form and the colon form with an empty reason
+// both still suppress their target finding (so tightening the grammar
+// can never silently re-arm a waived diagnostic), but this pass fails
+// the run on them — a waiver without a recorded why is a finding
+// someone will re-litigate from scratch.
+var WaiverAudit = &ModuleAnalyzer{
+	Name: "waiver-audit",
+	Doc:  "every //slpmt:<analyzer>-ok directive must justify itself: '-ok: reason'",
+	Run: func(pass *ModulePass) {
+		for _, w := range pass.Module.Waivers() {
+			switch {
+			case !w.Colon:
+				pass.Reportf(w.Pos, "waiver //slpmt:%s-ok uses the legacy colon-less form: write //slpmt:%s-ok: <reason>", w.Name, w.Name)
+			case strings.TrimSpace(w.Reason) == "":
+				pass.Reportf(w.Pos, "waiver //slpmt:%s-ok: has no justification: say why the construct is safe", w.Name)
+			}
+		}
+	},
+}

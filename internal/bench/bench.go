@@ -371,7 +371,7 @@ func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
 // SortedKeys returns the sorted keys of a result map.
 func SortedKeys(m map[string]Result) []string {
 	out := make([]string, 0, len(m))
-	for k := range m { //slpmt:determinism-ok collected keys are sorted below
+	for k := range m { //slpmt:determinism-ok: collected keys are sorted below
 		out = append(out, k)
 	}
 	sort.Strings(out)

@@ -88,7 +88,7 @@ func ForEachWorkers(n, workers int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		//slpmt:determinism-ok each job runs an isolated simulation; results land in jobErrs[i] and the collector sorts before rendering
+		//slpmt:determinism-ok: each job runs an isolated simulation; results land in jobErrs[i] and the collector sorts before rendering
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
@@ -182,7 +182,7 @@ func GridParallel(schemeNames, workloadNames []string, base RunConfig) (map[stri
 // was produced.
 func SortedSchemes(grid map[string]map[string]Result) []string {
 	out := make([]string, 0, len(grid))
-	for s := range grid { //slpmt:determinism-ok collected keys are sorted below
+	for s := range grid { //slpmt:determinism-ok: collected keys are sorted below
 		out = append(out, s)
 	}
 	sort.Strings(out)

@@ -135,7 +135,7 @@ func (b *Bus) CheckSWMR() (mem.Addr, bool) {
 			}
 		})
 	}
-	//slpmt:determinism-ok pass/fail is order-independent; order only picks which violating address is reported
+	//slpmt:determinism-ok: pass/fail is order-independent; order only picks which violating address is reported
 	for a, o := range seen {
 		if o.m > 1 || (o.m == 1 && o.any > 1) {
 			return a, false

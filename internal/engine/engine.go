@@ -125,7 +125,7 @@ type Engine struct {
 // deterministic address order.
 func sortedKeys[V any](buf []mem.Addr, m map[mem.Addr]V) []mem.Addr {
 	buf = buf[:0]
-	for la := range m { //slpmt:determinism-ok collected keys are sorted below
+	for la := range m { //slpmt:determinism-ok: collected keys are sorted below
 		buf = append(buf, la)
 	}
 	slices.Sort(buf)
@@ -522,7 +522,7 @@ func (e *Engine) logStore(l *cache.Line, a mem.Addr, size int) {
 		return
 	}
 	if e.cfg.Granularity == Line {
-		data := e.scratchBytes(mem.LineSize) //slpmt:noalloc-escape-ok arena growth is amortized; steady state reuses the block
+		data := e.scratchBytes(mem.LineSize) //slpmt:noalloc-escape-ok: arena growth is amortized; steady state reuses the block
 		e.m.ReadMem(line, data)
 		e.sink.add(logbuf.Record{Addr: line, Data: data})
 		e.m.Trace(trace.KLogAppend, line, mem.LineSize)
@@ -537,7 +537,7 @@ func (e *Engine) logStore(l *cache.Line, a mem.Addr, size int) {
 				continue
 			}
 			wa := line + mem.Addr(w*mem.WordSize)
-			data := e.scratchBytes(mem.WordSize) //slpmt:noalloc-escape-ok arena growth is amortized; steady state reuses the block
+			data := e.scratchBytes(mem.WordSize) //slpmt:noalloc-escape-ok: arena growth is amortized; steady state reuses the block
 			e.m.ReadMem(wa, data)
 			e.sink.add(logbuf.Record{Addr: wa, Data: data})
 			e.m.Trace(trace.KLogAppend, wa, mem.WordSize)
@@ -1370,7 +1370,7 @@ func (e *Engine) Abort() {
 // addresses (tests and the compiler's trace replay use this).
 func (e *Engine) WriteSetLines() []mem.Addr {
 	out := make([]mem.Addr, 0, len(e.cur.writeLines))
-	for la := range e.cur.writeLines { //slpmt:determinism-ok collected keys are sorted below
+	for la := range e.cur.writeLines { //slpmt:determinism-ok: collected keys are sorted below
 		out = append(out, la)
 	}
 	slices.Sort(out)

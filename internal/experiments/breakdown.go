@@ -68,7 +68,7 @@ func Breakdown(out io.Writer, base bench.RunConfig) error {
 		}
 		by := r.Causes.ByGroup()
 		var total uint64
-		for _, v := range by { //slpmt:determinism-ok order-independent sum
+		for _, v := range by { //slpmt:determinism-ok: order-independent sum
 			total += v
 		}
 		row := []string{r.Scheme, r.Workload, fmt.Sprintf("%d", normCores(r.Cores))}

@@ -140,7 +140,7 @@ func normCores(c int) int {
 func wpqShare(r bench.Result) float64 {
 	by := r.Causes.ByGroup()
 	var total uint64
-	for _, v := range by { //slpmt:determinism-ok order-independent sum
+	for _, v := range by { //slpmt:determinism-ok: order-independent sum
 		total += v
 	}
 	if total == 0 {

@@ -101,7 +101,7 @@ func Window(out io.Writer, base bench.RunConfig) error {
 func orderingShare(r bench.Result) float64 {
 	by := r.Causes.ByName()
 	var total uint64
-	for _, v := range by { //slpmt:determinism-ok order-independent sum
+	for _, v := range by { //slpmt:determinism-ok: order-independent sum
 		total += v
 	}
 	if total == 0 {

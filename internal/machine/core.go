@@ -502,7 +502,7 @@ func (c *Core) coherenceWriteback(addr mem.Addr) {
 	c.PushAsync()
 	c.persist(addr, buf[:])
 	c.PopAsync()
-	c.cause = prev
+	c.SetCause(prev)
 	c.Stats.PMWriteBytesData += mem.LineSize
 	c.Stats.PMWriteEntries++
 	c.Stats.CoherenceWritebacks++
@@ -647,12 +647,12 @@ func (c *Core) PersistLogLine(logAddr mem.Addr, data []byte) {
 	c.WriteMem(logAddr, data)
 	// Log-line writes default to the log-persist bucket unless the
 	// engine installed a more specific context (commit marker, append).
-	prev := c.cause
-	if prev == profile.CauseNone {
-		c.cause = profile.CauseLogPersist
+	prev := c.SetCause(profile.CauseLogPersist)
+	if prev != profile.CauseNone {
+		c.SetCause(prev)
 	}
 	c.persist(logAddr, data)
-	c.cause = prev
+	c.SetCause(prev)
 	c.Stats.PMWriteBytesLog += mem.LineSize
 	c.Stats.PMWriteEntries++
 }

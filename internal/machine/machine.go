@@ -236,6 +236,7 @@ func (m *Machine) MaxClk() uint64 {
 func (m *Machine) SyncClocks() uint64 {
 	max := m.MaxClk()
 	for _, c := range m.cores {
+		//slpmt:chargeflow-ok: harness barrier between phases, not a simulated cycle cost; it runs outside the measured region (profiles are reset after the sync)
 		c.Clk = max
 	}
 	return max

@@ -424,7 +424,7 @@ func WriteFolded(w io.Writer, prefix string, b *Breakdown) error {
 func (b *Breakdown) SortedNames() []string {
 	by := b.ByName()
 	names := make([]string, 0, len(by))
-	for n := range by { //slpmt:determinism-ok collected keys are sorted below
+	for n := range by { //slpmt:determinism-ok: collected keys are sorted below
 		names = append(names, n)
 	}
 	sort.Slice(names, func(i, j int) bool {

@@ -189,7 +189,7 @@ func Compare(baseline, candidate Report) *Comparison {
 	}
 
 	keys := make([]string, 0, len(base))
-	for k := range base { //slpmt:determinism-ok collected keys are sorted below
+	for k := range base { //slpmt:determinism-ok: collected keys are sorted below
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
@@ -207,7 +207,7 @@ func Compare(baseline, candidate Report) *Comparison {
 	}
 
 	extra := make([]string, 0)
-	for k := range got { //slpmt:determinism-ok collected keys are sorted below
+	for k := range got { //slpmt:determinism-ok: collected keys are sorted below
 		if _, ok := base[k]; !ok {
 			extra = append(extra, k)
 		}
@@ -222,7 +222,7 @@ func Compare(baseline, candidate Report) *Comparison {
 // compareResult diffs one result's metric maps in deterministic order.
 func compareResult(c *Comparison, key string, base, got map[string]uint64) {
 	names := make([]string, 0, len(base))
-	for name := range base { //slpmt:determinism-ok collected keys are sorted below
+	for name := range base { //slpmt:determinism-ok: collected keys are sorted below
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -252,7 +252,7 @@ func compareResult(c *Comparison, key string, base, got map[string]uint64) {
 		}
 	}
 	extras := make([]string, 0)
-	for name := range got { //slpmt:determinism-ok collected keys are sorted below
+	for name := range got { //slpmt:determinism-ok: collected keys are sorted below
 		if _, ok := base[name]; !ok {
 			extras = append(extras, name)
 		}

@@ -373,7 +373,7 @@ func buildBreakdown(r Result) breakdownTable {
 		t.Total += v
 	}
 	names := make([]string, 0, len(r.CyclesByCause))
-	for name := range r.CyclesByCause { //slpmt:determinism-ok collected keys are sorted below
+	for name := range r.CyclesByCause { //slpmt:determinism-ok: collected keys are sorted below
 		names = append(names, name)
 	}
 	// Heaviest cause first; ties alphabetical.

@@ -45,7 +45,7 @@ const (
 // sortedCores returns the keys of a per-core span map in core order.
 func sortedCores[V any](m map[uint8]V) []uint8 {
 	out := make([]uint8, 0, len(m))
-	for c := range m { //slpmt:determinism-ok collected keys are sorted below
+	for c := range m { //slpmt:determinism-ok: collected keys are sorted below
 		out = append(out, c)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

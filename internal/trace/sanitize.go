@@ -306,10 +306,10 @@ func (s *sanitizer) step(i int, e Event) {
 			// they are checked at every subsequent persist and at the
 			// epoch-close marker. W = 1 commits always carry a marker,
 			// so this branch never runs on per-transaction streams.
-			for line := range cs.logged { //slpmt:determinism-ok set merge is order-independent
+			for line := range cs.logged { //slpmt:determinism-ok: set merge is order-independent
 				cs.epochLogged[line] = struct{}{}
 			}
-			for line, off := range cs.logOff { //slpmt:determinism-ok max-merge is order-independent
+			for line, off := range cs.logOff { //slpmt:determinism-ok: max-merge is order-independent
 				if off > cs.epochLogOff[line] {
 					cs.epochLogOff[line] = off
 				}
@@ -390,7 +390,7 @@ func (s *sanitizer) step(i int, e Event) {
 	case KCommitMarker:
 		cs.lastMode = int(e.Addr)
 		if cs.inTx {
-			for line, off := range cs.logOff { //slpmt:determinism-ok violation set is order-independent (replay tool)
+			for line, off := range cs.logOff { //slpmt:determinism-ok: violation set is order-independent (replay tool)
 				if off > cs.watermark {
 					s.violateTx(i, e, e.Core, cs,
 						"marker-order",
@@ -405,7 +405,7 @@ func (s *sanitizer) step(i int, e Event) {
 		// commit contributed must be durable (below the latest synced
 		// watermark) when the close marker lands — otherwise recovery
 		// could tear the epoch it believes committed.
-		for line := range cs.epochLogged { //slpmt:determinism-ok violation set is order-independent (replay tool)
+		for line := range cs.epochLogged { //slpmt:determinism-ok: violation set is order-independent (replay tool)
 			if off := cs.epochLogOff[line]; off > cs.epochWM {
 				s.violate(i, e, e.Core, e.Arg, "epoch-close",
 					fmt.Sprintf("epoch %d closed with log records for line %#x beyond the durable watermark (%d > %d)", e.Arg, line, off, cs.epochWM))
@@ -449,7 +449,7 @@ func (s *sanitizer) replayEnqueue(i int, e Event, cs *sanCore) {
 	// transaction's log records for it sit below the durable watermark.
 	// The line may be logged by any core's transaction (shared lines
 	// reach the device through whichever core evicts them).
-	for _, oc := range s.cores { //slpmt:determinism-ok violation buffers are per-core; order does not affect the report
+	for _, oc := range s.cores { //slpmt:determinism-ok: violation buffers are per-core; order does not affect the report
 		if oc.inTx {
 			if _, ok := oc.logged[line]; ok {
 				if off := oc.logOff[line]; off > oc.watermark {

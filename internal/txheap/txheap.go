@@ -543,7 +543,7 @@ func (h *Heap) Live() []Extent {
 	}
 	out := make([]Extent, 0, n)
 	for _, s := range h.all {
-		for a, sz := range s.allocated { //slpmt:determinism-ok collected extents are sorted below
+		for a, sz := range s.allocated { //slpmt:determinism-ok: collected extents are sorted below
 			out = append(out, Extent{a, sz})
 		}
 	}
@@ -649,7 +649,7 @@ func RebuildSharded(heaps []*Heap, reachable []Extent) RebuildReport {
 func (h *Heap) Check() error {
 	for si, s := range h.all {
 		ext := make([]Extent, 0, len(s.allocated)+len(s.free))
-		for a, sz := range s.allocated { //slpmt:determinism-ok collected extents are sorted below
+		for a, sz := range s.allocated { //slpmt:determinism-ok: collected extents are sorted below
 			ext = append(ext, Extent{a, sz})
 		}
 		ext = append(ext, s.free...)
