@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build test race check bench microbench fmt vet sanitize \
-	stream-check baseline compare report
+	stream-check critpath baseline compare report
 
 all: build
 
@@ -46,6 +46,16 @@ sanitize:
 stream-check:
 	$(GO) run ./cmd/slpmtbench -workload hashtable -cores 2 -n 300 -value 64 \
 		-trace-stream stream-out -stream-check -sanitize
+
+# Causal critical-path gate: the same streamed 2-core run carries the
+# blocking-DAG analyzer fed from the binlog; -stream-check requires the
+# streamed analysis to byte-match the in-memory replay, and the
+# conservation contract (path length == makespan) is enforced inside
+# the harness. The blame/slack/hot-line report lands in
+# stream-out/critpath.txt for artifact upload.
+critpath:
+	$(GO) run ./cmd/slpmtbench -workload hashtable -cores 2 -n 300 -value 64 \
+		-trace-stream stream-out -stream-check -critpath -hotlines 10
 
 # Full gate: formatting, vet, build, tests, race subset.
 check:

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/persistmem/slpmt/internal/bench"
+)
+
+// runCritPath executes one benchmark under the causal critical-path
+// analyzer (full-detail tracer + cycle-attribution profile attached by
+// the harness) and prints the canonical blame/slack/hot-line report.
+func runCritPath(out io.Writer, cfg bench.RunConfig, hotN int) error {
+	cfg.CritPath = true
+	r := bench.Run(cfg)
+	if r.VerifyErr != nil {
+		return fmt.Errorf("%s/%s failed verification: %v", cfg.Scheme, cfg.Workload, r.VerifyErr)
+	}
+	cores := cfg.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	fmt.Fprintf(out, "critpath run: %s/%s n=%d value=%dB cores=%d seed=%d\n",
+		cfg.Scheme, cfg.Workload, r.N, r.ValueSize, cores, cfg.Seed)
+	fmt.Fprintf(out, "cycles: %d\n\n", r.Cycles)
+	fmt.Fprint(out, r.CritPath.Render(hotN))
+	return nil
+}

@@ -79,6 +79,23 @@
 // make the command exit nonzero:
 //
 //	slpmtbench -workload hashtable -cores 2 -sanitize
+//
+// -critpath runs one -workload/-scheme execution under the causal
+// critical-path analyzer: the measured region's charge/wait streams are
+// replayed into a cross-core blocking DAG and the report prints the
+// makespan's critical path with a per-cause breakdown (critical share
+// vs raw core-cycle share), the DAG slack ranking, what-if projections
+// (commit flush async, WPQ infinite, remote hops zeroed, W→∞), and the
+// hot-line contention observatory (-hotlines caps the listing). The
+// conservation contract — critical-path length == measured makespan —
+// is enforced, and the analysis is observation-only. Composing with
+// -trace-stream feeds the analyzer from the on-disk binlog instead of
+// the ring (and writes the report to <dir>/critpath.txt); adding
+// -stream-check verifies the streamed analysis byte-matches the
+// in-memory one:
+//
+//	slpmtbench -workload hashtable -cores 2 -critpath -hotlines 5
+//	slpmtbench -workload hashtable -cores 2 -trace-stream out/ -critpath -stream-check
 package main
 
 import (
@@ -124,6 +141,8 @@ func run() error {
 		interval = flag.Uint64("interval", 0, "telemetry snapshot interval in cycles for -trace-stream (0 = default)")
 		streamCk = flag.Bool("stream-check", false, "with -trace-stream: verify the streamed Summary/Sanitize/WPQ reductions byte-match the in-memory analyses over the binlog (exit nonzero on divergence)")
 		sanitize = flag.Bool("sanitize", false, "replay one run of -workload/-scheme through the persist-order sanitizer (exit nonzero on violations)")
+		critpath = flag.Bool("critpath", false, "run one -workload/-scheme execution under the causal critical-path analyzer and print the blame/slack/hot-line report (composes with -trace-stream and -stream-check)")
+		hotlines = flag.Int("hotlines", 10, "hot lines to list in the -critpath report")
 		flamePth = flag.String("flame", "", "profile one run of -workload/-scheme, print the cycle-attribution breakdown, and write folded stacks to this path")
 		compare  = flag.String("compare", "", "diff each experiment's BENCH json against <dir>/BENCH_<experiment>.json and exit nonzero on regressions (implies -json)")
 		workload = flag.String("workload", "hashtable", "workload for -trace/-sanitize/-flame mode")
@@ -140,12 +159,17 @@ func run() error {
 	if *streamD != "" {
 		base.Scheme = *scheme
 		base.Workload = *workload
-		return runStreamed(os.Stdout, base, *streamD, *interval, *streamCk, *sanitize)
+		return runStreamed(os.Stdout, base, *streamD, *interval, *streamCk, *sanitize, *critpath, *hotlines)
 	}
 	if *sanitize {
 		base.Scheme = *scheme
 		base.Workload = *workload
 		return runSanitized(os.Stdout, base)
+	}
+	if *critpath {
+		base.Scheme = *scheme
+		base.Workload = *workload
+		return runCritPath(os.Stdout, base, *hotlines)
 	}
 	if *tracePth != "" {
 		base.Scheme = *scheme

@@ -3,11 +3,13 @@ package main
 import (
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
 	"reflect"
 	"sort"
 
 	"github.com/persistmem/slpmt/internal/bench"
+	"github.com/persistmem/slpmt/internal/critpath"
 	"github.com/persistmem/slpmt/internal/trace"
 	"github.com/persistmem/slpmt/internal/trace/stream"
 )
@@ -18,13 +20,16 @@ import (
 // live telemetry snapshots land in telemetry.ndjson, and the printed
 // metrics come from the online consumers. With sanitize the binlog is
 // replayed through the persist-order checker, and dropped events are a
-// hard error because the replay would be unsound. With check the
-// streamed reductions are additionally verified byte-for-byte against
-// the in-memory analyses over the same binlog — the CI stream-check
-// gate.
-func runStreamed(out io.Writer, cfg bench.RunConfig, dir string, interval uint64, check, sanitize bool) error {
+// hard error because the replay would be unsound. With crit the run
+// additionally carries the causal critical-path analyzer (fed from the
+// binlog) and the report lands on stdout and in dir/critpath.txt. With
+// check the streamed reductions are additionally verified
+// byte-for-byte against the in-memory analyses over the same binlog —
+// the CI stream-check gate.
+func runStreamed(out io.Writer, cfg bench.RunConfig, dir string, interval uint64, check, sanitize, crit bool, hotN int) error {
 	cfg.StreamDir = dir
 	cfg.StreamInterval = interval
+	cfg.CritPath = crit
 	r := bench.Run(cfg)
 	if r.VerifyErr != nil {
 		return fmt.Errorf("%s/%s failed verification: %v", cfg.Scheme, cfg.Workload, r.VerifyErr)
@@ -75,8 +80,17 @@ func runStreamed(out io.Writer, cfg bench.RunConfig, dir string, interval uint64
 		}
 		fmt.Fprintln(out, "persist-order sanitizer: 0 violations")
 	}
+	if crit {
+		rep := r.CritPath.Render(hotN)
+		fmt.Fprintf(out, "\nstreamed critical path (analyzer fed from the binlog):\n%s", rep)
+		repPath := filepath.Join(dir, "critpath.txt")
+		if err := os.WriteFile(repPath, []byte(rep), 0o644); err != nil {
+			return fmt.Errorf("critpath report: %w", err)
+		}
+		fmt.Fprintf(out, "wrote %s\n", repPath)
+	}
 	if check {
-		if err := streamCheck(out, d, r); err != nil {
+		if err := streamCheck(out, d, r, hotN); err != nil {
 			return err
 		}
 	}
@@ -87,7 +101,7 @@ func runStreamed(out io.Writer, cfg bench.RunConfig, dir string, interval uint64
 // run's streamed reductions match the in-memory analyses over the very
 // same events. Any divergence is a bug in the streaming pipeline, not
 // in the run.
-func streamCheck(out io.Writer, d *stream.Dir, r bench.Result) error {
+func streamCheck(out io.Writer, d *stream.Dir, r bench.Result, hotN int) error {
 	evs, st, err := d.Events()
 	if err != nil {
 		return fmt.Errorf("stream-check: %w", err)
@@ -116,8 +130,22 @@ func streamCheck(out io.Writer, d *stream.Dir, r bench.Result) error {
 	if got != want {
 		return fmt.Errorf("stream-check: streamed sanitize report diverges from in-memory:\nstreamed:\n%swant:\n%s", got, want)
 	}
-	fmt.Fprintf(out, "\nstream-check: summary, WPQ, and sanitize byte-match in-memory over %d events (%d segments)\n",
-		st.Events, st.Segments)
+	checked := "summary, WPQ, and sanitize"
+	if r.CritPath != nil {
+		// The streamed analysis came from feeding the binlog; recompute
+		// from the slurped events and require the canonical reports to
+		// byte-match.
+		mem, err := critpath.Analyze(evs, r.Summary.Dropped)
+		if err != nil {
+			return fmt.Errorf("stream-check: in-memory critpath: %w", err)
+		}
+		if got, want := r.CritPath.Render(hotN), mem.Render(hotN); got != want {
+			return fmt.Errorf("stream-check: streamed critpath analysis diverges from in-memory:\nstreamed:\n%swant:\n%s", got, want)
+		}
+		checked = "summary, WPQ, sanitize, and critpath"
+	}
+	fmt.Fprintf(out, "\nstream-check: %s byte-match in-memory over %d events (%d segments)\n",
+		checked, st.Events, st.Segments)
 	return nil
 }
 

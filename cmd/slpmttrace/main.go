@@ -24,6 +24,13 @@
 //
 //	slpmttrace -trace-stream out/
 //	slpmttrace -trace-stream out/ -follow -records 0
+//
+// -critpath replays the binlog through the causal critical-path
+// analyzer instead of dumping records: the same post-hoc
+// blame/slack/hot-line report slpmtbench computes live, but over a
+// saved stream directory — no rerun needed:
+//
+//	slpmttrace -trace-stream out/ -critpath -hotlines 10
 package main
 
 import (
@@ -56,13 +63,21 @@ func main() {
 		maxRecs  = flag.Int("records", 16, "max log records to print")
 		streamD  = flag.String("trace-stream", "", "inspect an SLPSEG01 trace-stream directory (from slpmtbench -trace-stream) instead of executing a run")
 		follow   = flag.Bool("follow", false, "with -trace-stream: tail the stream live as segments complete; exits when the writer closes it")
+		critpath = flag.Bool("critpath", false, "with -trace-stream: replay the binlog through the causal critical-path analyzer and print the blame/slack/hot-line report")
+		hotlines = flag.Int("hotlines", 10, "with -critpath: contended cache lines to rank")
 	)
 	flag.Parse()
 	if *cores < 1 {
 		*cores = 1
 	}
 	if *streamD != "" {
-		if err := inspectStream(os.Stdout, *streamD, *follow, *maxRecs); err != nil {
+		var err error
+		if *critpath {
+			err = streamCritPath(os.Stdout, *streamD, *hotlines)
+		} else {
+			err = inspectStream(os.Stdout, *streamD, *follow, *maxRecs)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "slpmttrace: %v\n", err)
 			os.Exit(1)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/persistmem/slpmt/internal/critpath"
 	"github.com/persistmem/slpmt/internal/trace"
 	"github.com/persistmem/slpmt/internal/trace/stream"
 )
@@ -70,5 +71,33 @@ func inspectStream(out io.Writer, dir string, follow bool, maxEvents int) error 
 	fmt.Fprintf(out, "\n%d events over %d segments (dropped=%d, closed=%v)\n",
 		st.Events, st.Segments, st.Dropped, st.Closed)
 	fmt.Fprint(out, summ.Summary(st.Events, st.Dropped).String())
+	return nil
+}
+
+// streamCritPath replays a saved binlog through the causal
+// critical-path analyzer — post-hoc analysis of an earlier streamed
+// run without rerunning the workload. The stream must be complete:
+// dropped or torn events would make the causal replay unsound, so
+// both are hard errors.
+func streamCritPath(out io.Writer, dir string, hotN int) error {
+	d, err := stream.Open(dir)
+	if err != nil {
+		return err
+	}
+	cp := critpath.New()
+	st, err := stream.Feed(d, cp)
+	if err != nil {
+		return err
+	}
+	if st.Torn != nil {
+		return fmt.Errorf("torn final segment: %v (the causal replay needs a complete stream)", st.Torn)
+	}
+	an, err := cp.Analyze(st.Dropped)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "stream %s: %d events over %d segments, closed=%v\n\n",
+		dir, st.Events, st.Segments, st.Closed)
+	fmt.Fprint(out, an.Render(hotN))
 	return nil
 }

@@ -1,0 +1,34 @@
+// Package critpath is a miniature of the real critpath package — just
+// enough surface (EdgeKind, edgeNames, edgeKinds) for the
+// edge-coverage analyzer — with one deliberate hole per coverage rule.
+package critpath
+
+import "fixtures/internal/trace"
+
+// EdgeKind classifies a waits-for edge.
+type EdgeKind uint8
+
+const (
+	EdgeGood   EdgeKind = iota // named and witness-mapped
+	EdgeNoName                 // want "has no edgeNames entry"
+	EdgeNoKind                 // want "maps to no witnessing trace kind"
+
+	numEdgeKinds
+)
+
+var edgeNames = [numEdgeKinds]string{
+	EdgeGood:   "good",
+	EdgeNoKind: "nokind",
+}
+
+var edgeKinds = [numEdgeKinds][]trace.Kind{
+	EdgeGood:   {trace.KGood},
+	EdgeNoName: {trace.KGood},
+	EdgeNoKind: {}, // empty: the edge has no witnessing trace kind
+}
+
+// String returns the canonical name.
+func (k EdgeKind) String() string { return edgeNames[k] }
+
+// Kinds returns the witnessing trace kinds.
+func (k EdgeKind) Kinds() []trace.Kind { return edgeKinds[k] }

@@ -13,7 +13,7 @@ import (
 // canonical row so no counter silently vanishes from the reports.
 var TraceCoverage = &ModuleAnalyzer{
 	Name: "trace-coverage",
-	Doc:  "every trace.Kind emitted, named, and Perfetto-mapped; every stats.Counters field rendered; every profile.Cause named, kind-mapped, and documented in the report renderer; every stream consumer's handled kinds registered in its Kinds mask",
+	Doc:  "every trace.Kind emitted, named, and Perfetto-mapped; every stats.Counters field rendered; every profile.Cause named, kind-mapped, and documented in the report renderer; every critpath.EdgeKind named and witness-mapped; every stream consumer's handled kinds registered in its Kinds mask",
 	Run:  runTraceCoverage,
 }
 
@@ -21,6 +21,7 @@ func runTraceCoverage(p *ModulePass) {
 	checkKindCoverage(p)
 	checkCounterRows(p)
 	checkCauseCoverage(p)
+	checkEdgeCoverage(p)
 	checkStreamConsumers(p)
 }
 
@@ -282,6 +283,110 @@ func checkCauseCoverage(p *ModulePass) {
 			p.Reportf(c.obj.Pos(), "profile cause %s has no causeHelp entry in internal/report (it would render unexplained)", c.name)
 		}
 	}
+}
+
+// checkEdgeCoverage extends the registry pattern to the critical-path
+// analyzer's waits-for taxonomy: every exported critpath.EdgeKind
+// constant must have a canonical name in edgeNames and map to at least
+// one witnessing trace.Kind in edgeKinds — so a new cross-core blocking
+// relation cannot be added to the DAG without declaring both how it
+// renders and which trace events witness it. (Type checking already
+// guarantees the witnesses are real trace.Kind constants; this check
+// guarantees the entry exists and is non-empty.)
+func checkEdgeCoverage(p *ModulePass) {
+	cpPkg := p.Module.LookupSuffix("internal/critpath")
+	if cpPkg == nil {
+		return // nothing to check (fixture modules without a critpath package)
+	}
+	edgeType, ok := cpPkg.Types.Scope().Lookup("EdgeKind").(*types.TypeName)
+	if !ok {
+		return
+	}
+
+	// Exported EdgeKind constants (the enum has no sentinel; the
+	// numEdgeKinds bound is unexported and skipped by the filter).
+	var edges []kindConst
+	scope := cpPkg.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() {
+			continue
+		}
+		if types.Identical(c.Type(), edgeType.Type()) {
+			edges = append(edges, kindConst{name: c.Name(), obj: c})
+		}
+	}
+	if len(edges) == 0 {
+		return
+	}
+
+	// edgeNames entries and non-empty edgeKinds entries.
+	named := map[string]bool{}
+	kindMapped := map[string]bool{}
+	for _, f := range cpPkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, id := range vs.Names {
+				if (id.Name != "edgeNames" && id.Name != "edgeKinds") || i >= len(vs.Values) {
+					continue
+				}
+				cl, ok := vs.Values[i].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				for _, elt := range cl.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					en := edgeRef(cpPkg.Info, cpPkg.Types, kv.Key)
+					if en == "" {
+						continue
+					}
+					if id.Name == "edgeNames" {
+						named[en] = true
+					} else if val, ok := kv.Value.(*ast.CompositeLit); ok && len(val.Elts) > 0 {
+						kindMapped[en] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, e := range edges {
+		if !named[e.name] {
+			p.Reportf(e.obj.Pos(), "critpath edge kind %s has no edgeNames entry", e.name)
+		}
+		if !kindMapped[e.name] {
+			p.Reportf(e.obj.Pos(), "critpath edge kind %s maps to no witnessing trace kind (empty or missing edgeKinds entry)", e.name)
+		}
+	}
+}
+
+// edgeRef resolves expr to the name of an exported EdgeKind constant of
+// the critpath package, or "".
+func edgeRef(info *types.Info, cpPkg *types.Package, expr ast.Expr) string {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	if !ok || c.Pkg() == nil || c.Pkg().Path() != cpPkg.Path() {
+		return ""
+	}
+	if named, ok := c.Type().(*types.Named); !ok || named.Obj().Name() != "EdgeKind" {
+		return ""
+	}
+	return c.Name()
 }
 
 // causeRef resolves expr to the name of an exported Cause constant of

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"github.com/persistmem/slpmt"
+	"github.com/persistmem/slpmt/internal/critpath"
 	"github.com/persistmem/slpmt/internal/machine"
 	"github.com/persistmem/slpmt/internal/pmem"
 	"github.com/persistmem/slpmt/internal/profile"
@@ -92,6 +93,14 @@ type RunConfig struct {
 	// StreamInterval is the telemetry snapshot window in simulated
 	// cycles (0 = the stream package default).
 	StreamInterval uint64
+	// CritPath replays the measured region's trace through the causal
+	// critical-path analyzer and populates Result.CritPath. Implies a
+	// cycle-attribution profile (the analysis consumes the KCharge
+	// stream) and, without a caller tracer, attaches a full-detail one
+	// (CritPathRingEvents; streamed runs replay the binlog instead, so
+	// the ring size never matters there). Observation-only like Profile:
+	// cycles, counters and goldens are byte-identical with it on.
+	CritPath bool
 }
 
 // Result is the outcome of one benchmark execution.
@@ -120,6 +129,12 @@ type Result struct {
 	// (StreamDir set); nil otherwise. A pointer keeps Result
 	// comparable.
 	Intervals *IntervalSeries
+	// CritPath is the causal critical-path analysis of the measured
+	// region; nil unless RunConfig.CritPath was set. The conservation
+	// contract (path length == Cycles, per-cause shares sum to the
+	// path) is checked before the result is returned. A pointer keeps
+	// Result comparable.
+	CritPath *critpath.Analysis
 	// VerifyErr is non-nil if the post-run invariant check failed.
 	VerifyErr error
 }
@@ -144,6 +159,16 @@ type IntervalSeries struct {
 func runTracer(cfg RunConfig) *trace.Tracer {
 	if cfg.Trace != nil {
 		return cfg.Trace
+	}
+	if cfg.CritPath {
+		// The analysis needs full event detail (charges, stores,
+		// coherence, WPQ, signature hits) — a metrics-masked ring would
+		// starve it. Streamed runs spill, so the capacity is only the
+		// handoff granularity there.
+		if cfg.StreamDir != "" {
+			return trace.New(StreamRingEvents)
+		}
+		return trace.New(CritPathRingEvents)
 	}
 	if cfg.Metrics {
 		tr := trace.New(trace.MetricsCapacity)
@@ -182,7 +207,7 @@ func Run(cfg RunConfig) Result {
 		tr = trace.New(StreamRingEvents)
 	}
 	var prof *profile.Profile
-	if cfg.Profile {
+	if cfg.Profile || cfg.CritPath {
 		prof = profile.New(1)
 	}
 	sys := slpmt.New(slpmt.Options{
@@ -249,6 +274,9 @@ func Run(cfg RunConfig) Result {
 			reduceStream(&res, tr, sw, topo)
 		} else {
 			reduceTrace(&res, tr, topo)
+		}
+		if cfg.CritPath {
+			res.CritPath = critAnalyze(tr, sw, res.Cycles)
 		}
 	}
 	if topo.Sockets() > 1 {

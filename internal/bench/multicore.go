@@ -33,7 +33,7 @@ func RunMulti(cfg RunConfig) Result {
 		tr = trace.New(StreamRingEvents)
 	}
 	var prof *profile.Profile
-	if cfg.Profile {
+	if cfg.Profile || cfg.CritPath {
 		prof = profile.New(cores)
 	}
 	cl := slpmt.NewCluster(cores, slpmt.Options{
@@ -111,6 +111,9 @@ func RunMulti(cfg RunConfig) Result {
 			reduceStream(&res, tr, sw, cl.Plat.Topo)
 		} else {
 			reduceTrace(&res, tr, cl.Plat.Topo)
+		}
+		if cfg.CritPath {
+			res.CritPath = critAnalyze(tr, sw, res.Cycles)
 		}
 	}
 	if cl.Sockets() > 1 {

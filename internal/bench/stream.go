@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"github.com/persistmem/slpmt/internal/critpath"
 	"github.com/persistmem/slpmt/internal/trace"
 	"github.com/persistmem/slpmt/internal/trace/stream"
 )
@@ -14,6 +15,13 @@ import (
 // enough that trace-side memory is dominated by the segment buffer, big
 // enough that spill handoffs amortize.
 const StreamRingEvents = 1 << 15
+
+// CritPathRingEvents is the in-memory ring attached for a critpath run
+// without a caller tracer or a stream dir: full event detail for the
+// whole measured region, sized so the analyzer's Dropped check holds on
+// the bench-scale runs the analysis targets (the analyzer refuses a
+// lossy stream; stream to disk for bigger regions).
+const CritPathRingEvents = 1 << 21
 
 // TelemetryFile is the NDJSON telemetry file written inside StreamDir:
 // one line per closed interval (see stream.Interval).
@@ -92,4 +100,38 @@ func reduceStream(res *Result, tr *trace.Tracer, s *streamRun, pm interface {
 		panic(fmt.Sprintf("bench: telemetry: %v", err))
 	}
 	res.Intervals = &IntervalSeries{Intervals: s.tele.Intervals()}
+}
+
+// critAnalyze runs the causal critical-path analysis over the measured
+// region: streamed runs replay the on-disk binlog through the online
+// analyzer (identical to the ring path by construction — the blame walk
+// is a pure function of the event stream), buffered runs feed the ring.
+// The conservation contract is enforced here, not just reported: the
+// critical-path length must equal the run's measured makespan.
+func critAnalyze(tr *trace.Tracer, sw *streamRun, cycles uint64) *critpath.Analysis {
+	cp := critpath.New()
+	if sw != nil {
+		d, err := stream.Open(sw.dir)
+		if err != nil {
+			panic(fmt.Sprintf("bench: open stream: %v", err))
+		}
+		if _, err := stream.Feed(d, cp); err != nil {
+			panic(fmt.Sprintf("bench: critpath replay: %v", err))
+		}
+	} else {
+		for _, e := range tr.Events() {
+			cp.Consume(e)
+		}
+	}
+	an, err := cp.Analyze(tr.Dropped())
+	if err != nil {
+		panic(fmt.Sprintf("bench: critpath: %v", err))
+	}
+	if err := an.Check(); err != nil {
+		panic(fmt.Sprintf("bench: critpath: %v", err))
+	}
+	if an.Makespan != cycles {
+		panic(fmt.Sprintf("bench: critpath makespan %d != measured %d cycles", an.Makespan, cycles))
+	}
+	return an
 }

@@ -580,6 +580,10 @@ func (e *Engine) checkStoreConflict(line mem.Addr) {
 	for i := range e.retained {
 		if e.retained[i].sig.MayContain(line) {
 			e.m.Stats.SignatureHits++
+			// One event per hit keeps the streamed per-interval count
+			// equal to the Stats.SignatureHits delta; arg carries the
+			// matched transaction's drain depth (oldest-first index + 1).
+			e.m.Trace(trace.KSigHit, line, uint64(i+1))
 			last = i
 		}
 	}

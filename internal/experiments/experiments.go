@@ -45,6 +45,8 @@ func Run(w io.Writer, name string, base bench.RunConfig) error {
 		return Window(w, base)
 	case "numa":
 		return Numa(w, base)
+	case "critpath":
+		return CritPath(w, base)
 	case "all":
 		for _, n := range Names() {
 			if err := Run(w, n, base); err != nil {
@@ -54,7 +56,7 @@ func Run(w io.Writer, name string, base bench.RunConfig) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q (try fig8..fig14, headline, ablation, model, mixes, scaling, breakdown, window, numa, all)", name)
+		return fmt.Errorf("unknown experiment %q (try fig8..fig14, headline, ablation, model, mixes, scaling, breakdown, window, numa, critpath, all)", name)
 	}
 }
 
@@ -62,12 +64,13 @@ func Run(w io.Writer, name string, base bench.RunConfig) error {
 // them. Everything before "scaling" reproduces the paper's single-core
 // evaluation unchanged; "scaling" (multi-core), "breakdown"
 // (cycle-attribution profiling), "window" (group-commit sensitivity),
-// and "numa" (multi-device socket topology) are extensions.
+// "numa" (multi-device socket topology), and "critpath" (causal
+// critical-path analysis) are extensions.
 func Names() []string {
 	return []string{
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"headline", "ablation", "model", "mixes", "scaling", "breakdown",
-		"window", "numa",
+		"window", "numa", "critpath",
 	}
 }
 

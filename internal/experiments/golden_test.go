@@ -39,10 +39,11 @@ func maskHostTime(s string) string {
 }
 
 // preRefactorNames is the experiment list of the pre-refactor "all"
-// (everything but the later scaling, breakdown, window, and numa
-// extensions, which did not exist when the goldens were captured).
+// (everything but the later scaling, breakdown, window, numa, and
+// critpath extensions, which did not exist when the goldens were
+// captured).
 func preRefactorNames() []string {
-	later := map[string]bool{"scaling": true, "breakdown": true, "window": true, "numa": true}
+	later := map[string]bool{"scaling": true, "breakdown": true, "window": true, "numa": true, "critpath": true}
 	var out []string
 	for _, n := range experiments.Names() {
 		if !later[n] {

@@ -103,6 +103,9 @@ func Numa(out io.Writer, base bench.RunConfig) error {
 	trem := bench.NewTable(
 		"NUMA: cycle share paid to cross-socket hops (wpq.remote)",
 		cols...)
+	tsig := bench.NewTable(
+		"NUMA: lazy-conflict pressure (signature hits / txid cross-accesses / forced lazy-line persists)",
+		cols...)
 	// The 4-core 2-socket speedups, per scheme — the experiment's
 	// acceptance headline: the geomean over the suite plus the best
 	// structure, which shows what the topology buys when the persist
@@ -119,6 +122,7 @@ func Numa(out io.Writer, base bench.RunConfig) error {
 				rowS := []string{s, w, fmt.Sprint(c)}
 				rowW := []string{s, w, fmt.Sprint(c)}
 				rowR := []string{s, w, fmt.Sprint(c)}
+				rowG := []string{s, w, fmt.Sprint(c)}
 				one := byKey[s][w][cell{c, 1}]
 				for _, k := range NumaSockets {
 					r := byKey[s][w][cell{c, k}]
@@ -126,6 +130,8 @@ func Numa(out io.Writer, base bench.RunConfig) error {
 					rowS = append(rowS, bench.Fx(sp))
 					rowW = append(rowW, bench.Pct(wpqShare(r)))
 					rowR = append(rowR, bench.Pct(remoteShare(r)))
+					rowG = append(rowG, fmt.Sprintf("%d/%d/%d",
+						r.Counters.SignatureHits, r.Counters.TxIDCrossAccess, r.Counters.LazyLinePersists))
 					if c == 4 && k == 2 {
 						headline[s] = append(headline[s], sp)
 						if sp > best[s].speedup {
@@ -136,12 +142,14 @@ func Numa(out io.Writer, base bench.RunConfig) error {
 				tsp.AddRow(rowS...)
 				twpq.AddRow(rowW...)
 				trem.AddRow(rowR...)
+				tsig.AddRow(rowG...)
 			}
 		}
 	}
 	fmt.Fprintln(out, tsp)
 	fmt.Fprintln(out, twpq)
 	fmt.Fprintln(out, trem)
+	fmt.Fprintln(out, tsig)
 	for _, s := range ss {
 		fmt.Fprintf(out, "%s 4-core/2-socket speedup over single device: %.2fx geomean, best %.2fx (%s)\n",
 			s, bench.GeoMean(headline[s]), best[s].speedup, best[s].workload)

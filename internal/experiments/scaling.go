@@ -89,6 +89,9 @@ func Scaling(out io.Writer, base bench.RunConfig) error {
 	twpq := bench.NewTable(
 		"Scaling: cycle share spent on the WPQ (enqueue + queue-full stalls + sync persists)",
 		cols...)
+	tsig := bench.NewTable(
+		"Scaling: lazy-conflict pressure (signature hits / txid cross-accesses / forced lazy-line persists)",
+		cols...)
 	for _, s := range ss {
 		for _, w := range ws {
 			rowS := []string{s, w}
@@ -96,6 +99,7 @@ func Scaling(out io.Writer, base bench.RunConfig) error {
 			rowL := []string{s, w}
 			rowO := []string{s, w}
 			rowW := []string{s, w}
+			rowG := []string{s, w}
 			one := byKey[s][w][1]
 			for _, c := range ScalingCores {
 				r := byKey[s][w][c]
@@ -106,12 +110,15 @@ func Scaling(out io.Writer, base bench.RunConfig) error {
 				rowO = append(rowO, fmt.Sprintf("%d/%d",
 					r.Counters.WPQOccMaxBytes, r.Counters.WPQOccAvgBytes))
 				rowW = append(rowW, bench.Pct(wpqShare(r)))
+				rowG = append(rowG, fmt.Sprintf("%d/%d/%d",
+					r.Counters.SignatureHits, r.Counters.TxIDCrossAccess, r.Counters.LazyLinePersists))
 			}
 			tsp.AddRow(rowS...)
 			ttr.AddRow(rowT...)
 			tlat.AddRow(rowL...)
 			tocc.AddRow(rowO...)
 			twpq.AddRow(rowW...)
+			tsig.AddRow(rowG...)
 		}
 	}
 	fmt.Fprintln(out, tsp)
@@ -119,6 +126,7 @@ func Scaling(out io.Writer, base bench.RunConfig) error {
 	fmt.Fprintln(out, tlat)
 	fmt.Fprintln(out, tocc)
 	fmt.Fprintln(out, twpq)
+	fmt.Fprintln(out, tsig)
 
 	fmt.Fprintln(out, "(cores share one structure, LLC, and PM write-pending queue; the")
 	fmt.Fprint(out, " deterministic interleaver makes every cell exactly reproducible)\n")

@@ -93,6 +93,7 @@ func (c Config) withDefaults() Config {
 // entry is one in-flight WPQ element.
 type entry struct {
 	bytes  int
+	addr   uint64 // persisted line address, for drain trace attribution
 	finish uint64 // cycle at which the entry has drained to the medium
 	core   uint8  // enqueuing core, for trace attribution
 }
@@ -216,7 +217,7 @@ func (d *Device) drainUpTo(now uint64) {
 		e := d.queue[i]
 		d.occAdvance(e.finish)
 		d.usedBytes -= e.bytes
-		d.tr.Emit(e.core, e.finish, trace.KWPQDrain, 0, uint64(d.usedBytes)|d.sockTag)
+		d.tr.Emit(e.core, e.finish, trace.KWPQDrain, e.addr, uint64(d.usedBytes)|d.sockTag)
 		i++
 	}
 	if i > 0 {
@@ -299,7 +300,7 @@ func (d *Device) Persist(now uint64, addr uint64, data []byte) (stall uint64) {
 	}
 	d.lastWaited = waited
 	fin := d.bankFinish(t)
-	d.enqueue(entry{bytes: n, finish: fin, core: d.curCore}, t)
+	d.enqueue(entry{bytes: n, addr: addr, finish: fin, core: d.curCore}, t)
 	d.tr.Emit(d.curCore, t, trace.KWPQEnqueue, addr, uint64(d.usedBytes)|d.sockTag)
 	// Synchronous persist: the commit engine issues one coherence-level
 	// persist request per line and waits for the controller's completion
@@ -350,7 +351,7 @@ func (d *Device) PersistStream(now uint64, addr uint64, data []byte) (stall uint
 	}
 	d.lastWaited = waited
 	fin := d.bankFinish(t)
-	d.enqueue(entry{bytes: n, finish: fin, core: d.curCore}, t)
+	d.enqueue(entry{bytes: n, addr: addr, finish: fin, core: d.curCore}, t)
 	d.tr.Emit(d.curCore, t, trace.KWPQEnqueue, addr, uint64(d.usedBytes)|d.sockTag)
 	d.totalStall += stall - d.cfg.EnqueueCycles
 	return stall
@@ -427,7 +428,7 @@ func (d *Device) PersistAsync(now uint64, addr uint64, data []byte) (stall uint6
 		}
 	}
 	fin := d.bankFinish(tStart)
-	d.enqueue(entry{bytes: n, finish: fin, core: d.curCore}, t)
+	d.enqueue(entry{bytes: n, addr: addr, finish: fin, core: d.curCore}, t)
 	d.tr.Emit(d.curCore, t, trace.KWPQEnqueue, addr, uint64(d.usedBytes)|d.sockTag)
 	return d.cfg.EnqueueCycles
 }

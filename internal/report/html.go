@@ -41,6 +41,28 @@ type expView struct {
 	WPQ        *wpqChart
 	Telemetry  []teleView
 	Breakdowns []breakdownTable
+	CritPaths  []critView
+}
+
+// critView is one analyzed run's critical-path panel: the per-core
+// blame timeline SVG, the critical-vs-raw cause shares, the slack
+// ranking, and the hot-line observatory.
+type critView struct {
+	Label    string
+	Makespan uint64
+	Hops     int
+	Causes   []critCauseRow
+	Slack    []CritSlack
+	HotLines []HotLine
+	SVG      template.HTML
+}
+
+type critCauseRow struct {
+	Cause   string
+	Cycles  uint64
+	CritPct float64 // share of the critical path
+	RawPct  float64 // share of all attributed core-cycles
+	Help    string
 }
 
 // droppedRow flags a run whose tracer ring discarded events: every
@@ -180,6 +202,9 @@ func buildExpView(rep Report) expView {
 		}
 		if len(r.CyclesByCause) != 0 {
 			ev.Breakdowns = append(ev.Breakdowns, buildBreakdown(r))
+		}
+		if len(r.CriticalPathByCause) != 0 {
+			ev.CritPaths = append(ev.CritPaths, buildCritView(r))
 		}
 	}
 	ev.Deltas = buildDeltas(rep.Results)
@@ -398,6 +423,122 @@ func buildBreakdown(r Result) breakdownTable {
 	return t
 }
 
+// buildCritView assembles one run's critical-path panel from the
+// report fields, including the per-core blame timeline SVG: one lane
+// per core, one bar per path span (the interval the critical path
+// resided on that core), colored by the span's dominant cause.
+func buildCritView(r Result) critView {
+	cv := critView{
+		Label:    label(r),
+		Makespan: r.CritPathLen,
+		Hops:     r.CritPathHops,
+		Slack:    r.CritPathSlackTop,
+		HotLines: r.HotLines,
+	}
+	var rawTotal uint64
+	for _, v := range r.CyclesByCause {
+		rawTotal += v
+	}
+	names := make([]string, 0, len(r.CriticalPathByCause))
+	for name := range r.CriticalPathByCause { //slpmt:determinism-ok: collected keys are sorted below
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := names[i], names[j]
+		if r.CriticalPathByCause[a] != r.CriticalPathByCause[b] {
+			return r.CriticalPathByCause[a] > r.CriticalPathByCause[b]
+		}
+		return a < b
+	})
+	for _, name := range names {
+		v := r.CriticalPathByCause[name]
+		row := critCauseRow{Cause: name, Cycles: v, Help: CauseHelp(name)}
+		if r.CritPathLen != 0 {
+			row.CritPct = 100 * float64(v) / float64(r.CritPathLen)
+		}
+		if rawTotal != 0 {
+			row.RawPct = 100 * float64(r.CyclesByCause[name]) / float64(rawTotal)
+		}
+		cv.Causes = append(cv.Causes, row)
+	}
+	cv.SVG = critTimelineSVG(r.CritPathSteps, names)
+	return cv
+}
+
+// critTimelineSVG renders the blame timeline. causeOrder (heaviest
+// first) fixes the color assignment so the timeline and the cause
+// table agree.
+func critTimelineSVG(steps []CritStep, causeOrder []string) template.HTML {
+	if len(steps) == 0 {
+		return ""
+	}
+	lo, hi := steps[0].Start, steps[0].End
+	coreSet := map[int]bool{}
+	for _, s := range steps {
+		if s.Start < lo {
+			lo = s.Start
+		}
+		if s.End > hi {
+			hi = s.End
+		}
+		coreSet[s.Core] = true
+	}
+	if hi <= lo {
+		return ""
+	}
+	cores := make([]int, 0, len(coreSet))
+	for c := range coreSet { //slpmt:determinism-ok: collected cores are sorted below
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
+	lane := map[int]int{}
+	for i, c := range cores {
+		lane[c] = i
+	}
+	palette := []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f"}
+	color := map[string]string{}
+	for i, name := range causeOrder {
+		color[name] = palette[i%len(palette)]
+	}
+	const W, M, laneH = 640, 36, 22
+	H := 2*M + laneH*len(cores)
+	x := func(c uint64) float64 { return M + float64(c-lo)/float64(hi-lo)*(W-2*M) }
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg viewBox="0 0 %d %d" width="%d" height="%d" role="img">`, W, H, W, H)
+	fmt.Fprintf(&b, `<rect x="0" y="0" width="%d" height="%d" fill="#fafafa" stroke="#ddd"/>`, W, H)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="#555">critical-path residence per core over the measured region (%d..%d cycles)</text>`, M, M/2+4, lo, hi)
+	for _, c := range cores {
+		yTop := M + lane[c]*laneH
+		fmt.Fprintf(&b, `<text x="4" y="%d" font-size="11" fill="#555">c%d</text>`, yTop+laneH-8, c)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#eee"/>`, M, yTop+laneH-4, W-M, yTop+laneH-4)
+	}
+	for _, s := range steps {
+		col, ok := color[s.Cause]
+		if !ok {
+			col = "#999"
+		}
+		yTop := M + lane[s.Core]*laneH
+		x0, x1 := x(s.Start), x(s.End)
+		if x1-x0 < 0.5 {
+			x1 = x0 + 0.5 // keep sub-pixel spans visible
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s"><title>core %d %s [%d..%d] via %s</title></rect>`,
+			x0, yTop, x1-x0, laneH-6, col, s.Core, template.HTMLEscapeString(s.Cause), s.Start, s.End, template.HTMLEscapeString(s.Edge))
+	}
+	// Legend: the heaviest causes, left to right.
+	lx := M
+	for i, name := range causeOrder {
+		if i >= len(palette) {
+			break
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`, lx, H-M+6, color[name])
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="#555">%s</text>`, lx+14, H-M+15, template.HTMLEscapeString(name))
+		lx += 14 + 8*len(name) + 16
+	}
+	b.WriteString(`</svg>`)
+	return template.HTML(b.String()) //nolint:gosec // built above from escaped fields only
+}
+
 var htmlTmpl = template.Must(template.New("report").Funcs(template.FuncMap{
 	"f2":  func(x float64) string { return fmt.Sprintf("%.2f", x) },
 	"pct": func(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) },
@@ -471,6 +612,25 @@ Stream the trace instead (slpmtbench -trace-stream) to capture every event at bo
 {{if .Telemetry}}<h3>live telemetry (streamed runs)</h3>
 {{range .Telemetry}}<p class="meta">{{.Label}} — {{.Intervals}} intervals, {{.Commits}} commits, {{.Stalls}} WPQ stall cycles; solid = commits/interval, dashed = stall cycles</p>
 {{if .SVG}}{{.SVG}}{{end}}
+{{end}}{{end}}
+
+{{if .CritPaths}}<h3>critical path (causal blame)</h3>
+{{range .CritPaths}}<p class="meta">{{.Label}} — critical path {{.Makespan}} cycles (== measured makespan), {{.Hops}} cross-core hops; lanes = cores, bars = the interval the critical path resided on that core, colored by dominant cause</p>
+{{if .SVG}}{{.SVG}}{{end}}
+<table>
+<tr><th class="l">cause</th><th>path cycles</th><th>critical share</th><th>raw share</th><th class="l">meaning</th></tr>
+{{range .Causes}}<tr><td class="l">{{.Cause}}</td><td>{{.Cycles}}</td><td class="bar"><span style="{{bar .CritPct}}"></span>{{f2 .CritPct}}%</td><td>{{f2 .RawPct}}%</td><td class="help">{{.Help}}</td></tr>
+{{end}}</table>
+{{if .Slack}}<table>
+<tr><th class="l" colspan="5">slack top (cycles a node could slip without growing the makespan)</th></tr>
+<tr><th>core</th><th class="l">cause</th><th>start</th><th>end</th><th>slack</th></tr>
+{{range .Slack}}<tr><td>{{.Core}}</td><td class="l">{{.Cause}}</td><td>{{.Start}}</td><td>{{.End}}</td><td>{{.Slack}}</td></tr>
+{{end}}</table>{{end}}
+{{if .HotLines}}<table>
+<tr><th class="l" colspan="10">hot lines (per-address contention)</th></tr>
+<tr><th class="l">line</th><th>score</th><th>transfers</th><th>ping-pong</th><th>stalls</th><th>sig hits</th><th>remote</th><th>stall cyc</th><th>remote cyc</th><th>WPQ residency</th></tr>
+{{range .HotLines}}<tr><td class="l">{{.Addr}}</td><td>{{.Score}}</td><td>{{.Transfers}}</td><td>{{.PingPong}}</td><td>{{.Stalls}}</td><td>{{.SigHits}}</td><td>{{.Remote}}</td><td>{{.StallCycles}}</td><td>{{.RemoteCycles}}</td><td>{{.Residency}}</td></tr>
+{{end}}</table>{{end}}
 {{end}}{{end}}
 
 {{if .Breakdowns}}<h3>cycle attribution</h3>

@@ -16,6 +16,8 @@ import (
 	"time"
 
 	"github.com/persistmem/slpmt/internal/bench"
+	"github.com/persistmem/slpmt/internal/critpath"
+	"github.com/persistmem/slpmt/internal/profile"
 	"github.com/persistmem/slpmt/internal/trace/stream"
 )
 
@@ -72,6 +74,59 @@ type Result struct {
 	// (socket number → bytes), present on multi-socket runs. Like
 	// CyclesByCause, map marshalling keeps the document deterministic.
 	WPQSocketOccMax map[string]uint64 `json:"wpq_socket_occ_max,omitempty"`
+
+	// Critical-path analysis fields, present when the run carried the
+	// causal analyzer (bench.RunConfig.CritPath). CriticalPathByCause is
+	// the makespan decomposed along the critical path (cause name →
+	// cycles; the values sum to CritPathLen == cycles, the checked
+	// conservation contract). CritPathSlackTop ranks the DAG nodes with
+	// the most scheduling headroom, CritPathSteps is the walked path
+	// (oldest first, for the per-core blame timeline), and HotLines is
+	// the per-address contention ranking.
+	CritPathLen         uint64            `json:"critpath_len,omitempty"`
+	CritPathHops        int               `json:"critpath_hops,omitempty"`
+	CriticalPathByCause map[string]uint64 `json:"critical_path_by_cause,omitempty"`
+	CritPathSlackTop    []CritSlack       `json:"critpath_slack_top,omitempty"`
+	CritPathSteps       []CritStep        `json:"critpath_steps,omitempty"`
+	HotLines            []HotLine         `json:"hot_lines,omitempty"`
+}
+
+// CritSlack is one slack-ranking entry: a DAG node (a coalesced run of
+// same-cause charges on one core) and how many cycles later it could
+// finish without growing the makespan.
+type CritSlack struct {
+	Core  int    `json:"core"`
+	Cause string `json:"cause"`
+	Start uint64 `json:"start_cycle"`
+	End   uint64 `json:"end_cycle"`
+	Slack uint64 `json:"slack_cycles"`
+}
+
+// CritStep is one critical-path segment, oldest first. Edge is the
+// waits-for relation the path followed into the segment ("program" =
+// same-core order; "wpq.drain"/"coherence"/"lazy.conflict" = a
+// cross-core hop).
+type CritStep struct {
+	Core  int    `json:"core"`
+	Cause string `json:"cause"`
+	Start uint64 `json:"start_cycle"`
+	End   uint64 `json:"end_cycle"`
+	Edge  string `json:"edge"`
+}
+
+// HotLine is one contended cache line's observatory record (see
+// critpath.HotLine for field semantics).
+type HotLine struct {
+	Addr         string `json:"addr"` // hex line address
+	Score        uint64 `json:"score"`
+	Transfers    uint64 `json:"transfers,omitempty"`
+	PingPong     uint64 `json:"ping_pong,omitempty"`
+	Stalls       uint64 `json:"stalls,omitempty"`
+	SigHits      uint64 `json:"sig_hits,omitempty"`
+	Remote       uint64 `json:"remote,omitempty"`
+	StallCycles  uint64 `json:"stall_cycles,omitempty"`
+	RemoteCycles uint64 `json:"remote_cycles,omitempty"`
+	Residency    uint64 `json:"wpq_residency_cycles,omitempty"`
 }
 
 // Key identifies the run configuration: two results with the same key
@@ -136,6 +191,81 @@ func FromResult(r bench.Result) Result {
 		for _, s := range r.PerSocket.Stats {
 			out.WPQSocketOccMax[fmt.Sprint(s.Socket)] = s.OccMaxBytes
 		}
+	}
+	if an := r.CritPath; an != nil {
+		out.CritPathLen = an.PathLen
+		out.CritPathHops = an.Hops
+		out.CriticalPathByCause = an.ByCause()
+		for _, s := range an.SlackTop {
+			out.CritPathSlackTop = append(out.CritPathSlackTop, CritSlack{
+				Core: s.Node.Core, Cause: s.Node.Cause.String(),
+				Start: s.Node.Start, End: s.Node.End, Slack: s.Slack,
+			})
+		}
+		out.CritPathSteps = critSteps(an)
+		for i, h := range an.HotLines {
+			if i >= maxReportHotLines {
+				break
+			}
+			out.HotLines = append(out.HotLines, HotLine{
+				Addr: fmt.Sprintf("%#x", h.Addr), Score: h.Score(),
+				Transfers: h.Transfers, PingPong: h.PingPong, Stalls: h.Stalls,
+				SigHits: h.SigHits, Remote: h.Remote,
+				StallCycles: h.StallCycles, RemoteCycles: h.RemoteCycles,
+				Residency: h.Residency,
+			})
+		}
+	}
+	return out
+}
+
+// maxReportSteps caps the embedded path timeline (spans beyond it are
+// dropped from the document, not from the analysis); maxReportHotLines
+// caps the embedded contention ranking.
+const (
+	maxReportSteps    = 512
+	maxReportHotLines = 16
+)
+
+// critSteps compresses the walked critical path into per-core blame
+// spans: consecutive same-core steps merge into one span labeled with
+// the span's dominant cause (by cycles) and the hop edge that moved
+// the path onto the core. This is the HTML timeline's data: one bar
+// per span in core lanes.
+func critSteps(an *critpath.Analysis) []CritStep {
+	var out []CritStep
+	var acc profile.Vector
+	var core int
+	var start, end uint64
+	var edge critpath.EdgeKind
+	open := false
+	flush := func() {
+		if !open {
+			return
+		}
+		best, bestN := profile.CauseNone, uint64(0)
+		for c, n := range acc {
+			if n > bestN {
+				best, bestN = profile.Cause(c), n
+			}
+		}
+		out = append(out, CritStep{
+			Core: core, Cause: best.String(), Start: start, End: end, Edge: edge.String(),
+		})
+		acc = profile.Vector{}
+		open = false
+	}
+	for _, s := range an.Steps {
+		if !open || s.Core != core {
+			flush()
+			core, start, edge, open = s.Core, s.Start, s.Edge, true
+		}
+		end = s.End
+		acc[s.Cause] += s.End - s.Start
+	}
+	flush()
+	if len(out) > maxReportSteps {
+		out = out[:maxReportSteps]
 	}
 	return out
 }

@@ -184,6 +184,9 @@ func WritePerfetto(w io.Writer, events []Event, opts PerfettoOptions) error {
 		case KWPQRemote:
 			instant(e, "wpq.remote", "wpq",
 				map[string]any{"addr": e.Addr, "hop_cycles": e.Arg})
+		case KSigHit:
+			instant(e, "sig.hit", "lazy",
+				map[string]any{"addr": e.Addr, "retained_txns": e.Arg})
 		case KCharge:
 			instant(e, "charge", "charge",
 				map[string]any{"cause": e.Addr, "cycles": e.Arg})

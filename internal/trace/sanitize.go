@@ -112,10 +112,20 @@ type sanCore struct {
 
 	pendingLazy []uint64 // lines whose obligations must clear before the next program event
 	// Per-socket WPQ replay state (socket 0 is the only key on
-	// single-socket streams): outstanding enqueue sizes in FIFO order,
+	// single-socket streams): outstanding enqueues in FIFO order,
 	// and whether the replay has locked on past pre-cut residue.
-	wpqFifo   map[int][]uint64
+	wpqFifo   map[int][]wpqEntry
 	wpqSynced map[int]bool
+}
+
+// wpqEntry is one outstanding enqueue in the occupancy replay: the
+// occupancy delta it raised and the persisted cache line. A drain that
+// carries a line address (KWPQDrain Addr) must retire an entry of the
+// same size and line; a zero drain address (streams predating the
+// address stamping) falls back to size-only matching.
+type wpqEntry struct {
+	bytes uint64
+	line  uint64
 }
 
 func newSanCore() *sanCore {
@@ -126,7 +136,7 @@ func newSanCore() *sanCore {
 		storeLines:  map[uint64]struct{}{},
 		epochLogged: map[uint64]struct{}{},
 		epochLogOff: map[uint64]uint64{},
-		wpqFifo:     map[int][]uint64{},
+		wpqFifo:     map[int][]wpqEntry{},
 		wpqSynced:   map[int]bool{},
 	}
 }
@@ -502,7 +512,7 @@ func (s *sanitizer) replayEnqueue(i int, e Event, cs *sanCore) {
 			fmt.Sprintf("enqueue did not raise WPQ occupancy (%d -> %d)", prev, occ))
 		return
 	}
-	cs.wpqFifo[sock] = append(cs.wpqFifo[sock], uint64(delta))
+	cs.wpqFifo[sock] = append(cs.wpqFifo[sock], wpqEntry{bytes: uint64(delta), line: line})
 }
 
 // replayDrain applies one WPQ drain to the occupancy replay and matches
@@ -528,14 +538,15 @@ func (s *sanitizer) replayDrain(i int, e Event) {
 	}
 	// Match in FIFO order; the device's bank model can legitimately
 	// retire same-core entries slightly out of enqueue order, so fall
-	// back to the first size match before declaring a violation.
-	if fifo[0] == uint64(delta) {
-		cs.wpqFifo[sock] = fifo[1:]
-		cs.wpqSynced[sock] = true
-		return
+	// back to the first match before declaring a violation. An
+	// address-stamped drain must retire an entry of the same size AND
+	// line; unstamped drains (Addr 0) match on size alone.
+	dline := e.Addr &^ (sanLineSize - 1)
+	match := func(en wpqEntry) bool {
+		return en.bytes == uint64(delta) && (e.Addr == 0 || en.line == dline)
 	}
-	for j := 1; j < len(fifo); j++ {
-		if fifo[j] == uint64(delta) {
+	for j := 0; j < len(fifo); j++ {
+		if match(fifo[j]) {
 			cs.wpqFifo[sock] = append(fifo[:j], fifo[j+1:]...)
 			cs.wpqSynced[sock] = true
 			return

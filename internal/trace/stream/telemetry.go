@@ -24,6 +24,14 @@ type Interval struct {
 	Aborts     uint64 `json:"aborts"`
 	LazyDrains uint64 `json:"lazy_drains"`
 
+	// SignatureHits counts retained-signature matches (KSigHit) in the
+	// window — each one forced a lazy drain of the matched transaction —
+	// and ForcedDrainTx the retained transactions those drains flushed
+	// (the KLazyDrainEnd drain depths summed). Per-interval visibility of
+	// the end-of-run Stats.SignatureHits counter.
+	SignatureHits uint64 `json:"signature_hits,omitempty"`
+	ForcedDrainTx uint64 `json:"forced_drain_tx,omitempty"`
+
 	WPQStallCycles uint64 `json:"wpq_stall_cycles"`
 
 	// CyclesByCause is the interval's attribution vector: charged
@@ -115,6 +123,9 @@ func (t *Telemetry) Consume(e trace.Event) {
 		iv.Aborts++
 	case trace.KLazyDrainEnd:
 		iv.LazyDrains++
+		iv.ForcedDrainTx += e.Arg
+	case trace.KSigHit:
+		iv.SignatureHits++
 	case trace.KWPQStall:
 		iv.WPQStallCycles += e.Arg
 	case trace.KCharge:

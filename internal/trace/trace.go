@@ -46,11 +46,12 @@ const (
 	KCohDowngrade        // addr = line (remote copy downgraded to Shared)
 	KCohWriteback        // addr = line (dirty remote copy written back)
 	KWPQEnqueue          // addr, arg = WPQ occupancy in bytes after enqueue
-	KWPQDrain            // arg = WPQ occupancy in bytes after the drain
+	KWPQDrain            // addr = drained line, arg = WPQ occupancy in bytes after the drain
 	KWPQStall            // addr, arg = cycles stalled waiting for WPQ space
 	KCharge              // addr = attribution cause (internal/profile Cause), arg = cycles charged
 	KEpochClose          // addr = log mode (0 undo, 1 redo), arg = closed epoch number
 	KWPQRemote           // addr = target of a cross-socket access, arg = interconnect hop cycles
+	KSigHit              // addr = store line matching a retained signature, arg = retained tx drained by the hit
 	numKinds
 )
 
@@ -82,6 +83,7 @@ var kindNames = [numKinds]string{
 	KCharge:         "charge",
 	KEpochClose:     "epoch.close",
 	KWPQRemote:      "wpq.remote",
+	KSigHit:         "sig.hit",
 }
 
 // Per-socket WPQ occupancy encoding. On a multi-socket topology each

@@ -40,4 +40,8 @@ echo "== trace stream (binlog equivalence + streamed sanitizer) =="
 go run ./cmd/slpmtbench -workload hashtable -cores 2 -n 300 -value 64 \
 	-trace-stream stream-out -stream-check -sanitize
 
+echo "== critical path (streamed-vs-buffered byte-match + conservation) =="
+go run ./cmd/slpmtbench -workload hashtable -cores 2 -n 300 -value 64 \
+	-trace-stream stream-out -stream-check -critpath -hotlines 10
+
 echo "ALL CHECKS PASSED"
